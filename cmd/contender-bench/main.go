@@ -1,0 +1,133 @@
+// Command contender-bench regenerates every table and figure of the
+// paper's evaluation against the simulated PostgreSQL/TPC-DS substrate and
+// prints them in the paper's shape, with the paper's headline numbers
+// alongside for comparison.
+//
+// Usage:
+//
+//	contender-bench [-experiments table2,fig8] [-mpls 2,3,4,5] [-lhs 4] [-seed 42] [-quick]
+//
+// -quick shrinks the sampling design (fewer LHS runs, fewer steady-state
+// samples) for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"contender/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+		mplsFlag = flag.String("mpls", "2,3,4,5", "multiprogramming levels to sample")
+		lhsRuns  = flag.Int("lhs", 4, "disjoint LHS designs per MPL ≥ 3")
+		samples  = flag.Int("samples", 5, "steady-state samples per stream")
+		seed     = flag.Int64("seed", 42, "simulation and sampling seed")
+		quick    = flag.Bool("quick", false, "reduced sampling for a fast pass")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		format   = flag.String("format", "table", "output format: table or json")
+		charts   = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want table or json)", *format))
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		MPLs:          parseInts(*mplsFlag),
+		LHSRuns:       *lhsRuns,
+		SteadySamples: *samples,
+		Seed:          *seed,
+	}
+	if *quick {
+		opts.LHSRuns = 2
+		opts.SteadySamples = 3
+		opts.IsolatedRuns = 2
+	}
+
+	fmt.Fprintf(os.Stderr, "profiling workload and sampling mixes (MPLs %v, %d LHS runs)...\n", opts.MPLs, opts.LHSRuns)
+	start := time.Now()
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v (%.0f simulated hours of sampling)\n",
+		time.Since(start).Round(time.Millisecond),
+		(env.SimulatedSeconds.Isolated+env.SimulatedSeconds.Spoiler+env.SimulatedSeconds.Mixes)/3600)
+
+	todo := experiments.All()
+	if *expFlag != "" {
+		todo = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	failed := 0
+	var results []*experiments.Result
+	for _, e := range todo {
+		t0 := time.Now()
+		res, err := e.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		results = append(results, res)
+		if *format == "table" {
+			fmt.Println(res.Render())
+			if *charts {
+				if c := res.Chart(); c != "" {
+					fmt.Println(c)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if *format == "json" {
+		if err := experiments.NewReport(env, results).WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q: %v", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "contender-bench:", err)
+	os.Exit(1)
+}

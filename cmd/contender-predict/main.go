@@ -1,0 +1,140 @@
+// Command contender-predict trains Contender on the bundled workload and
+// predicts the concurrent latency of a template in a user-specified mix,
+// comparing the prediction against the simulated ground truth.
+//
+// Usage:
+//
+//	contender-predict -primary 71 -with 2,22
+//	contender-predict -primary 71 -with 2,22 -adhoc   # treat 71 as unseen
+//	contender-predict -save model.json                # train once, save
+//	contender-predict -load model.json -primary 26    # reuse without retraining
+package main
+
+import (
+	"contender"
+	"contender/internal/cliutil"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		primary = flag.Int("primary", 71, "template whose latency to predict")
+		with    = flag.String("with", "2,22", "comma-separated concurrent template IDs")
+		adhoc   = flag.Bool("adhoc", false, "treat the primary as a never-sampled template (constant-time path)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		planDSL = flag.String("plan", "", "ad-hoc plan in compact notation (implies -adhoc with a synthetic template); see contender.ParsePlan")
+		save    = flag.String("save", "", "after training, save the predictor snapshot to this file")
+		load    = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
+	)
+	flag.Parse()
+
+	concurrent, err := cliutil.ParseIDs(*with)
+	if err != nil {
+		fatal(err)
+	}
+	mpl := len(concurrent) + 1
+
+	if *load != "" {
+		pred, err := contender.LoadPredictorFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		estimate, err := pred.PredictKnown(*primary, concurrent)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("primary           : T%d (from snapshot)\n", *primary)
+		fmt.Printf("concurrent mix    : %v (MPL %d)\n", concurrent, mpl)
+		fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQI(*primary, concurrent))
+		fmt.Printf("predicted latency : %9.1f s\n", estimate)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "training Contender (sampling mixes at MPLs up to %d)...\n", mpl)
+	wb, err := contender.NewWorkbench(
+		contender.WithMPLs(cliutil.MPLsUpTo(mpl)...),
+		contender.WithSeed(*seed),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		if err := pred.SaveFile(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved predictor snapshot to %s\n", *save)
+	}
+
+	var stats contender.TemplateStats
+	if *planDSL != "" {
+		plan, err := contender.ParsePlan(*planDSL)
+		if err != nil {
+			fatal(err)
+		}
+		*adhoc = true
+		*primary = 9999
+		stats, err = wb.ProfileTemplate(*primary, plan)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var ok bool
+		stats, ok = wb.Template(*primary)
+		if !ok {
+			fatal(fmt.Errorf("unknown template %d", *primary))
+		}
+	}
+
+	var estimate float64
+	if *adhoc {
+		// Constant-time path: pretend the template was never sampled under
+		// concurrency; only its isolated statistics are available.
+		stats.SpoilerLatency = map[int]float64{}
+		estimate, err = pred.PredictNew(stats, concurrent, contender.SpoilerKNN)
+	} else {
+		estimate, err = pred.PredictKnown(*primary, concurrent)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var truth []float64
+	if *planDSL == "" {
+		truth, err = wb.Simulate(append([]int{*primary}, concurrent...))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("primary           : T%d (%s)\n", *primary, wb.TemplateDescription(*primary))
+	fmt.Printf("concurrent mix    : %v (MPL %d)\n", concurrent, mpl)
+	fmt.Printf("isolated latency  : %9.1f s\n", stats.IsolatedLatency)
+	if *adhoc {
+		fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQIForStats(stats, concurrent))
+	} else {
+		fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQI(*primary, concurrent))
+	}
+	fmt.Printf("predicted latency : %9.1f s\n", estimate)
+	if len(truth) > 0 {
+		fmt.Printf("simulated truth   : %9.1f s\n", truth[0])
+		fmt.Printf("relative error    : %9.1f %%\n", 100*abs(truth[0]-estimate)/truth[0])
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "contender-predict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command contender-sched schedules a batch of TPC-DS templates with
+// concurrency-aware admission ordering and validates each policy's
+// schedule on the simulated host.
+//
+// Usage:
+//
+//	contender-sched -batch 71,33,2,22,26,61 -mpl 3
+package main
+
+import (
+	"contender"
+	"contender/internal/cliutil"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		batchFlag = flag.String("batch", "71,33,2,22,26,61,62,82", "comma-separated template IDs to schedule")
+		mpl       = flag.Int("mpl", 2, "multiprogramming level")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		timeline  = flag.Bool("timeline", false, "print the winning schedule's forecast timeline")
+	)
+	flag.Parse()
+
+	batch, err := cliutil.ParseIDs(*batchFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(batch) == 0 {
+		fatal(fmt.Errorf("empty batch"))
+	}
+
+	fmt.Fprintln(os.Stderr, "training Contender...")
+	wb, err := contender.NewWorkbench(
+		contender.WithMPLs(cliutil.MPLsUpTo(*mpl)...),
+		contender.WithSeed(*seed),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		fatal(err)
+	}
+
+	outcomes, err := contender.ComparePolicies(wb, pred, batch, *mpl)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("batch %v at MPL %d\n\n", batch, *mpl)
+	fmt.Printf("%-18s  %9s  %9s  %s\n", "policy", "forecast", "measured", "order")
+	for _, o := range outcomes {
+		fmt.Printf("%-18s  %8.0fs  %8.0fs  %v\n", o.Policy, o.ForecastMakespan, o.MeasuredMakespan, o.Order)
+	}
+	best := outcomes[0]
+	var fifo float64
+	for _, o := range outcomes {
+		if o.Policy == "FIFO" {
+			fifo = o.MeasuredMakespan
+		}
+	}
+	if fifo > 0 {
+		fmt.Printf("\nbest policy (%s) saves %.1f%% of the FIFO makespan\n",
+			best.Policy, 100*(fifo-best.MeasuredMakespan)/fifo)
+	}
+
+	if *timeline {
+		jobs, span, err := pred.ForecastBatch(best.Order, *mpl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nforecast timeline of the %s schedule (makespan %.0f s):\n", best.Policy, span)
+		fmt.Printf("%-6s  %9s  %9s  %9s\n", "query", "start", "end", "latency")
+		for _, j := range jobs {
+			fmt.Printf("T%-5d  %8.0fs  %8.0fs  %8.0fs\n", j.Template, j.Start, j.End, j.Latency())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "contender-sched:", err)
+	os.Exit(1)
+}

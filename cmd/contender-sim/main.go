@@ -1,0 +1,128 @@
+// Command contender-sim explores the simulated database host: it profiles
+// the bundled TPC-DS workload in isolation, under the worst-case spoiler,
+// or in an arbitrary concurrent mix, printing the observables Contender
+// trains on.
+//
+// Usage:
+//
+//	contender-sim                        # profile all templates in isolation
+//	contender-sim -spoiler 4             # add spoiler latencies at MPL 4
+//	contender-sim -mix 71,2,22           # run a steady-state mix
+//	contender-sim -plan 71               # print a template's query plan
+package main
+
+import (
+	"contender/internal/cliutil"
+	"contender/internal/sim"
+	"contender/internal/tpcds"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		mixFlag  = flag.String("mix", "", "comma-separated template IDs to run as a steady-state mix")
+		spoiler  = flag.Int("spoiler", 0, "also measure spoiler latency at this MPL (0 = off)")
+		planFlag = flag.Int("plan", 0, "print the query plan of this template and exit")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		trace    = flag.Bool("trace", false, "print the execution timeline of a -mix run")
+	)
+	flag.Parse()
+
+	w := tpcds.NewWorkload()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	engine := sim.NewEngine(cfg)
+
+	if *planFlag != 0 {
+		t, ok := w.Template(*planFlag)
+		if !ok {
+			fatal(fmt.Errorf("unknown template %d", *planFlag))
+		}
+		fmt.Printf("%s — %s\n\n%s", t.Name, t.Description, t.Plan)
+		return
+	}
+
+	if *mixFlag != "" {
+		ids, err := cliutil.ParseIDs(*mixFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runMix(w, engine, ids, *trace)
+		return
+	}
+
+	fmt.Printf("%-5s %-34s %10s %8s %9s %7s", "id", "description", "isolated", "I/O %", "ws (GiB)", "scans")
+	if *spoiler > 1 {
+		fmt.Printf("  %12s", fmt.Sprintf("spoiler@%d", *spoiler))
+	}
+	fmt.Println()
+	for _, tpl := range w.Templates() {
+		spec := w.MustSpec(tpl.ID)
+		res, err := engine.RunIsolated(spec)
+		if err != nil {
+			fatal(err)
+		}
+		desc := tpl.Description
+		if len(desc) > 34 {
+			desc = desc[:31] + "..."
+		}
+		fmt.Printf("%-5d %-34s %9.1fs %7.1f%% %9.2f %7d",
+			tpl.ID, desc, res.Latency, 100*res.IOFraction(),
+			spec.WorkingSetBytes/(1<<30), len(tpl.Plan.ScannedTables()))
+		if *spoiler > 1 {
+			sp, err := engine.RunWithSpoiler(spec, *spoiler)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %11.1fs", sp.Latency)
+		}
+		fmt.Println()
+	}
+}
+
+func runMix(w *tpcds.Workload, engine *sim.Engine, ids []int, trace bool) {
+	var rec *sim.RecordingTracer
+	if trace {
+		rec = &sim.RecordingTracer{}
+		engine.SetTracer(rec)
+	}
+	specs := make([]sim.QuerySpec, len(ids))
+	for i, id := range ids {
+		s, ok := w.Spec(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown template %d", id))
+		}
+		specs[i] = s
+	}
+	res, err := engine.RunSteadyState(specs, sim.SteadyStateOptions{
+		Samples: 5, WarmupSkip: 1, RestartCost: tpcds.RestartCost(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("steady-state mix %v (MPL %d), %.0f virtual seconds\n\n", ids, len(ids), res.Duration)
+	fmt.Printf("%-5s %10s %10s %10s\n", "id", "mean", "min", "max")
+	for i, id := range ids {
+		samples := res.Samples[i]
+		min, max := samples[0], samples[0]
+		for _, s := range samples {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		fmt.Printf("%-5d %9.1fs %9.1fs %9.1fs\n", id, res.MeanLatency(i), min, max)
+	}
+	if rec != nil {
+		fmt.Printf("\nexecution timeline:\n%s", rec.Timeline())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "contender-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Adhoc: predict the concurrent latency of a brand-new query template with
+// constant-time sampling — Contender's headline capability. The new
+// template is defined as a query plan, executed exactly once in isolation
+// (nothing else!), and its latency in a concurrent mix is predicted via the
+// estimated QS model and the KNN spoiler predictor, then checked against
+// the simulated ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contender"
+)
+
+func main() {
+	wb, err := contender.NewWorkbench(contender.QuickSampling())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ad-hoc analyst query the workload has never seen: store and
+	// catalog sales joined through dates and items, aggregated by brand.
+	// Plans can be written with the Go builders or parsed from the compact
+	// notation, as here.
+	plan, err := contender.ParsePlan(`
+		Sort:4e6:100(
+		  HashAggregate:4e6:100(
+		    HashJoin:20e6:110(
+		      Scan:item:2e4:294,
+		      HashJoin:35e6:120(
+		        Scan:date_dim:180:141,
+		        HashJoin:45e6:90(
+		          Scan:store_sales:4e6:60,
+		          Scan:catalog_sales:3e6:60)))))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One isolated execution: the only sampling the new template gets.
+	const adhocID = 999
+	stats, err := wb.ProfileTemplate(adhocID, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ad-hoc template: isolated %.1f s, %.0f%% I/O, working set %.2f GiB\n",
+		stats.IsolatedLatency, 100*stats.IOFraction, stats.WorkingSetBytes/(1<<30))
+
+	// Predict its worst case (spoiler) and its latency in two mixes, all
+	// without any concurrent sampling of the new template.
+	for _, mpl := range []int{2, 3} {
+		sp, err := pred.PredictSpoiler(stats, mpl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted spoiler latency @ MPL %d: %.1f s\n", mpl, sp)
+	}
+
+	for _, concurrent := range [][]int{{71}, {2, 62}} {
+		estimate, err := pred.PredictNew(stats, concurrent, contender.SpoilerKNN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := wb.SimulateAdhoc(adhocID, plan, concurrent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("with %-8v predicted %8.1f s   simulated %8.1f s   error %.1f%%\n",
+			concurrent, estimate, truth, 100*abs(truth-estimate)/truth)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

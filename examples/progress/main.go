@@ -1,0 +1,71 @@
+// Progress: a concurrency-aware query progress indicator — one of the
+// paper's motivating applications. A long-running query (TPC-DS Q71)
+// executes while the concurrent mix around it changes; the indicator
+// integrates predicted progress rates over the observed timeline and
+// revises its ETA whenever the resource picture changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contender"
+)
+
+func main() {
+	wb, err := contender.NewWorkbench(contender.QuickSampling())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const query = 71
+	stats, _ := wb.Template(query)
+	fmt.Printf("tracking T%d (isolated latency %.0f s)\n\n", query, stats.IsolatedLatency)
+
+	tracker, err := pred.TrackProgress(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The observed timeline: the DBA's console samples every 120 s; the
+	// mix changes twice while our query runs.
+	timeline := []struct {
+		dt  float64
+		mix []int
+		why string
+	}{
+		{120, []int{2}, "memory-heavy Q2 running alongside"},
+		{120, []int{2}, ""},
+		{120, []int{2, 22}, "Q22 arrives — three-way contention"},
+		{120, []int{2, 22}, ""},
+		{120, []int{62}, "both heavyweights finish; light Q62 remains"},
+		{120, []int{62}, ""},
+		{120, nil, "system idle — query runs alone"},
+	}
+
+	fmt.Printf("%8s  %-14s  %9s  %9s  %s\n", "elapsed", "mix", "progress", "ETA", "event")
+	for _, step := range timeline {
+		if tracker.Done() {
+			break
+		}
+		if _, err := tracker.Advance(step.dt, step.mix); err != nil {
+			log.Fatal(err)
+		}
+		remaining, err := tracker.Remaining(step.mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0fs  %-14s  %8.1f%%  %8.0fs  %s\n",
+			tracker.Elapsed(), fmt.Sprint(step.mix), 100*tracker.Fraction(), remaining, step.why)
+	}
+
+	// A naive indicator that ignores concurrency would divide elapsed time
+	// by the isolated latency — wildly optimistic under contention.
+	naive := tracker.Elapsed() / stats.IsolatedLatency
+	fmt.Printf("\nconcurrency-aware progress: %.1f%%   naive (isolated-only) estimate: %.1f%%\n",
+		100*tracker.Fraction(), 100*naive)
+}

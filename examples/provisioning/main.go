@@ -1,0 +1,196 @@
+// Provisioning: use CQPP for cloud resource planning — "cloud-based
+// database applications would be able to make more informed resource
+// provisioning and query-to-server assignment plans" (Section 1).
+//
+// A tenant submits a recurring workload of six templates with a per-query
+// latency SLO expressed as a slowdown factor over isolated execution. The
+// planner uses Contender to find (a) the highest multiprogramming level at
+// which the whole workload still meets the SLO on one server, and (b) a
+// two-server assignment that minimizes predicted SLO violations, validating
+// the chosen plan against the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contender"
+)
+
+const sloSlowdown = 2.5 // each query may run at most 2.5x its isolated latency
+
+func main() {
+	wb, err := contender.NewWorkbench(
+		contender.WithMPLs(2, 3),
+		contender.WithLHSRuns(2),
+		contender.WithSteadySamples(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workload := []int{71, 26, 62, 2, 61, 33}
+	fmt.Printf("tenant workload: %v, SLO: ≤%.1fx isolated latency\n\n", workload, sloSlowdown)
+
+	// (a) Highest safe MPL on a single server: at MPL k, each query runs
+	// with k-1 others drawn from the workload; check the worst pairing.
+	for _, mpl := range []int{2, 3} {
+		worst := worstPredictedSlowdown(wb, pred, workload, mpl)
+		verdict := "meets SLO"
+		if worst > sloSlowdown {
+			verdict = "VIOLATES SLO"
+		}
+		fmt.Printf("single server @ MPL %d: worst predicted slowdown %.2fx — %s\n", mpl, worst, verdict)
+	}
+
+	// (b) Two-server split at MPL 3: greedy assignment by predicted
+	// slowdown. Compare against a naive round-robin split.
+	naiveA, naiveB := workload[0:3], workload[3:6]
+	smartA, smartB := splitByPrediction(wb, pred, workload)
+
+	fmt.Printf("\ntwo-server assignment (each server runs its 3 queries together):\n")
+	for _, plan := range []struct {
+		name string
+		a, b []int
+	}{
+		{"round-robin", naiveA, naiveB},
+		{"CQPP-aware ", smartA, smartB},
+	} {
+		sa, err := measuredWorstSlowdown(wb, plan.a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, err := measuredWorstSlowdown(wb, plan.b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := sa
+		if sb > worst {
+			worst = sb
+		}
+		fmt.Printf("  %s  server1=%v server2=%v  measured worst slowdown %.2fx\n",
+			plan.name, plan.a, plan.b, worst)
+	}
+}
+
+// worstPredictedSlowdown predicts each workload query's latency when run
+// with its worst-case companions from the workload at the given MPL and
+// returns the maximum slowdown.
+func worstPredictedSlowdown(wb *contender.Workbench, pred *contender.Predictor, workload []int, mpl int) float64 {
+	worst := 0.0
+	for _, q := range workload {
+		iso, _ := wb.Template(q)
+		for _, mix := range companionMixes(workload, q, mpl-1) {
+			l, err := pred.PredictKnown(q, mix)
+			if err != nil {
+				continue
+			}
+			if s := l / iso.IsolatedLatency; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// companionMixes enumerates all size-k companion sets for q drawn from the
+// workload (with replacement, excluding trivial repeats beyond pairs).
+func companionMixes(workload []int, q, k int) [][]int {
+	if k == 1 {
+		var out [][]int
+		for _, c := range workload {
+			out = append(out, []int{c})
+		}
+		return out
+	}
+	var out [][]int
+	for i, a := range workload {
+		for _, b := range workload[i:] {
+			out = append(out, []int{a, b})
+		}
+	}
+	_ = q
+	return out
+}
+
+// splitByPrediction exhaustively evaluates every balanced two-server split
+// (C(6,3) = 20 configurations) and picks the one with the lowest predicted
+// worst-case slowdown — cheap, because predictions cost microseconds while
+// measuring a single configuration costs a full steady-state run.
+func splitByPrediction(wb *contender.Workbench, pred *contender.Predictor, workload []int) (a, b []int) {
+	n := len(workload)
+	best := 1e18
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != n/2 {
+			continue
+		}
+		var sa, sb []int
+		for i, q := range workload {
+			if mask&(1<<i) != 0 {
+				sa = append(sa, q)
+			} else {
+				sb = append(sb, q)
+			}
+		}
+		cost := predictedWorst(wb, pred, sa)
+		if c := predictedWorst(wb, pred, sb); c > cost {
+			cost = c
+		}
+		if cost < best {
+			best, a, b = cost, sa, sb
+		}
+	}
+	return a, b
+}
+
+// predictedWorst returns the worst predicted slowdown among a server's
+// queries when they all run together.
+func predictedWorst(wb *contender.Workbench, pred *contender.Predictor, mix []int) float64 {
+	worst := 1.0
+	for i, q := range mix {
+		others := make([]int, 0, len(mix)-1)
+		others = append(others, mix[:i]...)
+		others = append(others, mix[i+1:]...)
+		iso, _ := wb.Template(q)
+		l, err := pred.PredictKnown(q, others)
+		if err != nil {
+			return 1e18
+		}
+		if s := l / iso.IsolatedLatency; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+func popcount(v int) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// measuredWorstSlowdown simulates the server's mix and returns the largest
+// measured slowdown among its queries.
+func measuredWorstSlowdown(wb *contender.Workbench, mix []int) (float64, error) {
+	if len(mix) == 0 {
+		return 1, nil
+	}
+	lat, err := wb.Simulate(mix)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for i, q := range mix {
+		iso, _ := wb.Template(q)
+		if s := lat[i] / iso.IsolatedLatency; s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,3 @@
+module contender
+
+go 1.22

@@ -1,0 +1,40 @@
+// Package cliutil holds the small argument-parsing helpers shared by the
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIDs parses a comma-separated list of template IDs. Empty segments
+// are skipped; a malformed segment returns an error naming it.
+func ParseIDs(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad template id %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MPLsUpTo returns the multiprogramming levels 2..m (at least [2]) — the
+// sampling range a tool needs to predict mixes of size m.
+func MPLsUpTo(m int) []int {
+	var out []int
+	for i := 2; i <= m; i++ {
+		out = append(out, i)
+	}
+	if len(out) == 0 {
+		out = []int{2}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package cliutil
+
+import "testing"
+
+func TestParseIDs(t *testing.T) {
+	got, err := ParseIDs("71, 2,22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 71 || got[1] != 2 || got[2] != 22 {
+		t.Fatalf("ParseIDs = %v", got)
+	}
+	// Empty segments are tolerated.
+	got, err = ParseIDs("71,,2,")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	// Empty string yields an empty list.
+	got, err = ParseIDs("")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	// Garbage errors with the offending token.
+	if _, err := ParseIDs("71,x"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMPLsUpTo(t *testing.T) {
+	got := MPLsUpTo(4)
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("MPLsUpTo(4) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MPLsUpTo(4) = %v", got)
+		}
+	}
+	if got := MPLsUpTo(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("MPLsUpTo(1) = %v", got)
+	}
+	if got := MPLsUpTo(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("MPLsUpTo(0) = %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// testKnowledge builds a small synthetic workload with hand-checkable CQI
+// terms:
+//
+//	table F: scan time 100 s; table G: 50 s; table H: 20 s
+//	T1 (primary): scans F;      l_min 200, p 0.8
+//	T2: scans F, G;             l_min 400, p 0.9
+//	T3: scans G;                l_min 100, p 1.0
+//	T4: no fact scans;          l_min 300, p 0.5
+func testKnowledge() *Knowledge {
+	k := NewKnowledge()
+	k.SetScanTime("F", 100)
+	k.SetScanTime("G", 50)
+	k.SetScanTime("H", 20)
+	add := func(id int, lmin, p float64, scans ...string) {
+		s := make(map[string]bool)
+		for _, f := range scans {
+			s[f] = true
+		}
+		k.AddTemplate(TemplateStats{
+			ID: id, IsolatedLatency: lmin, IOFraction: p,
+			Scans: s, SpoilerLatency: map[int]float64{},
+		})
+	}
+	add(1, 200, 0.8, "F")
+	add(2, 400, 0.9, "F", "G")
+	add(3, 100, 1.0, "G")
+	add(4, 300, 0.5)
+	return k
+}
+
+func TestCQIHandComputed(t *testing.T) {
+	k := testKnowledge()
+
+	// Primary T1 with concurrent {T2}:
+	// ω_2 = s_F = 100 (T2 shares F with the primary).
+	// τ_2 = 0 (G is not shared with any other concurrent query).
+	// r_2 = (400·0.9 − 100 − 0)/400 = 260/400 = 0.65.
+	got := k.CQI(1, []int{2})
+	if !almostEq(got, 0.65, 1e-12) {
+		t.Fatalf("CQI = %g, want 0.65", got)
+	}
+
+	// Primary T1 with {T2, T3}:
+	// r_2: ω=100 (F); τ: G scanned by T2 and T3 (h_G = 2, primary does
+	// not scan G) → τ_2 = (1 − 1/2)·50 = 25 → r_2 = (360−100−25)/400 = 0.5875.
+	// r_3: ω=0; τ_3 = 25 → r_3 = (100·1.0 − 25)/100 = 0.75.
+	// CQI = (0.5875 + 0.75)/2 = 0.66875.
+	got = k.CQI(1, []int{2, 3})
+	if !almostEq(got, 0.66875, 1e-12) {
+		t.Fatalf("CQI = %g, want 0.66875", got)
+	}
+}
+
+func TestCQITruncatesNegative(t *testing.T) {
+	k := testKnowledge()
+	// A template whose shared scans exceed its total I/O time: T5 scans F
+	// (100 s shared) but has only 60 s of I/O in isolation.
+	k.AddTemplate(TemplateStats{
+		ID: 5, IsolatedLatency: 100, IOFraction: 0.6,
+		Scans: map[string]bool{"F": true}, SpoilerLatency: map[int]float64{},
+	})
+	got := k.CQI(1, []int{5})
+	if got != 0 {
+		t.Fatalf("CQI = %g, want 0 (negative estimates truncate)", got)
+	}
+}
+
+func TestCQIEmptyMix(t *testing.T) {
+	k := testKnowledge()
+	if k.CQI(1, nil) != 0 {
+		t.Fatal("empty mix must have zero intensity")
+	}
+}
+
+func TestBaselineIO(t *testing.T) {
+	k := testKnowledge()
+	// Mean of p: (0.9 + 1.0)/2 = 0.95, no interaction terms.
+	got := k.BaselineIO([]int{2, 3})
+	if !almostEq(got, 0.95, 1e-12) {
+		t.Fatalf("BaselineIO = %g, want 0.95", got)
+	}
+	if k.BaselineIO(nil) != 0 {
+		t.Fatal("empty mix must be 0")
+	}
+}
+
+func TestPositiveIO(t *testing.T) {
+	k := testKnowledge()
+	// Primary T1 with {T2, T3}: r_2 = (360−100)/400 = 0.65 (ω only),
+	// r_3 = 1.0 (no shared scans with primary). Mean = 0.825.
+	got := k.PositiveIO(1, []int{2, 3})
+	if !almostEq(got, 0.825, 1e-12) {
+		t.Fatalf("PositiveIO = %g, want 0.825", got)
+	}
+	if k.PositiveIO(1, nil) != 0 {
+		t.Fatal("empty mix must be 0")
+	}
+}
+
+func TestVariantOrderingUnderSharing(t *testing.T) {
+	// With shared scans present, CQI ≤ PositiveIO ≤ BaselineIO — each
+	// refinement subtracts more shared I/O.
+	k := testKnowledge()
+	c := k.CQI(1, []int{2, 3})
+	p := k.PositiveIO(1, []int{2, 3})
+	b := k.BaselineIO([]int{2, 3})
+	if !(c <= p && p <= b) {
+		t.Fatalf("ordering violated: CQI %g, Positive %g, Baseline %g", c, p, b)
+	}
+}
+
+func TestCQIForStatsAdhocPrimary(t *testing.T) {
+	k := testKnowledge()
+	adhoc := TemplateStats{
+		ID: 99, IsolatedLatency: 500, IOFraction: 0.9,
+		Scans: map[string]bool{"G": true},
+	}
+	// T3 shares G with the ad-hoc primary: ω_3 = 50 → r_3 = (100−50)/100 = 0.5.
+	got := k.CQIForStats(adhoc, []int{3})
+	if !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("CQIForStats = %g, want 0.5", got)
+	}
+}
+
+func TestKnowledgeHelpers(t *testing.T) {
+	k := testKnowledge()
+	ids := k.IDs()
+	if len(ids) != 4 || ids[0] != 1 || ids[3] != 4 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, ok := k.Template(99); ok {
+		t.Fatal("unknown template must not resolve")
+	}
+	cl := k.Clone()
+	cl.SetScanTime("F", 999)
+	if k.ScanTime("F") != 100 {
+		t.Fatal("Clone must not share scan times")
+	}
+	ts, _ := cl.Template(1)
+	ts.Scans["Z"] = true
+	orig := k.MustTemplate(1)
+	if orig.Scans["Z"] {
+		t.Fatal("Clone must deep-copy scan sets")
+	}
+	if _, ok := cl.Remove(1); !ok {
+		t.Fatal("Remove must report presence")
+	}
+	if _, ok := cl.Template(1); ok {
+		t.Fatal("Remove must delete")
+	}
+	if _, ok := cl.Remove(1); ok {
+		t.Fatal("second Remove must report absence")
+	}
+}
+
+func TestMustTemplatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testKnowledge().MustTemplate(12345)
+}
+
+func TestObservationMPL(t *testing.T) {
+	o := Observation{Primary: 1, Concurrent: []int{2, 3}}
+	if o.MPL() != 3 {
+		t.Fatalf("MPL = %d, want 3", o.MPL())
+	}
+}
+
+func TestSpoilerSlowdown(t *testing.T) {
+	ts := TemplateStats{IsolatedLatency: 100, SpoilerLatency: map[int]float64{3: 400}}
+	if ts.SpoilerSlowdown(3) != 4 {
+		t.Fatal("slowdown wrong")
+	}
+	if ts.SpoilerSlowdown(5) != 0 {
+		t.Fatal("missing MPL must yield 0")
+	}
+	if (TemplateStats{}).SpoilerSlowdown(3) != 0 {
+		t.Fatal("zero isolated latency must yield 0")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Persistence: a trained predictor — the knowledge base plus its reference
+// QS models — serializes to JSON, so the (simulated or real) sampling cost
+// is paid once and reused across processes. This is what a deployed
+// Contender would ship alongside the DBMS: a model file, re-trained only
+// when the workload drifts.
+
+// snapshotVersion guards against loading incompatible files.
+const snapshotVersion = 1
+
+// Snapshot is the serialized form of a trained predictor.
+type Snapshot struct {
+	Version   int                `json:"version"`
+	Templates []templateSnapshot `json:"templates"`
+	ScanTimes map[string]float64 `json:"scan_times"`
+	Models    []modelSnapshot    `json:"models"`
+}
+
+type templateSnapshot struct {
+	ID              int             `json:"id"`
+	IsolatedLatency float64         `json:"isolated_latency"`
+	IOFraction      float64         `json:"io_fraction"`
+	WorkingSetBytes float64         `json:"working_set_bytes"`
+	PlanSteps       int             `json:"plan_steps"`
+	RecordsAccessed float64         `json:"records_accessed"`
+	Scans           []string        `json:"scans"`
+	Spoilers        []spoilerSample `json:"spoilers"`
+}
+
+type spoilerSample struct {
+	MPL     int     `json:"mpl"`
+	Latency float64 `json:"latency"`
+}
+
+type modelSnapshot struct {
+	MPL      int     `json:"mpl"`
+	Template int     `json:"template"`
+	Mu       float64 `json:"mu"`
+	B        float64 `json:"b"`
+}
+
+// Snapshot captures the predictor's full trained state.
+func (p *Predictor) Snapshot() *Snapshot {
+	s := &Snapshot{Version: snapshotVersion, ScanTimes: make(map[string]float64)}
+	for f, v := range p.Know.scanSeconds {
+		s.ScanTimes[f] = v
+	}
+	for _, id := range p.Know.IDs() {
+		t := p.Know.MustTemplate(id)
+		ts := templateSnapshot{
+			ID:              t.ID,
+			IsolatedLatency: t.IsolatedLatency,
+			IOFraction:      t.IOFraction,
+			WorkingSetBytes: t.WorkingSetBytes,
+			PlanSteps:       t.PlanSteps,
+			RecordsAccessed: t.RecordsAccessed,
+		}
+		for f := range t.Scans {
+			ts.Scans = append(ts.Scans, f)
+		}
+		sort.Strings(ts.Scans)
+		for mpl, l := range t.SpoilerLatency {
+			ts.Spoilers = append(ts.Spoilers, spoilerSample{mpl, l})
+		}
+		sort.Slice(ts.Spoilers, func(i, j int) bool { return ts.Spoilers[i].MPL < ts.Spoilers[j].MPL })
+		s.Templates = append(s.Templates, ts)
+	}
+	for _, mpl := range p.MPLs() {
+		refs := p.refs[mpl]
+		for _, id := range refs.IDs() {
+			m, _ := refs.Model(id)
+			s.Models = append(s.Models, modelSnapshot{MPL: mpl, Template: id, Mu: m.Mu, B: m.B})
+		}
+	}
+	return s
+}
+
+// WriteSnapshot serializes the predictor as indented JSON.
+func (p *Predictor) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.Snapshot()); err != nil {
+		return fmt.Errorf("core: encoding predictor: %w", err)
+	}
+	return nil
+}
+
+// LoadPredictor reconstructs a trained predictor from a snapshot stream.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	return PredictorFromSnapshot(&s)
+}
+
+// PredictorFromSnapshot rebuilds the predictor from an in-memory snapshot.
+func PredictorFromSnapshot(s *Snapshot) (*Predictor, error) {
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d (want %d)", s.Version, snapshotVersion)
+	}
+	if len(s.Templates) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no templates")
+	}
+	know := NewKnowledge()
+	for f, v := range s.ScanTimes {
+		know.SetScanTime(f, v)
+	}
+	for _, ts := range s.Templates {
+		t := TemplateStats{
+			ID:              ts.ID,
+			IsolatedLatency: ts.IsolatedLatency,
+			IOFraction:      ts.IOFraction,
+			WorkingSetBytes: ts.WorkingSetBytes,
+			PlanSteps:       ts.PlanSteps,
+			RecordsAccessed: ts.RecordsAccessed,
+			Scans:           make(map[string]bool, len(ts.Scans)),
+			SpoilerLatency:  make(map[int]float64, len(ts.Spoilers)),
+		}
+		for _, f := range ts.Scans {
+			t.Scans[f] = true
+		}
+		for _, sp := range ts.Spoilers {
+			t.SpoilerLatency[sp.MPL] = sp.Latency
+		}
+		know.AddTemplate(t)
+	}
+	p := &Predictor{Know: know, refs: make(map[int]*ReferenceModels)}
+	for _, m := range s.Models {
+		if p.refs[m.MPL] == nil {
+			p.refs[m.MPL] = NewReferenceModels(know, m.MPL)
+		}
+		p.refs[m.MPL].Add(m.Template, QSModel{Mu: m.Mu, B: m.B})
+	}
+	if len(p.refs) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no reference models")
+	}
+	return p, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPredictorRoundTrip(t *testing.T) {
+	k, obs := predictorFixture(t)
+	orig, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trained state survives byte-for-byte: identical MPLs, models, and
+	// predictions for every observation.
+	if len(loaded.MPLs()) != len(orig.MPLs()) {
+		t.Fatalf("MPLs %v vs %v", loaded.MPLs(), orig.MPLs())
+	}
+	for _, o := range obs {
+		want, err := orig.PredictKnown(o.Primary, o.Concurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.PredictKnown(o.Primary, o.Concurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prediction drifted after reload: %g vs %g", got, want)
+		}
+	}
+	// Knowledge details survive too.
+	if loaded.Know.ScanTime("F") != k.ScanTime("F") {
+		t.Fatal("scan times lost")
+	}
+	lt := loaded.Know.MustTemplate(2)
+	ot := k.MustTemplate(2)
+	if !lt.Scans["F"] || lt.SpoilerLatency[2] != ot.SpoilerLatency[2] {
+		t.Fatal("template details lost")
+	}
+}
+
+func TestLoadPredictorErrors(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":99,"templates":[{"id":1}]}`)); err == nil {
+		t.Fatal("wrong version must error")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Fatal("empty snapshot must error")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"templates":[{"id":1}]}`)); err == nil {
+		t.Fatal("snapshot without models must error")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := p.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Everything except Go's map-ordered scan_times object is emitted in
+	// sorted slices; the JSON encoder also sorts map keys, so the files
+	// must be identical.
+	if a.String() != b.String() {
+		t.Fatal("snapshot serialization must be deterministic")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements one of the paper's motivating applications (Section
+// 1): concurrency-aware query progress indication. "High quality
+// predictions would also pave the way for more refined query progress
+// indicators by analyzing in real time how resource availability affects a
+// query's estimated completion time."
+//
+// The model: at any instant the running query makes progress at rate
+// 1/L(m), where L(m) is its predicted end-to-end latency under the current
+// mix m. Integrating that rate over the observed timeline yields the
+// fraction of work completed; the remaining fraction, divided by the
+// current rate, is the time to completion. When the mix changes (queries
+// arrive or finish), the rate — and therefore the ETA — changes with it.
+
+// ErrTrackerDone is returned when a tracker is advanced past completion.
+var ErrTrackerDone = errors.New("core: query already complete")
+
+// LatencyFunc predicts the tracked query's end-to-end latency when it runs
+// with the given concurrent templates (empty = isolation).
+type LatencyFunc func(concurrent []int) (float64, error)
+
+// ProgressTracker estimates a running query's completion fraction and ETA
+// from concurrency-aware latency predictions.
+type ProgressTracker struct {
+	predict  LatencyFunc
+	elapsed  float64
+	fraction float64
+}
+
+// NewProgressTracker builds a tracker for one query execution.
+func NewProgressTracker(predict LatencyFunc) *ProgressTracker {
+	return &ProgressTracker{predict: predict}
+}
+
+// Advance records that the query executed for dt seconds while the given
+// templates ran concurrently. It returns the updated completion fraction.
+// Fractions above 1 are clamped; advancing a completed query returns
+// ErrTrackerDone.
+func (t *ProgressTracker) Advance(dt float64, concurrent []int) (float64, error) {
+	if dt < 0 {
+		return t.fraction, fmt.Errorf("core: negative interval %g", dt)
+	}
+	if t.Done() {
+		return t.fraction, ErrTrackerDone
+	}
+	l, err := t.predict(concurrent)
+	if err != nil {
+		return t.fraction, err
+	}
+	if l <= 0 {
+		return t.fraction, fmt.Errorf("core: non-positive predicted latency %g", l)
+	}
+	t.elapsed += dt
+	t.fraction += dt / l
+	if t.fraction > 1 {
+		t.fraction = 1
+	}
+	return t.fraction, nil
+}
+
+// Fraction returns the estimated completed fraction of the query's work.
+func (t *ProgressTracker) Fraction() float64 { return t.fraction }
+
+// Elapsed returns the wall-clock seconds observed so far.
+func (t *ProgressTracker) Elapsed() float64 { return t.elapsed }
+
+// Done reports whether the tracked query is estimated complete.
+func (t *ProgressTracker) Done() bool { return t.fraction >= 1 }
+
+// Remaining estimates the seconds to completion if the given mix persists
+// from now on.
+func (t *ProgressTracker) Remaining(concurrent []int) (float64, error) {
+	if t.Done() {
+		return 0, nil
+	}
+	l, err := t.predict(concurrent)
+	if err != nil {
+		return 0, err
+	}
+	return (1 - t.fraction) * l, nil
+}

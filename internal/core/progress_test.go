@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// stubLatency predicts 100 s in isolation, 200 s with one concurrent
+// query, 400 s with two.
+func stubLatency(concurrent []int) (float64, error) {
+	switch len(concurrent) {
+	case 0:
+		return 100, nil
+	case 1:
+		return 200, nil
+	case 2:
+		return 400, nil
+	}
+	return 0, fmt.Errorf("unsupported MPL")
+}
+
+func TestProgressTrackerIntegratesRates(t *testing.T) {
+	tr := NewProgressTracker(stubLatency)
+	// 50 s alone → half done.
+	f, err := tr.Advance(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f, 0.5, 1e-12) {
+		t.Fatalf("fraction %g, want 0.5", f)
+	}
+	// 100 s with one concurrent query → another quarter... no: rate is
+	// 1/200 per second → +0.5. Complete.
+	f, err = tr.Advance(100, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f, 1, 1e-12) || !tr.Done() {
+		t.Fatalf("fraction %g, want 1 (done)", f)
+	}
+	if tr.Elapsed() != 150 {
+		t.Fatalf("elapsed %g", tr.Elapsed())
+	}
+}
+
+func TestProgressTrackerRemaining(t *testing.T) {
+	tr := NewProgressTracker(stubLatency)
+	if _, err := tr.Advance(25, nil); err != nil { // 25% done
+		t.Fatal(err)
+	}
+	// Remaining if the query stays alone: 75 s.
+	r, err := tr.Remaining(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 75, 1e-12) {
+		t.Fatalf("remaining %g, want 75", r)
+	}
+	// Remaining under a two-query mix: 0.75·400 = 300 s.
+	r, err = tr.Remaining([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 300, 1e-12) {
+		t.Fatalf("remaining %g, want 300", r)
+	}
+}
+
+func TestProgressTrackerClampsAndStops(t *testing.T) {
+	tr := NewProgressTracker(stubLatency)
+	if _, err := tr.Advance(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fraction() != 1 {
+		t.Fatal("fraction must clamp at 1")
+	}
+	if _, err := tr.Advance(10, nil); !errors.Is(err, ErrTrackerDone) {
+		t.Fatalf("err = %v, want ErrTrackerDone", err)
+	}
+	if r, err := tr.Remaining(nil); err != nil || r != 0 {
+		t.Fatalf("remaining after done = %g, %v", r, err)
+	}
+}
+
+func TestProgressTrackerErrors(t *testing.T) {
+	tr := NewProgressTracker(stubLatency)
+	if _, err := tr.Advance(-1, nil); err == nil {
+		t.Fatal("negative interval must error")
+	}
+	if _, err := tr.Advance(10, []int{1, 2, 3}); err == nil {
+		t.Fatal("predictor errors must propagate")
+	}
+	bad := NewProgressTracker(func([]int) (float64, error) { return 0, nil })
+	if _, err := bad.Advance(10, nil); err == nil {
+		t.Fatal("non-positive latency must error")
+	}
+	// Failed advances must not corrupt state.
+	if tr.Fraction() != 0 || tr.Elapsed() != 0 {
+		t.Fatal("failed Advance must not change state")
+	}
+}

@@ -1,0 +1,158 @@
+// Package core implements the Contender framework itself: the Concurrent
+// Query Intensity (CQI) metric, the performance continuum, Query
+// Sensitivity (QS) models for known and unseen templates, spoiler-latency
+// models, and the end-to-end prediction pipeline of Figure 5.
+//
+// The package is substrate-agnostic: it consumes only the observables the
+// paper consumes — isolated latency, procfs-style I/O fraction, working-set
+// size, fact-table scan sets from query plans, per-table scan times, spoiler
+// latencies, and steady-state mix measurements. Whether those numbers come
+// from the bundled simulator or a real DBMS is invisible to it.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TemplateStats holds the isolated-execution observables of one template —
+// everything Contender is allowed to know about a query without running it
+// concurrently.
+type TemplateStats struct {
+	ID int
+	// IsolatedLatency is l_min: execution time alone on a cold cache.
+	IsolatedLatency float64
+	// IOFraction is p_t: the fraction of isolated execution time spent on
+	// I/O (from procfs-style accounting).
+	IOFraction float64
+	// WorkingSetBytes is the size of the largest intermediate result.
+	WorkingSetBytes float64
+	// SpoilerLatency maps MPL → measured l_max. May be sparse or empty for
+	// ad-hoc templates (then spoiler prediction kicks in).
+	SpoilerLatency map[int]float64
+	// Scans is the set of fact tables the template's plan scans
+	// sequentially; CQI's shared-scan terms are computed over it.
+	Scans map[string]bool
+	// PlanSteps and RecordsAccessed are the query-complexity features
+	// examined in Table 3.
+	PlanSteps       int
+	RecordsAccessed float64
+}
+
+// SpoilerSlowdown returns l_max(mpl)/l_min, the Table 3 "spoiler slowdown"
+// feature, or 0 when the spoiler latency is unknown.
+func (t TemplateStats) SpoilerSlowdown(mpl int) float64 {
+	if t.IsolatedLatency <= 0 {
+		return 0
+	}
+	l, ok := t.SpoilerLatency[mpl]
+	if !ok {
+		return 0
+	}
+	return l / t.IsolatedLatency
+}
+
+// Knowledge is Contender's training-time view of the workload: per-template
+// isolated statistics plus the measured per-table scan times s_f.
+type Knowledge struct {
+	templates map[int]TemplateStats
+	// scanSeconds[f] is s_f: time to sequentially scan fact table f in
+	// isolation, measured by running a scan-only query.
+	scanSeconds map[string]float64
+}
+
+// NewKnowledge builds an empty knowledge base.
+func NewKnowledge() *Knowledge {
+	return &Knowledge{
+		templates:   make(map[int]TemplateStats),
+		scanSeconds: make(map[string]float64),
+	}
+}
+
+// AddTemplate records (or replaces) a template's isolated statistics.
+func (k *Knowledge) AddTemplate(ts TemplateStats) {
+	if ts.SpoilerLatency == nil {
+		ts.SpoilerLatency = make(map[int]float64)
+	}
+	if ts.Scans == nil {
+		ts.Scans = make(map[string]bool)
+	}
+	k.templates[ts.ID] = ts
+}
+
+// SetScanTime records s_f for a fact table.
+func (k *Knowledge) SetScanTime(table string, seconds float64) {
+	k.scanSeconds[table] = seconds
+}
+
+// ScanTime returns s_f, or 0 if the table was never profiled.
+func (k *Knowledge) ScanTime(table string) float64 { return k.scanSeconds[table] }
+
+// Template returns the stats of template id.
+func (k *Knowledge) Template(id int) (TemplateStats, bool) {
+	t, ok := k.templates[id]
+	return t, ok
+}
+
+// MustTemplate returns the stats of template id or panics (programming
+// error in experiment wiring).
+func (k *Knowledge) MustTemplate(id int) TemplateStats {
+	t, ok := k.templates[id]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown template %d", id))
+	}
+	return t
+}
+
+// IDs returns the known template IDs in ascending order.
+func (k *Knowledge) IDs() []int {
+	ids := make([]int, 0, len(k.templates))
+	for id := range k.templates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Clone returns a deep copy, letting experiments fork knowledge bases for
+// leave-one-out protocols without cross-talk.
+func (k *Knowledge) Clone() *Knowledge {
+	out := NewKnowledge()
+	for _, ts := range k.templates {
+		cp := ts
+		cp.SpoilerLatency = make(map[int]float64, len(ts.SpoilerLatency))
+		for m, v := range ts.SpoilerLatency {
+			cp.SpoilerLatency[m] = v
+		}
+		cp.Scans = make(map[string]bool, len(ts.Scans))
+		for f, v := range ts.Scans {
+			cp.Scans[f] = v
+		}
+		out.templates[cp.ID] = cp
+	}
+	for f, v := range k.scanSeconds {
+		out.scanSeconds[f] = v
+	}
+	return out
+}
+
+// Remove deletes a template (used by leave-one-out experiments) and returns
+// its stats if present.
+func (k *Knowledge) Remove(id int) (TemplateStats, bool) {
+	t, ok := k.templates[id]
+	if ok {
+		delete(k.templates, id)
+	}
+	return t, ok
+}
+
+// Observation is one steady-state measurement: the primary's average
+// latency in a specific concurrent mix.
+type Observation struct {
+	Primary    int
+	Concurrent []int // the other MPL-1 members of the mix
+	Latency    float64
+}
+
+// MPL returns the observation's multiprogramming level.
+func (o Observation) MPL() int { return len(o.Concurrent) + 1 }

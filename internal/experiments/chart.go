@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII chart rendering: contender-bench can show the paper's figures as
+// horizontal bar charts next to the tables, which makes the per-template
+// and per-MPL shapes (Figures 3, 6, 7, 8, 9, 10) legible at a glance.
+
+// BarChart renders labeled values as a horizontal bar chart. Bars scale to
+// maxWidth characters against the largest value; each row shows the label,
+// the bar, and the formatted value.
+func BarChart(labels []string, values []float64, format func(float64) string, maxWidth int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	labelWidth := 0
+	peak := 0.0
+	for i, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+		if values[i] > peak {
+			peak = values[i]
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := 0
+		if peak > 0 && values[i] > 0 {
+			n = int(values[i] / peak * float64(maxWidth))
+			if n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s %s\n", labelWidth, l, maxWidth, strings.Repeat("█", n), format(values[i]))
+	}
+	return b.String()
+}
+
+// Chart renders a bar-chart view of a result, if the experiment has a
+// natural one (per-row numeric first metric column). It returns "" when
+// the result has no chartable shape.
+func (r *Result) Chart() string {
+	if len(r.Rows) == 0 || len(r.Header) < 2 {
+		return ""
+	}
+	var labels []string
+	var values []float64
+	for _, row := range r.Rows {
+		if len(row) < 2 {
+			continue
+		}
+		v, ok := parseCell(row[1])
+		if !ok {
+			continue
+		}
+		labels = append(labels, row[0])
+		values = append(values, v)
+	}
+	if len(labels) < 2 {
+		return ""
+	}
+	return BarChart(labels, values, func(v float64) string { return fmt.Sprintf("%.3g", v) }, 40)
+}
+
+// parseCell extracts the leading number from a rendered table cell like
+// "19.4%", "3580 s", or "2.49x".
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	end := 0
+	seenDigit := false
+	for end < len(s) {
+		c := s[end]
+		if c >= '0' && c <= '9' {
+			seenDigit = true
+			end++
+			continue
+		}
+		if (c == '.' || c == '-' || c == '+') && end < len(s) {
+			end++
+			continue
+		}
+		break
+	}
+	if !seenDigit {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s[:end], "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,294 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6) plus the quantitative claims embedded in the text.
+// Each experiment is a named driver that runs against a shared Env — the
+// profiled workload plus sampled steady-state mixes — and emits a rendered
+// table along with machine-readable metrics for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"contender/internal/core"
+	"contender/internal/lhs"
+	"contender/internal/sim"
+	"contender/internal/tpcds"
+)
+
+// Options controls how much sampling the environment performs. The defaults
+// reproduce the paper's protocol (exhaustive pairs at MPL 2, four disjoint
+// LHS designs at MPLs 3–5, five steady-state samples per stream).
+type Options struct {
+	// MPLs are the multiprogramming levels to sample. Default 2–5.
+	MPLs []int
+	// LHSRuns is the number of disjoint LHS designs per MPL ≥ 3. Default 4.
+	LHSRuns int
+	// SteadySamples is the per-stream sample count in steady state.
+	// Default 5.
+	SteadySamples int
+	// IsolatedRuns is how many isolated executions are averaged for l_min
+	// and p_t. Default 3.
+	IsolatedRuns int
+	// Seed drives the simulator and all sampling designs.
+	Seed int64
+	// Config overrides the host configuration (zero value = default host).
+	Config *sim.Config
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.MPLs) == 0 {
+		o.MPLs = []int{2, 3, 4, 5}
+	}
+	if o.LHSRuns <= 0 {
+		o.LHSRuns = 4
+	}
+	if o.SteadySamples <= 0 {
+		o.SteadySamples = 5
+	}
+	if o.IsolatedRuns <= 0 {
+		o.IsolatedRuns = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// MixSample is one sampled steady-state mix with the per-slot observations
+// it produced.
+type MixSample struct {
+	Mix lhs.Mix // template IDs (not indices)
+	Obs []core.Observation
+}
+
+// Env is the shared experimental environment: the workload profiled in
+// isolation and under the spoiler, plus steady-state mix samples at every
+// MPL. Building it corresponds to the paper's entire training-data
+// collection; on the simulator it takes seconds instead of weeks.
+type Env struct {
+	Opts     Options
+	Workload *tpcds.Workload
+	Engine   *sim.Engine
+	Know     *core.Knowledge
+	// Samples maps MPL → sampled mixes.
+	Samples map[int][]MixSample
+	// SimulatedSeconds tallies the virtual time each collection phase
+	// consumed, for the Section 5.4 sampling-cost accounting.
+	SimulatedSeconds struct {
+		Isolated float64
+		Spoiler  float64
+		Mixes    float64
+	}
+}
+
+// NewEnv profiles the default workload and samples mixes per opts.
+func NewEnv(opts Options) (*Env, error) {
+	return NewEnvWith(tpcds.NewWorkload(), opts)
+}
+
+// NewEnvWith profiles an explicit workload.
+func NewEnvWith(w *tpcds.Workload, opts Options) (*Env, error) {
+	opts = opts.withDefaults()
+	cfg := sim.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	cfg.Seed = opts.Seed
+	env := &Env{
+		Opts:     opts,
+		Workload: w,
+		Engine:   sim.NewEngine(cfg),
+		Know:     core.NewKnowledge(),
+		Samples:  make(map[int][]MixSample),
+	}
+	if err := env.profile(); err != nil {
+		return nil, err
+	}
+	if err := env.sampleMixes(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// profile measures isolated statistics, per-table scan times, and spoiler
+// latencies for every template.
+func (e *Env) profile() error {
+	// s_f for every fact table (and the restart pseudo-table).
+	for _, t := range e.Workload.Catalog.FactTables() {
+		s, err := e.Engine.MeasureScanTime(t.Name, t.Bytes())
+		if err != nil {
+			return fmt.Errorf("experiments: measuring scan of %s: %w", t.Name, err)
+		}
+		e.Know.SetScanTime(t.Name, s)
+	}
+
+	for _, tpl := range e.Workload.Templates() {
+		spec := e.Workload.MustSpec(tpl.ID)
+		var latSum, ioSum float64
+		for i := 0; i < e.Opts.IsolatedRuns; i++ {
+			res, err := e.Engine.RunIsolated(spec)
+			if err != nil {
+				return fmt.Errorf("experiments: isolated run of T%d: %w", tpl.ID, err)
+			}
+			latSum += res.Latency
+			ioSum += res.IOTime
+			e.SimulatedSeconds.Isolated += res.Latency
+		}
+		lmin := latSum / float64(e.Opts.IsolatedRuns)
+		pt := ioSum / latSum
+
+		ts := core.TemplateStats{
+			ID:              tpl.ID,
+			IsolatedLatency: lmin,
+			IOFraction:      pt,
+			WorkingSetBytes: spec.WorkingSetBytes,
+			SpoilerLatency:  make(map[int]float64),
+			Scans:           tpl.Plan.ScannedTables(),
+			PlanSteps:       tpl.Plan.Steps(),
+			RecordsAccessed: tpl.Plan.RecordsAccessed(),
+		}
+		// Restrict the scan set to fact tables: dimension scans are
+		// buffer-resident and create no I/O interactions.
+		for f := range ts.Scans {
+			if t, ok := e.Workload.Catalog.Table(f); !ok || !t.Fact {
+				delete(ts.Scans, f)
+			}
+		}
+		for _, mpl := range e.Opts.MPLs {
+			res, err := e.Engine.RunWithSpoiler(spec, mpl)
+			if err != nil {
+				return fmt.Errorf("experiments: spoiler run of T%d at MPL %d: %w", tpl.ID, mpl, err)
+			}
+			ts.SpoilerLatency[mpl] = res.Latency
+			e.SimulatedSeconds.Spoiler += res.Latency
+		}
+		e.Know.AddTemplate(ts)
+	}
+	return nil
+}
+
+// sampleMixes collects steady-state measurements: exhaustive pairs at
+// MPL 2, LHS designs above.
+func (e *Env) sampleMixes() error {
+	ids := e.Workload.IDs()
+	for _, mpl := range e.Opts.MPLs {
+		mixes := lhs.MixesFor(len(ids), mpl, e.Opts.LHSRuns, e.Opts.Seed+int64(mpl))
+		for _, mix := range mixes {
+			// Translate template indices to IDs.
+			idMix := make(lhs.Mix, len(mix))
+			for i, idx := range mix {
+				idMix[i] = ids[idx]
+			}
+			sample, err := e.runMix(idMix)
+			if err != nil {
+				return err
+			}
+			e.Samples[mpl] = append(e.Samples[mpl], sample)
+		}
+	}
+	return nil
+}
+
+// runMix executes one steady-state mix and converts per-stream mean
+// latencies into observations.
+func (e *Env) runMix(mix lhs.Mix) (MixSample, error) {
+	specs := make([]sim.QuerySpec, len(mix))
+	for i, id := range mix {
+		specs[i] = e.Workload.MustSpec(id)
+	}
+	res, err := e.Engine.RunSteadyState(specs, sim.SteadyStateOptions{
+		Samples:     e.Opts.SteadySamples,
+		WarmupSkip:  1,
+		RestartCost: tpcds.RestartCost(),
+	})
+	if err != nil {
+		return MixSample{}, fmt.Errorf("experiments: steady state %v: %w", mix, err)
+	}
+	e.SimulatedSeconds.Mixes += res.Duration
+
+	sample := MixSample{Mix: mix}
+	for i, id := range mix {
+		sample.Obs = append(sample.Obs, core.Observation{
+			Primary:    id,
+			Concurrent: mix.WithoutOne(id),
+			Latency:    res.MeanLatency(i),
+		})
+	}
+	return sample, nil
+}
+
+// Observations flattens all samples at an MPL into observations.
+func (e *Env) Observations(mpl int) []core.Observation {
+	var out []core.Observation
+	for _, s := range e.Samples[mpl] {
+		out = append(out, s.Obs...)
+	}
+	return out
+}
+
+// ObservationsFor returns the observations at mpl whose primary is the
+// given template.
+func (e *Env) ObservationsFor(mpl, primary int) []core.Observation {
+	var out []core.Observation
+	for _, o := range e.Observations(mpl) {
+		if o.Primary == primary {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// AllObservations returns observations across all sampled MPLs.
+func (e *Env) AllObservations() []core.Observation {
+	var out []core.Observation
+	for _, mpl := range e.Opts.MPLs {
+		out = append(out, e.Observations(mpl)...)
+	}
+	return out
+}
+
+// TemplateIDs returns the workload's template IDs.
+func (e *Env) TemplateIDs() []int { return e.Workload.IDs() }
+
+// StageProfiles derives a template's per-operator isolated footprint — the
+// input of the operator-level model — from its resource profile and the
+// host configuration, the way EXPLAIN ANALYZE instrumentation would on a
+// real system.
+func (e *Env) StageProfiles(id int) []core.StageProfile {
+	spec := e.Workload.MustSpec(id)
+	cfg := e.Engine.Config()
+	var out []core.StageProfile
+	for _, st := range spec.Stages {
+		var p core.StageProfile
+		switch st.Kind {
+		case sim.StageSeqIO:
+			p = core.StageProfile{Class: core.StageClassSeqIO, Table: st.Table,
+				IsolatedSeconds: st.Amount / cfg.SeqBandwidth}
+		case sim.StageRandIO:
+			p = core.StageProfile{Class: core.StageClassRandIO,
+				IsolatedSeconds: st.Amount / cfg.RandIOPS}
+		case sim.StageCachedIO:
+			p = core.StageProfile{Class: core.StageClassCached,
+				IsolatedSeconds: st.Amount / cfg.CachedBandwidth}
+		case sim.StageCPU:
+			p = core.StageProfile{Class: core.StageClassCPU, IsolatedSeconds: st.Amount}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Rand returns a deterministic RNG derived from the environment seed and a
+// purpose-specific salt, so experiments are reproducible independent of
+// execution order.
+func (e *Env) Rand(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.Opts.Seed*1315423911 + salt))
+}
+
+// sortedMPLs returns the sampled MPLs ascending.
+func (e *Env) sortedMPLs() []int {
+	out := append([]int(nil), e.Opts.MPLs...)
+	sort.Ints(out)
+	return out
+}

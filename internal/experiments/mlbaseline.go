@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"contender/internal/core"
+	"contender/internal/ml"
+	"contender/internal/qep"
+	"contender/internal/stats"
+)
+
+// This file reproduces Section 3: adapting the isolated-query ML predictors
+// (KCCA, SVM) to concurrency via 4n QEP feature vectors, on static
+// workloads (same templates in train and test) and on new templates.
+
+// maxMLTrain caps the ML training-set size. Kernel methods scale
+// cubically with the sample count, and the paper itself trains on 250
+// mixes; larger sets add cost without changing the outcome.
+const maxMLTrain = 300
+
+// subsample deterministically reduces a training set to at most maxMLTrain
+// samples.
+func subsample(env *Env, salt int64, xs [][]float64, ys []float64) ([][]float64, []float64) {
+	if len(xs) <= maxMLTrain {
+		return xs, ys
+	}
+	idx := env.Rand(salt).Perm(len(xs))[:maxMLTrain]
+	outX := make([][]float64, len(idx))
+	outY := make([]float64, len(idx))
+	for i, j := range idx {
+		outX[i], outY[i] = xs[j], ys[j]
+	}
+	return outX, outY
+}
+
+// mixFeatures builds the 4n feature vector of an observation: the primary's
+// plan features concatenated with the summed features of the concurrent
+// plans.
+func mixFeatures(env *Env, space *qep.FeatureSpace, o core.Observation) []float64 {
+	primary := env.Workload.Plan(o.Primary)
+	concurrent := make([]*qep.Plan, len(o.Concurrent))
+	for i, id := range o.Concurrent {
+		concurrent[i] = env.Workload.Plan(id)
+	}
+	return space.ExtractMix(primary, concurrent)
+}
+
+// Sec3Static reproduces the static-workload study: train on 250 MPL-2
+// mixes, test on 75 (a 3.3:1 ratio), same templates on both sides.
+func Sec3Static(env *Env) (*Result, error) {
+	const mpl = 2
+	samples := env.Samples[mpl]
+	if len(samples) < 10 {
+		return nil, fmt.Errorf("experiments: need MPL-2 samples, have %d", len(samples))
+	}
+	space := qep.NewFeatureSpace(env.Workload.Plans())
+
+	// Split mixes (not observations) so both slots of a mix land on the
+	// same side, then collect per-slot observations.
+	idx := env.Rand(3).Perm(len(samples))
+	cut := len(samples) * 250 / 325
+	if cut >= len(samples) {
+		cut = len(samples) - 1
+	}
+	var trainX, testX [][]float64
+	var trainY, testY []float64
+	for pos, i := range idx {
+		for _, o := range samples[i].Obs {
+			f := mixFeatures(env, space, o)
+			if pos < cut {
+				trainX = append(trainX, f)
+				trainY = append(trainY, o.Latency)
+			} else {
+				testX = append(testX, f)
+				testY = append(testY, o.Latency)
+			}
+		}
+	}
+
+	res := &Result{
+		ID:     "sec3static",
+		Title:  "ML baselines on a static workload at MPL 2",
+		Paper:  "KCCA 32% MRE, SVM 21% MRE (250 train / 75 test mixes)",
+		Header: []string{"Learner", "MRE", "Train mixes", "Test mixes"},
+	}
+
+	trainX, trainY = subsample(env, 31, trainX, trainY)
+
+	kcca := ml.NewKCCA()
+	if err := kcca.Fit(trainX, trainY); err != nil {
+		return nil, fmt.Errorf("experiments: KCCA fit: %w", err)
+	}
+	kccaMRE := mreOf(kcca.Predict, testX, testY)
+	res.AddRow("KCCA", fmtPct(kccaMRE), fmt.Sprintf("%d", cut), fmt.Sprintf("%d", len(samples)-cut))
+	res.SetMetric("mre/kcca", kccaMRE)
+
+	svm := ml.NewSVM()
+	if err := svm.Fit(trainX, trainY); err != nil {
+		return nil, fmt.Errorf("experiments: SVM fit: %w", err)
+	}
+	svmMRE := mreOf(svm.Predict, testX, testY)
+	res.AddRow("SVM", fmtPct(svmMRE), fmt.Sprintf("%d", cut), fmt.Sprintf("%d", len(samples)-cut))
+	res.SetMetric("mre/svm", svmMRE)
+	return res, nil
+}
+
+func mreOf(predict func([]float64) float64, xs [][]float64, ys []float64) float64 {
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = predict(x)
+	}
+	return stats.MRE(ys, pred)
+}
+
+// MLSubset computes the Figure 3 workload: templates whose plan features
+// all appear in at least one other template (the paper drops 25 → 17 by
+// the same criterion).
+func MLSubset(env *Env) []int {
+	var keep []int
+	for _, id := range env.TemplateIDs() {
+		var others []*qep.Plan
+		for _, other := range env.TemplateIDs() {
+			if other != id {
+				others = append(others, env.Workload.Plan(other))
+			}
+		}
+		space := qep.NewFeatureSpace(others)
+		if len(space.UnseenSteps(env.Workload.Plan(id))) == 0 {
+			keep = append(keep, id)
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// Fig3 reproduces the new-template ML study: leave-one-out over the
+// feature-covered subset at MPL 2; train on every mix not containing the
+// held-out template, test on the mixes where it is the primary.
+func Fig3(env *Env) (*Result, error) {
+	const mpl = 2
+	subset := MLSubset(env)
+	if len(subset) < 3 {
+		return nil, fmt.Errorf("experiments: ML subset too small: %v", subset)
+	}
+	inSubset := make(map[int]bool)
+	for _, id := range subset {
+		inSubset[id] = true
+	}
+	space := qep.NewFeatureSpace(env.Workload.Plans())
+
+	res := &Result{
+		ID:     "fig3",
+		Title:  "ML baselines on new templates at MPL 2 (leave-one-out)",
+		Paper:  "neither KCCA nor SVM predicts unseen templates well; per-template errors reach ~100%",
+		Header: []string{"Template", "KCCA", "SVM"},
+	}
+
+	var kccaErrs, svmErrs []float64
+	for _, target := range subset {
+		var trainX [][]float64
+		var trainY []float64
+		var testX [][]float64
+		var testY []float64
+		for _, s := range env.Samples[mpl] {
+			if s.Mix.Contains(target) {
+				for _, o := range s.Obs {
+					if o.Primary == target {
+						testX = append(testX, mixFeatures(env, space, o))
+						testY = append(testY, o.Latency)
+					}
+				}
+				continue
+			}
+			for _, o := range s.Obs {
+				if !inSubset[o.Primary] {
+					continue
+				}
+				trainX = append(trainX, mixFeatures(env, space, o))
+				trainY = append(trainY, o.Latency)
+			}
+		}
+		if len(testX) == 0 || len(trainX) < 10 {
+			continue
+		}
+		trainX, trainY = subsample(env, int64(37+target), trainX, trainY)
+
+		kcca := ml.NewKCCA()
+		if err := kcca.Fit(trainX, trainY); err != nil {
+			return nil, err
+		}
+		ke := mreOf(kcca.Predict, testX, testY)
+
+		svm := ml.NewSVM()
+		if err := svm.Fit(trainX, trainY); err != nil {
+			return nil, err
+		}
+		se := mreOf(svm.Predict, testX, testY)
+
+		res.AddRow(fmt.Sprintf("%d", target), fmtPct(ke), fmtPct(se))
+		res.SetMetric(fmt.Sprintf("kcca/t%d", target), ke)
+		res.SetMetric(fmt.Sprintf("svm/t%d", target), se)
+		kccaErrs = append(kccaErrs, ke)
+		svmErrs = append(svmErrs, se)
+	}
+	res.AddRow("Avg", fmtPct(stats.Mean(kccaErrs)), fmtPct(stats.Mean(svmErrs)))
+	res.SetMetric("kcca/avg", stats.Mean(kccaErrs))
+	res.SetMetric("svm/avg", stats.Mean(svmErrs))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("subset of %d templates whose plan features appear in at least one other template: %v", len(subset), subset))
+	return res, nil
+}

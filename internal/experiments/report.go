@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable form of a set of experiment results,
+// written by cmd/contender-bench -format json so downstream tooling (CI
+// regression checks, plotting) can consume the reproduction without
+// parsing tables.
+type Report struct {
+	// Experiments holds one entry per executed experiment, in paper order.
+	Experiments []ReportEntry `json:"experiments"`
+	// Sampling summarizes the environment's simulated sampling budget.
+	Sampling SamplingBudget `json:"sampling"`
+}
+
+// ReportEntry serializes one experiment result.
+type ReportEntry struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Paper   string             `json:"paper,omitempty"`
+	Header  []string           `json:"header,omitempty"`
+	Rows    [][]string         `json:"rows,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SamplingBudget is the simulated time spent collecting training data.
+type SamplingBudget struct {
+	IsolatedHours float64 `json:"isolated_hours"`
+	SpoilerHours  float64 `json:"spoiler_hours"`
+	MixHours      float64 `json:"mix_hours"`
+}
+
+// NewReport assembles a report from results and the environment that
+// produced them.
+func NewReport(env *Env, results []*Result) *Report {
+	r := &Report{
+		Sampling: SamplingBudget{
+			IsolatedHours: env.SimulatedSeconds.Isolated / 3600,
+			SpoilerHours:  env.SimulatedSeconds.Spoiler / 3600,
+			MixHours:      env.SimulatedSeconds.Mixes / 3600,
+		},
+	}
+	for _, res := range results {
+		r.Experiments = append(r.Experiments, ReportEntry{
+			ID:      res.ID,
+			Title:   res.Title,
+			Paper:   res.Paper,
+			Header:  res.Header,
+			Rows:    res.Rows,
+			Notes:   res.Notes,
+			Metrics: res.Metrics,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encoding report: %w", err)
+	}
+	return nil
+}
+
+// MetricLines renders every metric of every experiment as stable
+// "id/metric value" lines, handy for diffing two runs.
+func (r *Report) MetricLines() []string {
+	var out []string
+	for _, e := range r.Experiments {
+		for _, k := range sortedKeys(e.Metrics) {
+			out = append(out, fmt.Sprintf("%s/%s %.6f", e.ID, k, e.Metrics[k]))
+		}
+	}
+	return out
+}

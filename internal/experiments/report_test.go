@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(env, []*Result{res})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "fig6" {
+		t.Fatalf("round trip lost data: %+v", back.Experiments)
+	}
+	if back.Sampling.MixHours <= 0 {
+		t.Fatal("sampling budget missing")
+	}
+	if len(back.Experiments[0].Metrics) == 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestReportMetricLines(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(env, []*Result{res})
+	lines := rep.MetricLines()
+	if len(lines) == 0 {
+		t.Fatal("no metric lines")
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatal("metric lines must be sorted for stable diffs")
+		}
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "fig6/") {
+			t.Fatalf("line %q missing experiment prefix", l)
+		}
+		if len(strings.Fields(l)) != 2 {
+			t.Fatalf("line %q not 'key value'", l)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the rendered outcome of one experiment: a table shaped like the
+// paper's artifact, the paper's headline numbers for comparison, and
+// machine-readable metrics.
+type Result struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Header and Rows form the rendered table.
+	Header []string
+	Rows   [][]string
+	// Notes carries caveats or commentary.
+	Notes []string
+	// Metrics holds the key measured numbers, keyed by stable names.
+	Metrics map[string]float64
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// SetMetric records a named metric.
+func (r *Result) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// Render returns the result as aligned plain text.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+		b.WriteString(strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	var s int
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Env) (*Result, error)
+}
+
+// All returns every experiment in the order the paper presents them.
+func All() []Experiment {
+	return []Experiment{
+		{"sec3static", "§3 — ML baselines on a static workload (MPL 2)", Sec3Static},
+		{"fig3", "Figure 3 — ML baselines on new templates (MPL 2)", Fig3},
+		{"table2", "Table 2 — CQI-based latency prediction MRE (MPL 2–5)", Table2},
+		{"fig4", "Figure 4 — QS coefficient relationship", Fig4},
+		{"table3", "Table 3 — template features vs. QS coefficients (R²)", Table3},
+		{"fig6", "Figure 6 — spoiler latency vs. MPL by template class", Fig6},
+		{"sec55mpl", "§5.5 — spoiler latency is linear in the MPL", Sec55MPL},
+		{"fig7", "Figure 7 — per-template prediction error at MPL 4", Fig7},
+		{"fig8", "Figure 8 — known vs. unknown templates (MPL 2–5)", Fig8},
+		{"fig9", "Figure 9 — spoiler prediction for new templates", Fig9},
+		{"fig10", "Figure 10 — end-to-end prediction for new templates", Fig10},
+		{"sec54cost", "§5.4 — sampling-cost comparison", Sec54Cost},
+		{"sec61outliers", "§6.1 — steady-state outlier frequency", Sec61Outliers},
+		{"ext-growth", "Extension §8 — expanding database", ExtGrowth},
+		{"ext-opmodel", "Extension §8 — operator-granularity CQPP", ExtOpModel},
+		{"ext-batch", "Application §1 — batch scheduling", ExtBatch},
+		{"ext-admission", "Application §1 — predictive admission control", ExtAdmission},
+		{"ext-qsfeatures", "Ablation — µ-estimation features", ExtQSFeatures},
+		{"ext-crossmpl", "Ablation — QS models across MPLs", ExtCrossMPL},
+		{"ext-noise", "Ablation — error vs. substrate noise", ExtNoise},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in presentation order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sortedKeys returns map keys in sorted order (for deterministic output).
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

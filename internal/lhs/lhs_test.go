@@ -1,0 +1,182 @@
+package lhs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumMixes(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{25, 2, 325},    // all pairs with replacement
+		{25, 5, 118755}, // the paper's MPL-5 figure
+		{25, 3, 2925},
+		{1, 3, 1},
+		{4, 1, 4},
+	}
+	for _, c := range cases {
+		if got := NumMixes(c.n, c.k); got != c.want {
+			t.Errorf("NumMixes(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	pairs := AllPairs(25)
+	if len(pairs) != 325 {
+		t.Fatalf("got %d pairs, want 325", len(pairs))
+	}
+	seen := make(map[string]bool)
+	selfPairs := 0
+	for _, p := range pairs {
+		if len(p) != 2 {
+			t.Fatalf("pair of size %d", len(p))
+		}
+		if p[0] > p[1] {
+			t.Fatalf("pair %v not sorted", p)
+		}
+		if p[0] == p[1] {
+			selfPairs++
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p.Key()] = true
+	}
+	if selfPairs != 25 {
+		t.Fatalf("got %d self pairs, want 25", selfPairs)
+	}
+}
+
+func TestSampleLatinProperty(t *testing.T) {
+	// Classic LHS invariant: across the n sampled mixes, each dimension's
+	// values form a permutation of 0..n-1 — every template is intersected
+	// exactly once per dimension (Figure 1).
+	const n, mpl = 25, 4
+	rng := rand.New(rand.NewSource(9))
+	mixes := Sample(n, mpl, rng)
+	if len(mixes) != n {
+		t.Fatalf("got %d mixes, want %d", len(mixes), n)
+	}
+	// Since mixes are sorted (normalized), check the aggregate count:
+	// every template appears exactly mpl times across the design.
+	count := make(map[int]int)
+	for _, m := range mixes {
+		if len(m) != mpl {
+			t.Fatalf("mix size %d, want %d", len(m), mpl)
+		}
+		for _, v := range m {
+			count[v]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if count[i] != mpl {
+			t.Fatalf("template %d appears %d times, want %d", i, count[i], mpl)
+		}
+	}
+}
+
+func TestSampleDisjointDeduplicates(t *testing.T) {
+	mixes := SampleDisjoint(10, 3, 4, 5)
+	seen := make(map[string]bool)
+	for _, m := range mixes {
+		if seen[m.Key()] {
+			t.Fatalf("duplicate mix %v", m)
+		}
+		seen[m.Key()] = true
+	}
+	if len(mixes) > 40 {
+		t.Fatalf("too many mixes: %d", len(mixes))
+	}
+	if len(mixes) < 20 {
+		t.Fatalf("suspiciously few mixes: %d", len(mixes))
+	}
+}
+
+func TestMixesFor(t *testing.T) {
+	// MPL 1 → one singleton per template.
+	m1 := MixesFor(5, 1, 4, 1)
+	if len(m1) != 5 || len(m1[0]) != 1 {
+		t.Fatalf("MPL-1 design wrong: %v", m1)
+	}
+	// MPL 2 → exhaustive pairs.
+	m2 := MixesFor(5, 2, 4, 1)
+	if len(m2) != 15 {
+		t.Fatalf("MPL-2 design has %d mixes, want 15", len(m2))
+	}
+	// MPL 3 → LHS.
+	m3 := MixesFor(5, 3, 2, 1)
+	for _, m := range m3 {
+		if len(m) != 3 {
+			t.Fatalf("MPL-3 mix size %d", len(m))
+		}
+	}
+}
+
+func TestMixHelpers(t *testing.T) {
+	m := Mix{3, 5, 3}
+	if !m.Contains(5) || m.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	w := m.WithoutOne(3)
+	if len(w) != 2 || !w.Contains(3) || !w.Contains(5) {
+		t.Fatalf("WithoutOne removed wrong element: %v", w)
+	}
+	if (Mix{1, 2}).Key() == (Mix{2, 1}).Key() {
+		// Keys compare raw order; callers keep mixes normalized.
+		t.Fatal("unsorted mixes must have different raw keys")
+	}
+}
+
+func TestWithoutOneMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mix{1, 2}.WithoutOne(3)
+}
+
+func TestSampleEmpty(t *testing.T) {
+	if Sample(0, 3, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+	if Sample(5, 0, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("mpl=0 must return nil")
+	}
+}
+
+// Property: every LHS design keeps mixes sorted and within range, and
+// every template appears exactly mpl times.
+func TestSampleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		mpl := 1 + rng.Intn(5)
+		mixes := Sample(n, mpl, rng)
+		count := make([]int, n)
+		for _, m := range mixes {
+			for i, v := range m {
+				if v < 0 || v >= n {
+					return false
+				}
+				if i > 0 && m[i-1] > v {
+					return false // not sorted
+				}
+				count[v]++
+			}
+		}
+		for _, c := range count {
+			if c != mpl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// matching eigenvectors as the columns of the returned matrix.
+//
+// The input matrix is not modified. Convergence is declared when the
+// off-diagonal Frobenius norm drops below tol relative to the diagonal, or
+// after maxSweeps full sweeps (whichever comes first). For the workload
+// sizes in this repository (N ≲ 400) Jacobi is fast and very robust.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic(ErrShape)
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	const (
+		maxSweeps = 100
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < tol*(1+diagNorm(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < tol/float64(n*n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Compute the Jacobi rotation that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to w (two-sided) and
+// accumulates it into the eigenvector matrix v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows()
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func diagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows(); i++ {
+		s += m.At(i, i) * m.At(i, i)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs := EigenSym(a)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+	// Eigenvectors are axis-aligned (up to sign).
+	if !almostEq(math.Abs(vecs.At(0, 0)), 1, 1e-10) {
+		t.Fatalf("first eigenvector %v not axis-aligned", vecs.Row(0))
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(a)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+	// Check A·v = λ·v for the leading eigenpair.
+	v := []float64{vecs.At(0, 0), vecs.At(1, 0)}
+	av := a.MulVec(v)
+	for i := range v {
+		if !almostEq(av[i], 3*v[i], 1e-10) {
+			t.Fatalf("A·v != λ·v at %d", i)
+		}
+	}
+}
+
+func TestEigenSymDescendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSymmetric(rng, 8)
+	vals, _ := EigenSym(a)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: trace is preserved (sum of eigenvalues = trace) and the
+// eigenvector matrix is orthogonal.
+func TestEigenSymProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := randomSymmetric(rng, n)
+
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		vals, vecs := EigenSym(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if !almostEq(sum, trace, 1e-8*(1+math.Abs(trace))) {
+			return false
+		}
+		// VᵀV ≈ I.
+		vtv := Mul(vecs.T(), vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(vtv.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reconstruction A ≈ V·D·Vᵀ.
+func TestEigenSymReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomSymmetric(rng, n)
+		vals, vecs := EigenSym(a)
+		d := NewMatrix(n, n)
+		for i, v := range vals {
+			d.Set(i, i, v)
+		}
+		recon := Mul(Mul(vecs, d), vecs.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(recon.At(i, j), a.At(i, j), 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EigenSym(NewMatrix(2, 3))
+}

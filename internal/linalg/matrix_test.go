@@ -1,0 +1,277 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	m.Set(1, 0, 7)
+	m.Add(1, 0, 1)
+	if m.At(1, 0) != 8 {
+		t.Fatalf("after Set+Add got %g, want 8", m.At(1, 0))
+	}
+	row := m.Row(0)
+	row[0] = 99
+	if m.At(0, 0) == 99 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := Mul(m, Identity(2))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("M*I != M at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Fatalf("(%d,%d)=%g, want %g", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestScaleAddMatAddDiag(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatal("Scale failed")
+	}
+	s := AddMat(m, Identity(2))
+	if s.At(0, 0) != 3 || s.At(0, 1) != 4 {
+		t.Fatal("AddMat failed")
+	}
+	m.AddDiag(10)
+	if m.At(0, 0) != 12 || m.At(0, 1) != 4 {
+		t.Fatal("AddDiag failed")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solution %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the first pivot position forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Fatalf("solution %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeError(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err != ErrShape {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	if _, err := Solve(NewMatrix(2, 2), []float64{1}); err != ErrShape {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveMat(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 4}})
+	b := FromRows([][]float64{{2, 4}, {8, 12}})
+	x, err := SolveMat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 2}, {2, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEq(x.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("(%d,%d)=%g, want %g", i, j, x.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := Mul(l, l.T())
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(recon.At(i, j), a.At(i, j), 1e-12) {
+				t.Fatalf("LLᵀ != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for non-PD matrix")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+// Property: Solve(A, b) returns x with A·x ≈ b for random well-conditioned
+// systems.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance → well-conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if !almostEq(ax[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestTransposeProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m, p := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a, b := NewMatrix(n, m), NewMatrix(m, p)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < p; j++ {
+				b.Set(i, j, r.NormFloat64())
+			}
+		}
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		for i := 0; i < p; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(left.At(i, j), right.At(i, j), 1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package ml
+
+import (
+	"errors"
+	"math"
+
+	"contender/internal/linalg"
+	"contender/internal/stats"
+)
+
+// KCCA performs Kernel Canonical Correlation Analysis between a feature
+// view (QEP-derived vectors) and a performance view (latency and friends),
+// following the approach of Ganapathi et al. as adapted in Section 3 of the
+// paper: Gaussian kernels on both views, maximally correlated projections,
+// and prediction by averaging the latencies of the k nearest training
+// examples in projection space.
+//
+// The regularized KCCA eigenproblem
+//
+//	(Kx+εI)⁻¹ Ky (Ky+εI)⁻¹ Kx α = ρ² α
+//
+// is solved in symmetric form: with G = (Kx+εI)^{-1/2} Ky (Ky+εI)^{-1/2},
+// the matrix G·Gᵀ is symmetric PSD and shares the leading spectrum of the
+// problem above up to the ε-regularization (Kx(Kx+εI)⁻¹ ≈ I, the standard
+// practical approximation); its eigenvectors u map back to dual weights
+// α = (Kx+εI)^{-1/2} u. Eigendecompositions use the Jacobi solver.
+type KCCA struct {
+	// K is the neighbor count for prediction (the paper uses 3).
+	K int
+	// Components is the projection dimensionality.
+	Components int
+	// Epsilon is the kernel regularizer.
+	Epsilon float64
+
+	std     *Standardizer
+	kernel  RBFKernel
+	train   [][]float64 // standardized training features
+	targets []float64   // training latencies
+	proj    [][]float64 // training projections (N×Components)
+	alphas  *linalg.Matrix
+	nn      *stats.KNN
+}
+
+// ErrNoData is returned when Fit is called with no samples.
+var ErrNoData = errors.New("ml: no training data")
+
+// NewKCCA returns a KCCA with the paper's parameters: 3-NN prediction and a
+// modest projection dimensionality.
+func NewKCCA() *KCCA {
+	return &KCCA{K: 3, Components: 4, Epsilon: 0.1}
+}
+
+// Fit learns projections from feature vectors and their observed latencies.
+// The performance view pairs each latency with its log, giving the kernel a
+// scale-aware second coordinate (the original work used several performance
+// metrics; latency is the one we predict).
+func (m *KCCA) Fit(features [][]float64, latencies []float64) error {
+	n := len(features)
+	if n == 0 || n != len(latencies) {
+		return ErrNoData
+	}
+	if m.K <= 0 {
+		m.K = 3
+	}
+	if m.Components <= 0 {
+		m.Components = 4
+	}
+	if m.Components > n {
+		m.Components = n
+	}
+	if m.Epsilon <= 0 {
+		m.Epsilon = 0.1
+	}
+
+	m.std = FitStandardizer(features)
+	m.train = m.std.ApplyAll(features)
+	m.targets = append([]float64(nil), latencies...)
+
+	perf := make([][]float64, n)
+	for i, l := range latencies {
+		perf[i] = []float64{l, math.Log1p(math.Max(l, 0))}
+	}
+	perfStd := FitStandardizer(perf)
+	perfRows := perfStd.ApplyAll(perf)
+
+	m.kernel = RBFKernel{Sigma: MedianSigma(m.train)}
+	ky := RBFKernel{Sigma: MedianSigma(perfRows)}
+
+	kx := CenterGram(m.kernel.GramMatrix(m.train))
+	kyM := CenterGram(ky.GramMatrix(perfRows))
+
+	sxInvHalf, err := invSqrtPSD(kx.Clone().AddDiag(m.Epsilon * float64(n)))
+	if err != nil {
+		return err
+	}
+	syInvHalf, err := invSqrtPSD(kyM.Clone().AddDiag(m.Epsilon * float64(n)))
+	if err != nil {
+		return err
+	}
+	g := linalg.Mul(linalg.Mul(sxInvHalf, kyM), syInvHalf)
+	h := linalg.Mul(g, g.T()) // symmetric PSD
+
+	_, vecs := linalg.EigenSym(h)
+	// Dual weights: α_c = Sx^{-1/2} u_c for the top components.
+	m.alphas = linalg.NewMatrix(n, m.Components)
+	for c := 0; c < m.Components; c++ {
+		u := make([]float64, n)
+		for r := 0; r < n; r++ {
+			u[r] = vecs.At(r, c)
+		}
+		a := sxInvHalf.MulVec(u)
+		for r := 0; r < n; r++ {
+			m.alphas.Set(r, c, a[r])
+		}
+	}
+
+	// Project the training set: z_i = αᵀ kx(·, x_i).
+	m.proj = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m.proj[i] = m.projectKernelColumn(kx, i)
+	}
+	m.nn = stats.NewKNN(m.K, m.proj, targetsAsRows(m.targets))
+	return nil
+}
+
+func (m *KCCA) projectKernelColumn(kx *linalg.Matrix, col int) []float64 {
+	n := kx.Rows()
+	z := make([]float64, m.Components)
+	for c := 0; c < m.Components; c++ {
+		var s float64
+		for r := 0; r < n; r++ {
+			s += m.alphas.At(r, c) * kx.At(r, col)
+		}
+		z[c] = s
+	}
+	return z
+}
+
+// Predict projects the feature vector into canonical space and returns the
+// average latency of its K nearest training projections.
+func (m *KCCA) Predict(features []float64) float64 {
+	if len(m.train) == 0 {
+		return 0
+	}
+	x := m.std.Apply(features)
+	// Kernel column against training points (uncentered approximation; the
+	// constant shift cancels in nearest-neighbor distances).
+	n := len(m.train)
+	kcol := make([]float64, n)
+	for i, t := range m.train {
+		kcol[i] = m.kernel.Eval(x, t)
+	}
+	z := make([]float64, m.Components)
+	for c := 0; c < m.Components; c++ {
+		var s float64
+		for r := 0; r < n; r++ {
+			s += m.alphas.At(r, c) * kcol[r]
+		}
+		z[c] = s
+	}
+	return m.nn.Predict(z)[0]
+}
+
+func targetsAsRows(t []float64) [][]float64 {
+	out := make([][]float64, len(t))
+	for i, v := range t {
+		out[i] = []float64{v}
+	}
+	return out
+}
+
+// invSqrtPSD computes M^{-1/2} for a symmetric positive-definite matrix via
+// Jacobi eigendecomposition, flooring tiny eigenvalues for stability.
+func invSqrtPSD(m *linalg.Matrix) (*linalg.Matrix, error) {
+	vals, vecs := linalg.EigenSym(m)
+	n := m.Rows()
+	floor := 1e-10 * math.Max(vals[0], 1)
+	d := linalg.NewMatrix(n, n)
+	for i, v := range vals {
+		if v < floor {
+			v = floor
+		}
+		d.Set(i, i, 1/math.Sqrt(v))
+	}
+	return linalg.Mul(linalg.Mul(vecs, d), vecs.T()), nil
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticWorkload builds a learnable dataset: latency is a smooth
+// function of two informative features plus small noise; extra feature
+// dimensions are irrelevant.
+func syntheticWorkload(n int, seed int64) (feats [][]float64, lats []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 5
+		noise := rng.NormFloat64() * 2
+		feats = append(feats, []float64{a, b, rng.Float64()})
+		lats = append(lats, 100+20*a+10*b+noise)
+	}
+	return feats, lats
+}
+
+func mre(observed, predicted []float64) float64 {
+	var s float64
+	for i := range observed {
+		s += math.Abs(observed[i]-predicted[i]) / observed[i]
+	}
+	return s / float64(len(observed))
+}
+
+func TestKCCALearnsSmoothFunction(t *testing.T) {
+	trainX, trainY := syntheticWorkload(120, 1)
+	testX, testY := syntheticWorkload(30, 2)
+
+	m := NewKCCA()
+	if err := m.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(testX))
+	for i, x := range testX {
+		pred[i] = m.Predict(x)
+	}
+	got := mre(testY, pred)
+
+	// Baseline: always predict the training mean.
+	mean := 0.0
+	for _, y := range trainY {
+		mean += y
+	}
+	mean /= float64(len(trainY))
+	base := make([]float64, len(testY))
+	for i := range base {
+		base[i] = mean
+	}
+	baseErr := mre(testY, base)
+
+	if got >= baseErr {
+		t.Fatalf("KCCA MRE %.3f not better than mean baseline %.3f", got, baseErr)
+	}
+	if got > 0.25 {
+		t.Fatalf("KCCA MRE %.3f too high for a smooth function", got)
+	}
+}
+
+func TestKCCADeterministic(t *testing.T) {
+	x, y := syntheticWorkload(60, 3)
+	a, b := NewKCCA(), NewKCCA()
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{5, 2.5, 0.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("KCCA must be deterministic")
+	}
+}
+
+func TestKCCAErrors(t *testing.T) {
+	m := NewKCCA()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	// Predict before Fit must not crash.
+	if v := (&KCCA{}).Predict([]float64{1}); v != 0 {
+		t.Fatalf("unfitted Predict = %g, want 0", v)
+	}
+}
+
+func TestKCCAComponentsClamped(t *testing.T) {
+	x, y := syntheticWorkload(5, 4)
+	m := NewKCCA()
+	m.Components = 50 // more than samples
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Components > 5 {
+		t.Fatalf("components = %d, must be clamped to n", m.Components)
+	}
+	_ = m.Predict(x[0])
+}

@@ -1,0 +1,144 @@
+// Package ml implements the Section-3 machine-learning baselines from
+// scratch on the stdlib: Kernel Canonical Correlation Analysis (KCCA) and a
+// multiclass support vector machine (SVM) trained with a compact SMO. The
+// paper adapts these isolated-query predictors (Ganapathi et al., Akdere et
+// al.) to concurrent workloads via 4n QEP feature vectors and shows they
+// fit static workloads moderately well but fail on unseen templates; this
+// package exists to reproduce that comparison.
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"contender/internal/linalg"
+	"contender/internal/stats"
+)
+
+// Standardizer scales features to zero mean and unit variance, fitted on
+// training data and applied to test data.
+type Standardizer struct {
+	mean, std []float64
+}
+
+// FitStandardizer computes per-dimension statistics over rows.
+func FitStandardizer(rows [][]float64) *Standardizer {
+	if len(rows) == 0 {
+		return &Standardizer{}
+	}
+	d := len(rows[0])
+	s := &Standardizer{mean: make([]float64, d), std: make([]float64, d)}
+	col := make([]float64, len(rows))
+	for j := 0; j < d; j++ {
+		for i, r := range rows {
+			col[i] = r[j]
+		}
+		s.mean[j] = stats.Mean(col)
+		s.std[j] = stats.StdDev(col)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply returns the standardized copy of x.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	if len(s.mean) == 0 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// ApplyAll standardizes every row.
+func (s *Standardizer) ApplyAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Apply(r)
+	}
+	return out
+}
+
+// RBFKernel is the Gaussian kernel k(x,y) = exp(-||x-y||² / (2σ²)).
+type RBFKernel struct {
+	Sigma float64
+}
+
+// Eval computes the kernel value for two vectors.
+func (k RBFKernel) Eval(x, y []float64) float64 {
+	var d float64
+	for i := range x {
+		diff := x[i] - y[i]
+		d += diff * diff
+	}
+	return math.Exp(-d / (2 * k.Sigma * k.Sigma))
+}
+
+// GramMatrix computes the N×N kernel matrix over rows.
+func (k RBFKernel) GramMatrix(rows [][]float64) *linalg.Matrix {
+	n := len(rows)
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			v := k.Eval(rows[i], rows[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// MedianSigma returns the median pairwise Euclidean distance over rows —
+// the standard bandwidth heuristic for Gaussian kernels. It returns 1 when
+// all points coincide.
+func MedianSigma(rows [][]float64) float64 {
+	n := len(rows)
+	if n < 2 {
+		return 1
+	}
+	var dists []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var d float64
+			for t := range rows[i] {
+				diff := rows[i][t] - rows[j][t]
+				d += diff * diff
+			}
+			dists = append(dists, math.Sqrt(d))
+		}
+	}
+	sort.Float64s(dists)
+	m := dists[len(dists)/2]
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+// CenterGram centers a Gram matrix in feature space: K ← HKH with
+// H = I − (1/n)·11ᵀ.
+func CenterGram(k *linalg.Matrix) *linalg.Matrix {
+	n := k.Rows()
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowMean[i] += k.At(i, j)
+		}
+		total += rowMean[i]
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+total)
+		}
+	}
+	return out
+}

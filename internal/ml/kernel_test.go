@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStandardizer(t *testing.T) {
+	rows := [][]float64{{0, 100}, {2, 200}, {4, 300}}
+	s := FitStandardizer(rows)
+	std := s.ApplyAll(rows)
+	// Each column must have zero mean and unit variance after scaling.
+	for j := 0; j < 2; j++ {
+		var mean, varr float64
+		for _, r := range std {
+			mean += r[j]
+		}
+		mean /= float64(len(std))
+		for _, r := range std {
+			varr += (r[j] - mean) * (r[j] - mean)
+		}
+		varr /= float64(len(std))
+		if !almostEq(mean, 0, 1e-12) || !almostEq(varr, 1, 1e-9) {
+			t.Fatalf("column %d: mean %g var %g", j, mean, varr)
+		}
+	}
+	// Constant columns must not divide by zero.
+	s2 := FitStandardizer([][]float64{{5}, {5}})
+	out := s2.Apply([]float64{5})
+	if out[0] != 0 {
+		t.Fatalf("constant column standardized to %g, want 0", out[0])
+	}
+	// Empty standardizer copies input.
+	s3 := FitStandardizer(nil)
+	in := []float64{1, 2}
+	cp := s3.Apply(in)
+	cp[0] = 9
+	if in[0] == 9 {
+		t.Fatal("Apply must copy")
+	}
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBFKernel{Sigma: 2}
+	x := []float64{1, 2}
+	if !almostEq(k.Eval(x, x), 1, 1e-12) {
+		t.Fatal("k(x,x) must be 1")
+	}
+	y := []float64{3, 4}
+	if k.Eval(x, y) != k.Eval(y, x) {
+		t.Fatal("kernel must be symmetric")
+	}
+	far := []float64{100, 100}
+	if k.Eval(x, far) > 1e-10 {
+		t.Fatal("distant points must have near-zero kernel value")
+	}
+	if k.Eval(x, y) <= 0 || k.Eval(x, y) >= 1 {
+		t.Fatal("kernel values must be in (0,1) for distinct points")
+	}
+}
+
+func TestGramMatrix(t *testing.T) {
+	k := RBFKernel{Sigma: 1}
+	rows := [][]float64{{0}, {1}, {2}}
+	g := k.GramMatrix(rows)
+	for i := 0; i < 3; i++ {
+		if g.At(i, i) != 1 {
+			t.Fatal("diagonal must be 1")
+		}
+		for j := 0; j < 3; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatal("Gram matrix must be symmetric")
+			}
+		}
+	}
+	if g.At(0, 1) <= g.At(0, 2) {
+		t.Fatal("closer points must have larger kernel values")
+	}
+}
+
+func TestMedianSigma(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {2}}
+	// Pairwise distances: 1, 1, 2 → median 1.
+	if s := MedianSigma(rows); s != 1 {
+		t.Fatalf("median sigma = %g, want 1", s)
+	}
+	if MedianSigma([][]float64{{1}}) != 1 {
+		t.Fatal("single point must default to 1")
+	}
+	if MedianSigma([][]float64{{1}, {1}, {1}}) != 1 {
+		t.Fatal("coincident points must default to 1")
+	}
+}
+
+func TestCenterGram(t *testing.T) {
+	k := RBFKernel{Sigma: 1}
+	rows := [][]float64{{0}, {0.5}, {3}}
+	g := CenterGram(k.GramMatrix(rows))
+	n := g.Rows()
+	// Row and column sums of a centered Gram matrix are ~0.
+	for i := 0; i < n; i++ {
+		var rowSum, colSum float64
+		for j := 0; j < n; j++ {
+			rowSum += g.At(i, j)
+			colSum += g.At(j, i)
+		}
+		if !almostEq(rowSum, 0, 1e-10) || !almostEq(colSum, 0, 1e-10) {
+			t.Fatalf("row/col %d sums (%g, %g), want 0", i, rowSum, colSum)
+		}
+	}
+}

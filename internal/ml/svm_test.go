@@ -1,0 +1,130 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileBins(t *testing.T) {
+	lats := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	labels, centers := quantileBins(lats, 4)
+	if len(centers) != 4 {
+		t.Fatalf("%d centers", len(centers))
+	}
+	// Each bin holds two values; centers are bucket means.
+	want := []float64{15, 35, 55, 75}
+	for b, c := range centers {
+		if c != want[b] {
+			t.Fatalf("center %d = %g, want %g", b, c, want[b])
+		}
+	}
+	// Labels are monotone in latency.
+	for i := 1; i < len(lats); i++ {
+		if labels[i] < labels[i-1] {
+			t.Fatal("labels must be monotone for sorted input")
+		}
+	}
+}
+
+func TestQuantileBinsDuplicates(t *testing.T) {
+	lats := []float64{5, 5, 5, 5, 100}
+	labels, centers := quantileBins(lats, 3)
+	_ = labels
+	for _, c := range centers {
+		if c < 0 {
+			t.Fatal("centers must be non-negative")
+		}
+	}
+}
+
+func TestSVMSeparatesLatencyGroups(t *testing.T) {
+	// Two well-separated clusters: features near 0 → fast (~100 s),
+	// features near 10 → slow (~1000 s).
+	rng := rand.New(rand.NewSource(1))
+	var feats [][]float64
+	var lats []float64
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			feats = append(feats, []float64{rng.Float64(), rng.Float64()})
+			lats = append(lats, 100+rng.Float64()*10)
+		} else {
+			feats = append(feats, []float64{10 + rng.Float64(), 10 + rng.Float64()})
+			lats = append(lats, 1000+rng.Float64()*100)
+		}
+	}
+	m := NewSVM()
+	m.Bins = 2
+	if err := m.Fit(feats, lats); err != nil {
+		t.Fatal(err)
+	}
+	fast := m.Predict([]float64{0.5, 0.5})
+	slow := m.Predict([]float64{10.5, 10.5})
+	if fast > 200 {
+		t.Fatalf("fast cluster predicted %g, want ~100", fast)
+	}
+	if slow < 900 {
+		t.Fatalf("slow cluster predicted %g, want ~1000", slow)
+	}
+}
+
+func TestSVMLearnsSmoothFunction(t *testing.T) {
+	trainX, trainY := syntheticWorkload(120, 5)
+	testX, testY := syntheticWorkload(30, 6)
+	m := NewSVM()
+	if err := m.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(testX))
+	for i, x := range testX {
+		pred[i] = m.Predict(x)
+	}
+	got := mre(testY, pred)
+	if got > 0.35 {
+		t.Fatalf("SVM MRE %.3f too high (bin granularity should keep it moderate)", got)
+	}
+}
+
+func TestSVMBinsClamped(t *testing.T) {
+	x, y := syntheticWorkload(4, 7)
+	m := NewSVM()
+	m.Bins = 100
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bins > 4 {
+		t.Fatalf("bins = %d, must clamp to n", m.Bins)
+	}
+	m2 := NewSVM()
+	m2.Bins = 0
+	if err := m2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Bins < 2 {
+		t.Fatal("bins must be at least 2")
+	}
+}
+
+func TestSVMErrors(t *testing.T) {
+	m := NewSVM()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if v := (&SVM{}).Predict([]float64{1}); v != 0 {
+		t.Fatal("unfitted Predict must return 0")
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	x, y := syntheticWorkload(60, 8)
+	a, b := NewSVM(), NewSVM()
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{5, 2.5, 0.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("SVM must be deterministic for a fixed seed")
+	}
+}

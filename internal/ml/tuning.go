@@ -1,0 +1,145 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"contender/internal/stats"
+)
+
+// Hyperparameter tuning by k-fold cross-validation. The paper tunes both
+// learners with k-fold CV (k=6, Section 3); this file provides the same
+// machinery: grid search over the model's knobs, scoring each candidate by
+// cross-validated mean relative error, then refitting the winner on the
+// full training set.
+
+// TuneFolds is the paper's fold count for model tuning.
+const TuneFolds = 6
+
+// SVMGrid is the search space for SVM tuning.
+type SVMGrid struct {
+	Cs   []float64
+	Bins []int
+}
+
+// DefaultSVMGrid covers the useful range for the workloads here.
+func DefaultSVMGrid() SVMGrid {
+	return SVMGrid{
+		Cs:   []float64{1, 10, 100},
+		Bins: []int{4, 8, 12},
+	}
+}
+
+// TuneSVM grid-searches (C, bins) with k-fold CV and returns the best
+// model fitted on all data, along with its cross-validated MRE.
+func TuneSVM(grid SVMGrid, features [][]float64, latencies []float64, seed int64) (*SVM, float64, error) {
+	if len(grid.Cs) == 0 || len(grid.Bins) == 0 {
+		return nil, 0, fmt.Errorf("ml: empty SVM grid")
+	}
+	bestScore := math.Inf(1)
+	var bestC float64
+	var bestBins int
+	for _, c := range grid.Cs {
+		for _, bins := range grid.Bins {
+			make1 := func() interface {
+				Fit([][]float64, []float64) error
+				Predict([]float64) float64
+			} {
+				m := NewSVM()
+				m.C, m.Bins, m.Seed = c, bins, seed
+				return m
+			}
+			score, err := crossValidate(make1, features, latencies, seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			if score < bestScore {
+				bestScore, bestC, bestBins = score, c, bins
+			}
+		}
+	}
+	m := NewSVM()
+	m.C, m.Bins, m.Seed = bestC, bestBins, seed
+	if err := m.Fit(features, latencies); err != nil {
+		return nil, 0, err
+	}
+	return m, bestScore, nil
+}
+
+// KCCAGrid is the search space for KCCA tuning.
+type KCCAGrid struct {
+	Epsilons   []float64
+	Components []int
+}
+
+// DefaultKCCAGrid covers the useful range for the workloads here.
+func DefaultKCCAGrid() KCCAGrid {
+	return KCCAGrid{
+		Epsilons:   []float64{0.01, 0.1, 1},
+		Components: []int{2, 4, 8},
+	}
+}
+
+// TuneKCCA grid-searches (ε, components) with k-fold CV and returns the
+// best model fitted on all data, along with its cross-validated MRE.
+func TuneKCCA(grid KCCAGrid, features [][]float64, latencies []float64, seed int64) (*KCCA, float64, error) {
+	if len(grid.Epsilons) == 0 || len(grid.Components) == 0 {
+		return nil, 0, fmt.Errorf("ml: empty KCCA grid")
+	}
+	bestScore := math.Inf(1)
+	var bestEps float64
+	var bestComp int
+	for _, eps := range grid.Epsilons {
+		for _, comp := range grid.Components {
+			make1 := func() interface {
+				Fit([][]float64, []float64) error
+				Predict([]float64) float64
+			} {
+				m := NewKCCA()
+				m.Epsilon, m.Components = eps, comp
+				return m
+			}
+			score, err := crossValidate(make1, features, latencies, seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			if score < bestScore {
+				bestScore, bestEps, bestComp = score, eps, comp
+			}
+		}
+	}
+	m := NewKCCA()
+	m.Epsilon, m.Components = bestEps, bestComp
+	if err := m.Fit(features, latencies); err != nil {
+		return nil, 0, err
+	}
+	return m, bestScore, nil
+}
+
+// crossValidate scores one model configuration by k-fold CV MRE.
+func crossValidate(make1 func() interface {
+	Fit([][]float64, []float64) error
+	Predict([]float64) float64
+}, features [][]float64, latencies []float64, seed int64) (float64, error) {
+	n := len(features)
+	if n < TuneFolds {
+		return 0, fmt.Errorf("ml: need at least %d samples to tune, have %d", TuneFolds, n)
+	}
+	var observed, predicted []float64
+	for _, fold := range stats.KFold(n, TuneFolds, seed) {
+		trainX := make([][]float64, len(fold.Train))
+		trainY := make([]float64, len(fold.Train))
+		for i, j := range fold.Train {
+			trainX[i], trainY[i] = features[j], latencies[j]
+		}
+		m := make1()
+		if err := m.Fit(trainX, trainY); err != nil {
+			return 0, err
+		}
+		for _, j := range fold.Test {
+			observed = append(observed, latencies[j])
+			predicted = append(predicted, m.Predict(features[j]))
+		}
+	}
+	return stats.MRE(observed, predicted), nil
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"testing"
+)
+
+func TestTuneSVM(t *testing.T) {
+	x, y := syntheticWorkload(90, 11)
+	m, score, err := TuneSVM(DefaultSVMGrid(), x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || score <= 0 || score > 1 {
+		t.Fatalf("score %g", score)
+	}
+	// The tuned model must predict at least as well as an untuned default
+	// on held-out data (same generator, new seed).
+	tx, ty := syntheticWorkload(30, 12)
+	tuned := mreOfModel(m.Predict, tx, ty)
+	def := NewSVM()
+	if err := def.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	base := mreOfModel(def.Predict, tx, ty)
+	if tuned > base*1.25 {
+		t.Fatalf("tuned MRE %.3f much worse than default %.3f", tuned, base)
+	}
+}
+
+func TestTuneKCCA(t *testing.T) {
+	x, y := syntheticWorkload(80, 13)
+	m, score, err := TuneKCCA(DefaultKCCAGrid(), x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || score <= 0 || score > 1 {
+		t.Fatalf("score %g", score)
+	}
+	tx, ty := syntheticWorkload(25, 14)
+	if got := mreOfModel(m.Predict, tx, ty); got > 0.3 {
+		t.Fatalf("tuned KCCA MRE %.3f too high", got)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	x, y := syntheticWorkload(20, 15)
+	if _, _, err := TuneSVM(SVMGrid{}, x, y, 1); err == nil {
+		t.Fatal("empty grid must error")
+	}
+	if _, _, err := TuneKCCA(KCCAGrid{}, x, y, 1); err == nil {
+		t.Fatal("empty grid must error")
+	}
+	tiny, tinyY := syntheticWorkload(3, 16)
+	if _, _, err := TuneSVM(DefaultSVMGrid(), tiny, tinyY, 1); err == nil {
+		t.Fatal("too-small training set must error")
+	}
+}
+
+func mreOfModel(predict func([]float64) float64, xs [][]float64, ys []float64) float64 {
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = predict(x)
+	}
+	return mre(ys, pred)
+}

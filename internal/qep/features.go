@@ -1,0 +1,111 @@
+package qep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FeatureSpace is the global feature dictionary of Section 3: one slot per
+// distinct execution step observed across all training plans, with
+// sequential scans on different tables treated as distinct features. Each
+// slot expands to two vector positions — occurrence count and summed
+// cardinality estimate — so a space with n slots yields 2n "primary"
+// features, and a primary+concurrent pair yields 4n.
+type FeatureSpace struct {
+	keys  []string
+	index map[string]int
+}
+
+// featureKey maps a node to its dictionary key. Sequential scans are keyed
+// per table; all other operators are keyed by kind only.
+func featureKey(n *Node) string {
+	if n.Kind == SeqScan {
+		return "SeqScan:" + n.Table
+	}
+	return n.Kind.String()
+}
+
+// NewFeatureSpace builds the global dictionary from a set of plans.
+// The key order is deterministic (sorted) so feature vectors are stable.
+func NewFeatureSpace(plans []*Plan) *FeatureSpace {
+	set := make(map[string]bool)
+	for _, p := range plans {
+		p.Walk(func(n *Node) { set[featureKey(n)] = true })
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	return &FeatureSpace{keys: keys, index: idx}
+}
+
+// Slots returns the number of dictionary entries n; vectors produced by
+// Extract have length 2n.
+func (fs *FeatureSpace) Slots() int { return len(fs.keys) }
+
+// Keys returns the dictionary keys in vector order.
+func (fs *FeatureSpace) Keys() []string { return append([]string(nil), fs.keys...) }
+
+// Extract flattens a plan into a 2n-vector: for slot i, position 2i holds
+// the occurrence count and position 2i+1 the summed cardinality estimate.
+// Steps absent from the dictionary (possible when extracting an unseen
+// template against a training-time space) are dropped, mirroring how the
+// paper's learners are blind to genuinely novel operators.
+func (fs *FeatureSpace) Extract(p *Plan) []float64 {
+	v := make([]float64, 2*len(fs.keys))
+	p.Walk(func(n *Node) {
+		i, ok := fs.index[featureKey(n)]
+		if !ok {
+			return
+		}
+		v[2*i]++
+		v[2*i+1] += n.Rows
+	})
+	return v
+}
+
+// ExtractMix builds the 4n concatenated vector of Section 3 for a primary
+// query running with a set of concurrent plans: the primary's 2n features
+// followed by the element-wise sum of the concurrent plans' features.
+func (fs *FeatureSpace) ExtractMix(primary *Plan, concurrent []*Plan) []float64 {
+	pv := fs.Extract(primary)
+	cv := make([]float64, 2*len(fs.keys))
+	for _, cp := range concurrent {
+		for i, x := range fs.Extract(cp) {
+			cv[i] += x
+		}
+	}
+	return append(pv, cv...)
+}
+
+// UnseenSteps returns the dictionary keys of p that are missing from the
+// space — the situation (templates whose features "do not appear in any
+// other template") that forces the paper to shrink its ML workload from 25
+// to 17 templates.
+func (fs *FeatureSpace) UnseenSteps(p *Plan) []string {
+	seen := make(map[string]bool)
+	var out []string
+	p.Walk(func(n *Node) {
+		k := featureKey(n)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if _, ok := fs.index[k]; !ok {
+			out = append(out, k)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the space.
+func (fs *FeatureSpace) String() string {
+	return fmt.Sprintf("FeatureSpace(%d steps, %d primary features, %d mix features)",
+		len(fs.keys), 2*len(fs.keys), 4*len(fs.keys))
+}

@@ -1,0 +1,108 @@
+package qep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureSpaceConstruction(t *testing.T) {
+	p1 := &Plan{Root: Op(HashJoin, 10, 8,
+		Scan("a", 100, 10),
+		Scan("b", 200, 10))}
+	p2 := &Plan{Root: Op(Sort, 5, 8, Scan("a", 50, 10))}
+	fs := NewFeatureSpace([]*Plan{p1, p2})
+	// Distinct steps: SeqScan:a, SeqScan:b, HashJoin, Sort.
+	if fs.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4; keys %v", fs.Slots(), fs.Keys())
+	}
+	keys := fs.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys must be sorted for stable vectors")
+		}
+	}
+}
+
+func TestExtractCountsAndCardinalities(t *testing.T) {
+	// Two scans of the same table must sum counts and cardinalities.
+	p := &Plan{Root: Op(HashJoin, 10, 8,
+		Scan("a", 100, 10),
+		Scan("a", 50, 10))}
+	fs := NewFeatureSpace([]*Plan{p})
+	v := fs.Extract(p)
+	if len(v) != 2*fs.Slots() {
+		t.Fatalf("vector length %d, want %d", len(v), 2*fs.Slots())
+	}
+	// Find the SeqScan:a slot.
+	slot := -1
+	for i, k := range fs.Keys() {
+		if k == "SeqScan:a" {
+			slot = i
+		}
+	}
+	if slot == -1 {
+		t.Fatal("SeqScan:a not in space")
+	}
+	if v[2*slot] != 2 || v[2*slot+1] != 150 {
+		t.Fatalf("SeqScan:a features (%g, %g), want (2, 150)", v[2*slot], v[2*slot+1])
+	}
+}
+
+func TestExtractMixConcatenation(t *testing.T) {
+	p1 := &Plan{Root: Scan("a", 100, 10)}
+	p2 := &Plan{Root: Scan("b", 200, 10)}
+	fs := NewFeatureSpace([]*Plan{p1, p2})
+	v := fs.ExtractMix(p1, []*Plan{p2, p2})
+	if len(v) != 4*fs.Slots() {
+		t.Fatalf("mix vector length %d, want %d", len(v), 4*fs.Slots())
+	}
+	// First half = primary features; second half = summed concurrent.
+	primary := fs.Extract(p1)
+	for i := range primary {
+		if v[i] != primary[i] {
+			t.Fatal("primary half mismatch")
+		}
+	}
+	// The two p2 instances must sum: SeqScan:b count 2, rows 400.
+	slotB := -1
+	for i, k := range fs.Keys() {
+		if k == "SeqScan:b" {
+			slotB = i
+		}
+	}
+	off := 2 * fs.Slots()
+	if v[off+2*slotB] != 2 || v[off+2*slotB+1] != 400 {
+		t.Fatalf("concurrent features wrong: (%g, %g)", v[off+2*slotB], v[off+2*slotB+1])
+	}
+}
+
+func TestUnseenSteps(t *testing.T) {
+	known := &Plan{Root: Scan("a", 100, 10)}
+	fs := NewFeatureSpace([]*Plan{known})
+	novel := &Plan{Root: Op(WindowAgg, 10, 8, Scan("zebra", 5, 10))}
+	unseen := fs.UnseenSteps(novel)
+	if len(unseen) != 2 {
+		t.Fatalf("unseen = %v, want 2 entries", unseen)
+	}
+	if unseen[0] != "SeqScan:zebra" || unseen[1] != "WindowAgg" {
+		t.Fatalf("unseen = %v", unseen)
+	}
+	if len(fs.UnseenSteps(known)) != 0 {
+		t.Fatal("known plan must have no unseen steps")
+	}
+	// Unknown steps are dropped from Extract rather than crashing.
+	v := fs.Extract(novel)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("novel-only plan must extract to zeros")
+		}
+	}
+}
+
+func TestFeatureSpaceString(t *testing.T) {
+	fs := NewFeatureSpace([]*Plan{{Root: Scan("a", 1, 1)}})
+	s := fs.String()
+	if !strings.Contains(s, "1 steps") || !strings.Contains(s, "2 primary") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,171 @@
+package qep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan builds a plan tree from a compact textual notation, so
+// command-line users can describe ad-hoc queries without writing Go:
+//
+//	Sort:4e6:100(
+//	  HashAggregate:4e6:100(
+//	    HashJoin:20e6:110(
+//	      Scan:item:2e4:294,
+//	      Scan:catalog_sales:3e6:60)))
+//
+// Grammar:
+//
+//	node  := kind args? ( "(" node ("," node)* ")" )?
+//	args  := ":" table? ":" rows ( ":" width )?   for Scan/Index
+//	       | ":" rows ( ":" width )?              for operators
+//
+// Kind names match the plan operators case-insensitively ("Scan" and
+// "SeqScan" are synonyms). Whitespace is insignificant.
+func ParsePlan(src string) (*Plan, error) {
+	p := &planParser{src: src}
+	node, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("qep: trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	plan := &Plan{Root: node}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+type planParser struct {
+	src string
+	pos int
+}
+
+func (p *planParser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "…"
+	}
+	return r
+}
+
+func (p *planParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// token reads a run of identifier characters (letters, digits, '_', '.',
+// '+', '-', 'e' — enough for names and numbers).
+func (p *planParser) token() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ':' || c == '(' || c == ')' || c == ',' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *planParser) eat(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *planParser) parseNode() (*Node, error) {
+	p.skipSpace()
+	name := p.token()
+	if name == "" {
+		return nil, fmt.Errorf("qep: expected operator at offset %d: %q", p.pos, p.rest())
+	}
+	kind, ok := kindByName(name)
+	if !ok {
+		return nil, fmt.Errorf("qep: unknown operator %q", name)
+	}
+	n := &Node{Kind: kind, Rows: 1, Width: 8}
+
+	if kind.IsScan() {
+		if !p.eat(':') {
+			return nil, fmt.Errorf("qep: %s needs :table", name)
+		}
+		n.Table = p.token()
+		if n.Table == "" {
+			return nil, fmt.Errorf("qep: %s has empty table", name)
+		}
+	}
+	if p.eat(':') {
+		rows, err := parseNumber(p.token())
+		if err != nil {
+			return nil, fmt.Errorf("qep: %s rows: %w", name, err)
+		}
+		n.Rows = rows
+	}
+	if p.eat(':') {
+		width, err := parseNumber(p.token())
+		if err != nil {
+			return nil, fmt.Errorf("qep: %s width: %w", name, err)
+		}
+		n.Width = int(width)
+	}
+
+	if p.eat('(') {
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			if p.eat(',') {
+				continue
+			}
+			if p.eat(')') {
+				break
+			}
+			return nil, fmt.Errorf("qep: expected ',' or ')' at offset %d: %q", p.pos, p.rest())
+		}
+	}
+	return n, nil
+}
+
+func parseNumber(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// kindByName resolves an operator name case-insensitively; "Scan" is a
+// synonym for SeqScan and "Index" for IndexScan.
+func kindByName(name string) (Kind, bool) {
+	switch strings.ToLower(name) {
+	case "scan", "seqscan":
+		return SeqScan, true
+	case "index", "indexscan":
+		return IndexScan, true
+	}
+	for k, n := range kindNames {
+		if strings.EqualFold(n, name) {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}

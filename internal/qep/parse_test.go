@@ -1,0 +1,95 @@
+package qep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanSimple(t *testing.T) {
+	p, err := ParsePlan("Scan:store_sales:1e6:132")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Root
+	if n.Kind != SeqScan || n.Table != "store_sales" || n.Rows != 1e6 || n.Width != 132 {
+		t.Fatalf("parsed %+v", n)
+	}
+}
+
+func TestParsePlanNested(t *testing.T) {
+	src := `Sort:4e6:100(
+	  HashAggregate:4e6:100(
+	    HashJoin:20e6:110(
+	      Scan:item:2e4:294,
+	      Index:catalog_sales:3e4:60)))`
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps() != 5 {
+		t.Fatalf("steps = %d, want 5", p.Steps())
+	}
+	if p.Root.Kind != Sort {
+		t.Fatal("root must be Sort")
+	}
+	join := p.Root.Children[0].Children[0]
+	if join.Kind != HashJoin || len(join.Children) != 2 {
+		t.Fatalf("join node %+v", join)
+	}
+	if join.Children[1].Kind != IndexScan || join.Children[1].Table != "catalog_sales" {
+		t.Fatalf("index child %+v", join.Children[1])
+	}
+}
+
+func TestParsePlanCaseInsensitive(t *testing.T) {
+	p, err := ParsePlan("hashjoin:10:8(scan:a:1:1, SEQSCAN:b:2:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Kind != HashJoin {
+		t.Fatal("case-insensitive kind failed")
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	// Rows/width optional for operators.
+	p, err := ParsePlan("Limit(HashAggregate:100:50(Scan:t:10:10))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Rows != 1 || p.Root.Width != 8 {
+		t.Fatalf("defaults wrong: %+v", p.Root)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"Frobnicate:1:1",          // unknown operator
+		"Scan",                    // scan without table
+		"Scan::1:1",               // empty table
+		"Scan:t:abc",              // bad number
+		"HashJoin:1:1(Scan:a:1:1", // unclosed paren
+		"Scan:a:1:1 garbage",      // trailing input
+		"HashJoin:1:1",            // interior without children fails validation
+	}
+	for _, src := range cases {
+		if _, err := ParsePlan(src); err == nil {
+			t.Errorf("ParsePlan(%q): expected error", src)
+		}
+	}
+}
+
+func TestParsePlanRoundTripThroughString(t *testing.T) {
+	src := "Sort:1000:40(HashJoin:2000:60(Scan:date_dim:365:141,Scan:web_sales:1e6:158))"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"Sort", "HashJoin", "SeqScan on date_dim", "SeqScan on web_sales"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered plan missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package qep
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePlan() *Plan {
+	return &Plan{Root: Op(Sort, 1e6, 100,
+		Op(HashJoin, 2e6, 120,
+			Scan("date_dim", 365, 141),
+			Op(HashJoin, 5e6, 110,
+				Index("item", 1000, 294),
+				Scan("store_sales", 10e6, 132))))}
+}
+
+func TestKindString(t *testing.T) {
+	if SeqScan.String() != "SeqScan" || HashAggregate.String() != "HashAggregate" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind must render its number")
+	}
+	if !SeqScan.IsScan() || !IndexScan.IsScan() || HashJoin.IsScan() {
+		t.Fatal("IsScan wrong")
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	p := samplePlan()
+	var kinds []Kind
+	p.Walk(func(n *Node) { kinds = append(kinds, n.Kind) })
+	want := []Kind{Sort, HashJoin, SeqScan, HashJoin, IndexScan, SeqScan}
+	if len(kinds) != len(want) {
+		t.Fatalf("visited %d nodes, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("node %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if len(p.Nodes()) != 6 {
+		t.Fatal("Nodes count wrong")
+	}
+}
+
+func TestScannedAndIndexedTables(t *testing.T) {
+	p := samplePlan()
+	scans := p.ScannedTables()
+	if !scans["date_dim"] || !scans["store_sales"] || len(scans) != 2 {
+		t.Fatalf("ScannedTables = %v", scans)
+	}
+	idx := p.IndexedTables()
+	if !idx["item"] || len(idx) != 1 {
+		t.Fatalf("IndexedTables = %v", idx)
+	}
+}
+
+func TestStepsAndRecords(t *testing.T) {
+	p := samplePlan()
+	if p.Steps() != 6 {
+		t.Fatalf("Steps = %d, want 6", p.Steps())
+	}
+	// Scans: 365 + 1000 + 10e6.
+	if p.RecordsAccessed() != 365+1000+10e6 {
+		t.Fatalf("RecordsAccessed = %g", p.RecordsAccessed())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := samplePlan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"no root", &Plan{}},
+		{"negative cardinality", &Plan{Root: Scan("t", -1, 10)}},
+		{"scan without table", &Plan{Root: &Node{Kind: SeqScan, Rows: 1}}},
+		{"scan with children", &Plan{Root: &Node{Kind: SeqScan, Table: "t", Rows: 1,
+			Children: []*Node{Scan("u", 1, 1)}}}},
+		{"interior without children", &Plan{Root: &Node{Kind: HashJoin, Rows: 1}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := samplePlan().String()
+	for _, want := range []string{"Sort", "HashJoin", "SeqScan on store_sales", "IndexScan on item"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered plan missing %q:\n%s", want, s)
+		}
+	}
+	// Children are indented deeper than parents.
+	if strings.Index(s, "Sort") > strings.Index(s, "  HashJoin") {
+		t.Fatal("indentation wrong")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sched implements concurrency-aware batch scheduling, the first
+// motivating application of the paper's introduction: given a batch of
+// analytical queries and a CQPP predictor, choose an admission order that
+// reduces the completion time of the batch and of its individual queries.
+//
+// The package contains two pieces:
+//
+//   - Forecast: a completion-time simulator driven entirely by latency
+//     predictions (the approach of Ahmad et al., "Predicting completion
+//     times of batch query workloads using interaction-aware models and
+//     simulation", EDBT 2011, reimplemented on top of Contender's
+//     predictions). Each active query progresses at rate 1/L(mix); every
+//     completion re-evaluates the rates and admits the next queued query.
+//   - Policies: orderings of the batch — FIFO, shortest-job-first, an
+//     interaction-aware greedy that picks the next admission by predicted
+//     slowdown against the currently active set, and a swap-based local
+//     search over forecast makespans.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// LatencyFunc predicts the end-to-end latency of `primary` when it runs
+// with the given concurrent templates. An empty mix means isolation.
+type LatencyFunc func(primary int, concurrent []int) (float64, error)
+
+// ErrEmptyBatch is returned for empty batches.
+var ErrEmptyBatch = errors.New("sched: empty batch")
+
+// JobForecast is the predicted execution window of one batch job.
+type JobForecast struct {
+	Template   int
+	Start, End float64
+}
+
+// Latency returns the job's predicted residence time.
+func (j JobForecast) Latency() float64 { return j.End - j.Start }
+
+// Forecast predicts the completion timeline of executing `order` at the
+// given MPL, using only latency predictions: at every instant each active
+// query completes work at rate 1/L(current mix), and every completion
+// admits the next queued query. Jobs are reported in order.
+func Forecast(order []int, mpl int, predict LatencyFunc) ([]JobForecast, float64, error) {
+	n := len(order)
+	if n == 0 {
+		return nil, 0, ErrEmptyBatch
+	}
+	if mpl < 1 {
+		mpl = 1
+	}
+
+	type active struct {
+		idx      int
+		progress float64 // fraction of work completed
+	}
+	var running []active
+	out := make([]JobForecast, n)
+	next := 0
+	now := 0.0
+
+	admit := func() {
+		for len(running) < mpl && next < n {
+			out[next] = JobForecast{Template: order[next], Start: now}
+			running = append(running, active{idx: next})
+			next++
+		}
+	}
+	admit()
+
+	for len(running) > 0 {
+		// Rates under the current mix.
+		rates := make([]float64, len(running))
+		for i, a := range running {
+			concurrent := make([]int, 0, len(running)-1)
+			for j, other := range running {
+				if j != i {
+					concurrent = append(concurrent, order[other.idx])
+				}
+			}
+			l, err := predict(order[a.idx], concurrent)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sched: forecasting T%d: %w", order[a.idx], err)
+			}
+			if l <= 0 {
+				return nil, 0, fmt.Errorf("sched: non-positive predicted latency for T%d", order[a.idx])
+			}
+			rates[i] = 1 / l
+		}
+		// Advance to the next completion.
+		dt := -1.0
+		for i, a := range running {
+			t := (1 - a.progress) / rates[i]
+			if dt < 0 || t < dt {
+				dt = t
+			}
+		}
+		now += dt
+		live := running[:0]
+		for i := range running {
+			running[i].progress += rates[i] * dt
+			if running[i].progress >= 1-1e-12 {
+				out[running[i].idx].End = now
+			} else {
+				live = append(live, running[i])
+			}
+		}
+		running = live
+		admit()
+	}
+	return out, now, nil
+}
+
+// Policy orders a batch for execution.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Order returns the admission order (a permutation of batch).
+	Order(batch []int, mpl int, predict LatencyFunc) ([]int, error)
+}
+
+// FIFO admits jobs in submission order.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Order implements Policy.
+func (FIFO) Order(batch []int, _ int, _ LatencyFunc) ([]int, error) {
+	return append([]int(nil), batch...), nil
+}
+
+// SJF admits jobs shortest-predicted-isolated-latency first — the classic
+// concurrency-blind heuristic.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// Order implements Policy.
+func (SJF) Order(batch []int, _ int, predict LatencyFunc) ([]int, error) {
+	type job struct {
+		id  int
+		iso float64
+	}
+	jobs := make([]job, len(batch))
+	for i, id := range batch {
+		iso, err := predict(id, nil)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job{id, iso}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].iso < jobs[j].iso })
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.id
+	}
+	return out, nil
+}
+
+// InteractionAware greedily builds the order by forecast: starting from
+// the SJF order, it improves it with pairwise-swap local search over the
+// predicted makespan (hill climbing; predictions are cheap, simulation is
+// not). MaxSweeps bounds the local search (default 3).
+type InteractionAware struct {
+	MaxSweeps int
+}
+
+// Name implements Policy.
+func (InteractionAware) Name() string { return "Interaction-aware" }
+
+// Order implements Policy.
+func (p InteractionAware) Order(batch []int, mpl int, predict LatencyFunc) ([]int, error) {
+	sweeps := p.MaxSweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	order, err := (SJF{}).Order(batch, mpl, predict)
+	if err != nil {
+		return nil, err
+	}
+	_, best, err := Forecast(order, mpl, predict)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				order[i], order[j] = order[j], order[i]
+				_, span, err := Forecast(order, mpl, predict)
+				if err != nil {
+					return nil, err
+				}
+				if span < best-1e-9 {
+					best = span
+					improved = true
+				} else {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order, nil
+}
+
+// Objective scores a forecast; lower is better.
+type Objective func(jobs []JobForecast, makespan float64) float64
+
+// Makespan scores by batch completion time (the default objective).
+func Makespan(_ []JobForecast, makespan float64) float64 { return makespan }
+
+// MeanLatency scores by the average per-job residence time, favoring
+// individual-query completion times over the batch's ("reducing the
+// completion time of individual queries and that of the entire batch" —
+// the two goals can conflict, and the objective picks the side).
+func MeanLatency(jobs []JobForecast, _ float64) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range jobs {
+		s += j.End // residence from batch start: queueing + execution
+	}
+	return s / float64(len(jobs))
+}
+
+// InteractionAwareFor returns an interaction-aware policy optimizing an
+// arbitrary objective instead of the default makespan.
+func InteractionAwareFor(obj Objective, maxSweeps int) Policy {
+	return objectivePolicy{obj: obj, sweeps: maxSweeps}
+}
+
+type objectivePolicy struct {
+	obj    Objective
+	sweeps int
+}
+
+// Name implements Policy.
+func (objectivePolicy) Name() string { return "Interaction-aware (custom objective)" }
+
+// Order implements Policy.
+func (p objectivePolicy) Order(batch []int, mpl int, predict LatencyFunc) ([]int, error) {
+	sweeps := p.sweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	order, err := (SJF{}).Order(batch, mpl, predict)
+	if err != nil {
+		return nil, err
+	}
+	jobs, span, err := Forecast(order, mpl, predict)
+	if err != nil {
+		return nil, err
+	}
+	best := p.obj(jobs, span)
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				order[i], order[j] = order[j], order[i]
+				jobs, span, err := Forecast(order, mpl, predict)
+				if err != nil {
+					return nil, err
+				}
+				if score := p.obj(jobs, span); score < best-1e-9 {
+					best = score
+					improved = true
+				} else {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order, nil
+}

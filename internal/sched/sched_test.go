@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// stubPredict: isolated latency = template id seconds; each concurrent
+// query adds 50% slowdown per competitor (linear interaction).
+func stubPredict(primary int, concurrent []int) (float64, error) {
+	if primary <= 0 {
+		return 0, errors.New("bad template")
+	}
+	return float64(primary) * (1 + 0.5*float64(len(concurrent))), nil
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestForecastSingleJob(t *testing.T) {
+	jobs, span, err := Forecast([]int{100}, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(span, 100, 1e-9) {
+		t.Fatalf("span %g, want 100", span)
+	}
+	if jobs[0].Start != 0 || !almostEq(jobs[0].End, 100, 1e-9) {
+		t.Fatalf("job window %+v", jobs[0])
+	}
+}
+
+func TestForecastSerialExecution(t *testing.T) {
+	// MPL 1: jobs run back to back at isolated speed.
+	jobs, span, err := Forecast([]int{10, 20, 30}, 1, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(span, 60, 1e-9) {
+		t.Fatalf("span %g, want 60", span)
+	}
+	if !almostEq(jobs[1].Start, 10, 1e-9) || !almostEq(jobs[2].Start, 30, 1e-9) {
+		t.Fatalf("starts %g, %g", jobs[1].Start, jobs[2].Start)
+	}
+}
+
+func TestForecastPairInteraction(t *testing.T) {
+	// Two equal jobs at MPL 2: each runs at 1/(1.5·L) → both end at 1.5·L.
+	jobs, span, err := Forecast([]int{100, 100}, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(span, 150, 1e-9) {
+		t.Fatalf("span %g, want 150", span)
+	}
+	for _, j := range jobs {
+		if !almostEq(j.Latency(), 150, 1e-9) {
+			t.Fatalf("job latency %g, want 150", j.Latency())
+		}
+	}
+}
+
+func TestForecastAdmitsQueue(t *testing.T) {
+	// Three equal jobs at MPL 2: the third starts when the first pair
+	// produces a completion.
+	jobs, _, err := Forecast([]int{100, 100, 100}, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start <= 0 {
+		t.Fatal("third job must wait for a slot")
+	}
+	if !almostEq(jobs[2].Start, 150, 1e-9) {
+		t.Fatalf("third start %g, want 150", jobs[2].Start)
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	if _, _, err := Forecast(nil, 2, stubPredict); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := Forecast([]int{-1}, 2, stubPredict); err == nil {
+		t.Fatal("predictor errors must propagate")
+	}
+	zero := func(int, []int) (float64, error) { return 0, nil }
+	if _, _, err := Forecast([]int{1}, 2, zero); err == nil {
+		t.Fatal("non-positive latency must error")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	batch := []int{30, 10, 20}
+	order, err := (FIFO{}).Order(batch, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if order[i] != batch[i] {
+			t.Fatal("FIFO must preserve submission order")
+		}
+	}
+	// And must not alias the input.
+	order[0] = 999
+	if batch[0] == 999 {
+		t.Fatal("FIFO must copy")
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	order, err := (SJF{}).Order([]int{30, 10, 20}, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInteractionAwareImprovesOrNotWorse(t *testing.T) {
+	batch := []int{100, 90, 10, 15, 80, 12}
+	fifoOrder, _ := (FIFO{}).Order(batch, 2, stubPredict)
+	_, fifoSpan, err := Forecast(fifoOrder, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iaOrder, err := (InteractionAware{}).Order(batch, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iaOrder) != len(batch) {
+		t.Fatal("order must be a permutation")
+	}
+	seen := map[int]bool{}
+	for _, id := range iaOrder {
+		if seen[id] {
+			t.Fatal("duplicate in order")
+		}
+		seen[id] = true
+	}
+	_, iaSpan, err := Forecast(iaOrder, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iaSpan > fifoSpan+1e-9 {
+		t.Fatalf("interaction-aware span %g worse than FIFO %g", iaSpan, fifoSpan)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FIFO{}).Name() != "FIFO" || (SJF{}).Name() != "SJF" || (InteractionAware{}).Name() != "Interaction-aware" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	jobs := []JobForecast{
+		{Template: 1, Start: 0, End: 10},
+		{Template: 2, Start: 0, End: 30},
+	}
+	if Makespan(jobs, 30) != 30 {
+		t.Fatal("makespan objective wrong")
+	}
+	if MeanLatency(jobs, 30) != 20 {
+		t.Fatal("mean-latency objective wrong")
+	}
+	if MeanLatency(nil, 5) != 0 {
+		t.Fatal("empty mean-latency wrong")
+	}
+}
+
+func TestInteractionAwareForMeanLatency(t *testing.T) {
+	batch := []int{100, 90, 10, 15, 80, 12}
+	pol := InteractionAwareFor(MeanLatency, 3)
+	if pol.Name() == "" {
+		t.Fatal("name missing")
+	}
+	order, err := pol.Order(batch, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, span, err := Forecast(order, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MeanLatency(jobs, span)
+
+	// Must not be worse than FIFO on its own objective.
+	fifoJobs, fifoSpan, err := Forecast(batch, 2, stubPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > MeanLatency(fifoJobs, fifoSpan)+1e-9 {
+		t.Fatalf("mean-latency policy (%.1f) worse than FIFO (%.1f)", got, MeanLatency(fifoJobs, fifoSpan))
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// RunBatch executes a queue of jobs at a fixed multiprogramming level: the
+// first mpl jobs start immediately and every completion admits the next
+// queued job, until the queue drains. It returns the per-job results in
+// queue order and the batch makespan.
+//
+// This is the substrate for the batch-scheduling application of Section 1
+// ("better scheduling decisions for large query batches, reducing the
+// completion time of individual queries and that of the entire batch").
+func (e *Engine) RunBatch(queue []QuerySpec, mpl int) ([]Result, float64, error) {
+	if len(queue) == 0 {
+		return nil, 0, fmt.Errorf("sim: empty batch")
+	}
+	if mpl < 1 {
+		mpl = 1
+	}
+	for _, q := range queue {
+		if err := q.Validate(); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	e.reset()
+	results := make([]Result, len(queue))
+	seen := make([]bool, len(queue))
+	next := 0
+	for next < len(queue) && next < mpl {
+		e.addRun(queue[next], next)
+		next++
+	}
+
+	remaining := len(queue)
+	const maxEvents = 10_000_000
+	for ev := 0; ev < maxEvents; ev++ {
+		completed, ok := e.step()
+		if !ok {
+			return nil, 0, ErrStalled
+		}
+		for _, r := range completed {
+			if r.stream < 0 || r.stream >= len(queue) || seen[r.stream] {
+				return nil, 0, fmt.Errorf("sim: batch bookkeeping corrupted for stream %d", r.stream)
+			}
+			seen[r.stream] = true
+			results[r.stream] = r.result
+			remaining--
+			if next < len(queue) {
+				e.addRun(queue[next], next)
+				next++
+			}
+		}
+		if remaining == 0 {
+			return results, e.clock, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("sim: batch did not complete within %d events", maxEvents)
+}

@@ -1,0 +1,107 @@
+// Package sim is a fluid discrete-event simulator of a single database host
+// executing analytical queries under concurrency. It stands in for the
+// paper's PostgreSQL 8.4 / TPC-DS 100 GB testbed (8 cores, 8 GB RAM) and
+// reproduces the contention mechanisms Contender models:
+//
+//   - I/O-bus sharing: the disk is a processor-sharing server; every active
+//     I/O stream receives an equal share of its capacity.
+//   - Positive interactions: queries concurrently scanning the same fact
+//     table form a shared-scan group that consumes a single disk share
+//     while advancing all members (buffer-pool reuse).
+//   - Memory scarcity: working sets are pinned in RAM; overcommit spills a
+//     proportional part of each working set, which inflates the spiller's
+//     I/O demand (swap traffic on the same bus).
+//   - The spoiler: a synthetic antagonist that pins (1-1/n) of RAM and runs
+//     n-1 infinite sequential I/O streams, providing the worst-case upper
+//     bound of the performance continuum.
+//
+// Time is virtual: experiments that take days of wall-clock time on the
+// paper's testbed complete in milliseconds here, while preserving the
+// relative behaviour (who slows whom down, and by how much).
+package sim
+
+// Config describes the simulated host.
+type Config struct {
+	// RAMBytes is total physical memory. The paper's host has 8 GB.
+	RAMBytes float64
+	// BaselineRAMBytes is memory unavailable to query working sets
+	// (OS, shared buffers metadata, connection overhead).
+	BaselineRAMBytes float64
+	// SeqBandwidth is sequential disk throughput in bytes/second.
+	SeqBandwidth float64
+	// RandIOPS is random-read operations per second.
+	RandIOPS float64
+	// PageBytes is the size of one random I/O request.
+	PageBytes float64
+	// CachedBandwidth is the effective scan rate for buffer-pool-resident
+	// (dimension) tables, in bytes/second.
+	CachedBandwidth float64
+	// Cores is the number of CPU cores. Per the paper's assumption, cores
+	// usually exceed the concurrency level, so CPU is rarely contended.
+	Cores int
+	// SwapCPUWeight scales how strongly swap inflation slows CPU stages
+	// relative to I/O stages (external sorts and spilled hash tables do
+	// I/O during "CPU" phases). 0 disables, 1 applies the full factor.
+	SwapCPUWeight float64
+	// SharedScans toggles shared-scan groups. Disabling it is the ablation
+	// that shows positive interactions are what CQI's ω/τ terms capture.
+	SharedScans bool
+	// Seed drives all stochastic jitter in the engine.
+	Seed int64
+
+	// Noise levels (log-normal sigma) per stage kind. Random I/O carries
+	// much higher variance, per Section 6.2 ("random I/O can vary by up to
+	// an order of magnitude per page fetched").
+	SeqNoise, RandNoise, CPUNoise float64
+	// InstanceNoise jitters each template instance as a whole (predicate
+	// variation), yielding the ~6% isolated-latency std of Section 4.
+	InstanceNoise float64
+}
+
+// DefaultConfig returns a host comparable to the paper's testbed: 8 GB RAM,
+// 8 cores, a ~100 MB/s sequential disk with 250 random IOPS.
+func DefaultConfig() Config {
+	return Config{
+		RAMBytes:         8 << 30,
+		BaselineRAMBytes: 1 << 30,
+		SeqBandwidth:     100 << 20,
+		RandIOPS:         250,
+		PageBytes:        8 << 10,
+		CachedBandwidth:  2 << 30,
+		Cores:            8,
+		SwapCPUWeight:    0.5,
+		SharedScans:      true,
+		Seed:             1,
+		SeqNoise:         0.06,
+		RandNoise:        0.30,
+		CPUNoise:         0.05,
+		InstanceNoise:    0.05,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.RAMBytes <= 0:
+		return errConfig("RAMBytes must be positive")
+	case c.BaselineRAMBytes < 0 || c.BaselineRAMBytes >= c.RAMBytes:
+		return errConfig("BaselineRAMBytes must be in [0, RAMBytes)")
+	case c.SeqBandwidth <= 0:
+		return errConfig("SeqBandwidth must be positive")
+	case c.RandIOPS <= 0:
+		return errConfig("RandIOPS must be positive")
+	case c.PageBytes <= 0:
+		return errConfig("PageBytes must be positive")
+	case c.CachedBandwidth <= 0:
+		return errConfig("CachedBandwidth must be positive")
+	case c.Cores <= 0:
+		return errConfig("Cores must be positive")
+	case c.SwapCPUWeight < 0 || c.SwapCPUWeight > 1:
+		return errConfig("SwapCPUWeight must be in [0,1]")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "sim: invalid config: " + string(e) }

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Engine executes query specs on the simulated host. It is single-threaded
+// and deterministic for a fixed Config.Seed. An Engine may be reused across
+// runs; each driver call resets the active-run state but keeps advancing the
+// same noise stream, so repeated measurements see fresh jitter.
+type Engine struct {
+	cfg   Config
+	rng   *rand.Rand
+	clock float64
+	runs  []*run
+
+	// Spoiler state: pinned RAM plus a number of infinite sequential
+	// I/O streams, each counting as one disk consumer.
+	spoilerPinBytes float64
+	spoilerStreams  int
+
+	// tracer, when non-nil, observes executor lifecycle events.
+	tracer Tracer
+}
+
+// run is one in-flight query instance.
+type run struct {
+	spec      QuerySpec
+	stageIdx  int
+	remaining float64
+	start     float64
+	ioTime    float64
+	cpuTime   float64
+	swapBytes float64
+	stream    int // steady-state slot, -1 otherwise
+	done      bool
+	result    Result
+}
+
+// NewEngine builds an engine; it panics on an invalid config (a programming
+// error, not a runtime condition).
+func NewEngine(cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the engine's host configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Clock returns the current virtual time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// reset clears all run state (but not the RNG, so instance noise differs
+// between consecutive measurements, as it would on real hardware).
+func (e *Engine) reset() {
+	e.clock = 0
+	e.runs = e.runs[:0]
+	e.spoilerPinBytes = 0
+	e.spoilerStreams = 0
+}
+
+// setSpoiler installs the paper's spoiler for MPL n: (1-1/n) of RAM pinned
+// and n-1 infinite sequential I/O streams. n <= 1 clears it.
+func (e *Engine) setSpoiler(mpl int) {
+	if mpl <= 1 {
+		e.spoilerPinBytes, e.spoilerStreams = 0, 0
+		return
+	}
+	e.spoilerPinBytes = (1 - 1/float64(mpl)) * e.cfg.RAMBytes
+	e.spoilerStreams = mpl - 1
+}
+
+// jitter returns spec with per-instance and per-stage log-normal noise
+// applied, modeling predicate variation and I/O-timing variance.
+func (e *Engine) jitter(spec QuerySpec) QuerySpec {
+	inst := lognormal(e.rng, e.cfg.InstanceNoise)
+	out := spec
+	out.Stages = make([]Stage, len(spec.Stages))
+	for i, s := range spec.Stages {
+		var sigma float64
+		switch s.Kind {
+		case StageSeqIO, StageCachedIO:
+			sigma = e.cfg.SeqNoise
+		case StageRandIO:
+			sigma = e.cfg.RandNoise
+		case StageCPU:
+			sigma = e.cfg.CPUNoise
+		}
+		s.Amount *= inst * lognormal(e.rng, sigma)
+		out.Stages[i] = s
+	}
+	return out
+}
+
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+}
+
+// addRun starts a (jittered) instance of spec at the current clock.
+func (e *Engine) addRun(spec QuerySpec, stream int) *run {
+	r := &run{spec: e.jitter(spec), start: e.clock, stream: stream}
+	r.remaining = r.spec.Stages[0].Amount
+	e.runs = append(e.runs, r)
+	first := r.spec.Stages[0]
+	e.trace(TraceEvent{Kind: TraceStart, TemplateID: r.spec.TemplateID,
+		Stream: stream, Stage: first.Kind, Table: first.Table})
+	return r
+}
+
+// rates computes, for every active run, the progress rate in the native
+// units of its current stage (bytes/s, pages/s, or cpu-seconds/s), along
+// with the swap-traffic rate in bytes/s used for accounting.
+func (e *Engine) rates() (progress, swap []float64) {
+	n := len(e.runs)
+	progress = make([]float64, n)
+	swap = make([]float64, n)
+
+	// Memory pressure: proportional spill of each pinned working set.
+	var totalWS float64
+	for _, r := range e.runs {
+		if !r.done {
+			totalWS += r.spec.WorkingSetBytes
+		}
+	}
+	avail := e.cfg.RAMBytes - e.cfg.BaselineRAMBytes - e.spoilerPinBytes
+	deficit := totalWS - avail
+	if deficit < 0 {
+		deficit = 0
+	}
+
+	// inflation[i] multiplies the disk cost of run i's I/O: spilled
+	// working-set bytes are rewritten/reread WorkingSetReuse times over the
+	// course of the query, normalized by its useful I/O volume.
+	inflation := make([]float64, n)
+	for i, r := range e.runs {
+		inflation[i] = 1
+		if r.done || deficit <= 0 || totalWS <= 0 || r.spec.WorkingSetBytes <= 0 {
+			continue
+		}
+		spill := deficit * r.spec.WorkingSetBytes / totalWS
+		useful := r.spec.TotalIOBytes(e.cfg.PageBytes)
+		if useful < e.cfg.PageBytes {
+			useful = e.cfg.PageBytes
+		}
+		inflation[i] = 1 + r.spec.WorkingSetReuse*spill/useful
+	}
+
+	// Disk consumers: one per shared-scan group (or per scanner when
+	// sharing is disabled), one per random-I/O run, plus spoiler streams.
+	type groupKey struct{ table string }
+	groups := make(map[groupKey][]int)
+	consumers := e.spoilerStreams
+	var randRuns []int
+	for i, r := range e.runs {
+		if r.done {
+			continue
+		}
+		switch st := r.spec.Stages[r.stageIdx]; st.Kind {
+		case StageSeqIO:
+			if e.cfg.SharedScans {
+				k := groupKey{st.Table}
+				if len(groups[k]) == 0 {
+					consumers++
+				}
+				groups[k] = append(groups[k], i)
+			} else {
+				groups[groupKey{fmt.Sprintf("!%d", i)}] = []int{i}
+				consumers++
+			}
+		case StageRandIO:
+			randRuns = append(randRuns, i)
+			consumers++
+		}
+	}
+
+	share := 1.0
+	if consumers > 0 {
+		share = 1 / float64(consumers)
+	}
+
+	// CPU sharing (usually uncontended: cores >= MPL).
+	cpuRuns := 0
+	for _, r := range e.runs {
+		if !r.done && r.spec.Stages[r.stageIdx].Kind == StageCPU {
+			cpuRuns++
+		}
+	}
+	cpuShare := 1.0
+	if cpuRuns > e.cfg.Cores {
+		cpuShare = float64(e.cfg.Cores) / float64(cpuRuns)
+	}
+
+	for _, members := range groups {
+		// The whole group consumes one disk share; every member advances at
+		// the group's stream rate, divided by its own swap inflation.
+		for _, i := range members {
+			rate := share * e.cfg.SeqBandwidth / inflation[i]
+			progress[i] = rate
+			swap[i] = rate * (inflation[i] - 1)
+		}
+	}
+	for _, i := range randRuns {
+		rate := share * e.cfg.RandIOPS / inflation[i]
+		progress[i] = rate
+		swap[i] = rate * e.cfg.PageBytes * (inflation[i] - 1)
+	}
+	for i, r := range e.runs {
+		if r.done {
+			continue
+		}
+		switch r.spec.Stages[r.stageIdx].Kind {
+		case StageCachedIO:
+			progress[i] = e.cfg.CachedBandwidth
+		case StageCPU:
+			// Spilled intermediate state also slows CPU phases (external
+			// sort / spilled hash probes), scaled by SwapCPUWeight.
+			infl := 1 + e.cfg.SwapCPUWeight*(inflation[i]-1)
+			progress[i] = cpuShare / infl
+			swap[i] = 0
+		}
+	}
+	return progress, swap
+}
+
+// step advances the simulation to the next stage-completion event and
+// returns the runs that finished entirely during the step. It returns
+// ok=false when no active runs remain or no run can make progress.
+func (e *Engine) step() (completed []*run, ok bool) {
+	return e.stepUntil(-1)
+}
+
+// compact drops completed runs from the active list to keep rate
+// computation proportional to the live population.
+func (e *Engine) compact() {
+	live := e.runs[:0]
+	for _, r := range e.runs {
+		if !r.done {
+			live = append(live, r)
+		}
+	}
+	// Zero the tail so finished runs can be collected.
+	for i := len(live); i < len(e.runs); i++ {
+		e.runs[i] = nil
+	}
+	e.runs = live
+}

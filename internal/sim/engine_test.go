@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quietConfig returns a deterministic, noise-free host for exact-value
+// assertions.
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SeqNoise, cfg.RandNoise, cfg.CPUNoise, cfg.InstanceNoise = 0, 0, 0, 0
+	return cfg
+}
+
+func ioSpec(id int, table string, bytes float64) QuerySpec {
+	return QuerySpec{
+		TemplateID: id,
+		Stages:     []Stage{{Kind: StageSeqIO, Table: table, Amount: bytes}},
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.RAMBytes = 0 },
+		func(c *Config) { c.BaselineRAMBytes = -1 },
+		func(c *Config) { c.BaselineRAMBytes = c.RAMBytes },
+		func(c *Config) { c.SeqBandwidth = 0 },
+		func(c *Config) { c.RandIOPS = 0 },
+		func(c *Config) { c.PageBytes = 0 },
+		func(c *Config) { c.CachedBandwidth = 0 },
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.SwapCPUWeight = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := QuerySpec{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []QuerySpec{
+		{TemplateID: 1},
+		{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: -1}}},
+		{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: math.NaN()}}},
+		{TemplateID: 1, Stages: []Stage{{Kind: StageSeqIO, Amount: 1}}}, // no table
+		{TemplateID: 1, Stages: []Stage{{Kind: StageKind(9), Amount: 1}}},
+		{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: 1}}, WorkingSetBytes: -1},
+		{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: 1}}, WorkingSetReuse: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestIsolatedLatencyIsSumOfStages(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	spec := QuerySpec{
+		TemplateID: 1,
+		Stages: []Stage{
+			{Kind: StageSeqIO, Table: "t", Amount: cfg.SeqBandwidth * 10}, // 10 s
+			{Kind: StageCPU, Amount: 5},                                   // 5 s
+			{Kind: StageRandIO, Table: "t", Amount: cfg.RandIOPS * 4},     // 4 s
+			{Kind: StageCachedIO, Amount: cfg.CachedBandwidth * 2},        // 2 s
+		},
+	}
+	res, err := e.RunIsolated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Latency, 21, 1e-6) {
+		t.Fatalf("latency = %g, want 21", res.Latency)
+	}
+	// procfs-style accounting: disk I/O time = 10 (seq) + 4 (rand);
+	// buffer-pool (cached) reads do not count as I/O wait.
+	if !almostEq(res.IOTime, 14, 1e-6) {
+		t.Fatalf("IOTime = %g, want 14", res.IOTime)
+	}
+	if !almostEq(res.CPUTime, 5, 1e-6) {
+		t.Fatalf("CPUTime = %g, want 5", res.CPUTime)
+	}
+	if !almostEq(res.IOFraction(), 14.0/21, 1e-9) {
+		t.Fatalf("IOFraction = %g", res.IOFraction())
+	}
+}
+
+func TestDisjointIOQueriesShareBandwidth(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// Two queries scanning different tables, each 10 s alone, must take
+	// ~20 s together (fair sharing, no reuse).
+	a := ioSpec(1, "ta", cfg.SeqBandwidth*10)
+	b := ioSpec(2, "tb", cfg.SeqBandwidth*10)
+	res, err := e.RunSteadyState([]QuerySpec{a, b}, SteadyStateOptions{Samples: 3, WarmupSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if m := res.MeanLatency(i); !almostEq(m, 20, 0.5) {
+			t.Fatalf("stream %d latency %g, want ~20", i, m)
+		}
+	}
+}
+
+func TestSharedScansArePositiveInteractions(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// Two queries scanning the SAME table form a shared-scan group and run
+	// at nearly isolated speed.
+	a := ioSpec(1, "t", cfg.SeqBandwidth*10)
+	res, err := e.RunSteadyState([]QuerySpec{a, a}, SteadyStateOptions{Samples: 3, WarmupSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if m := res.MeanLatency(i); !almostEq(m, 10, 0.5) {
+			t.Fatalf("shared-scan stream %d latency %g, want ~10", i, m)
+		}
+	}
+
+	// Ablation: with shared scans disabled the same mix degrades to fair
+	// sharing (~20 s each).
+	cfg2 := quietConfig()
+	cfg2.SharedScans = false
+	e2 := NewEngine(cfg2)
+	res2, err := e2.RunSteadyState([]QuerySpec{a, a}, SteadyStateOptions{Samples: 3, WarmupSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if m := res2.MeanLatency(i); !almostEq(m, 20, 0.5) {
+			t.Fatalf("no-sharing stream %d latency %g, want ~20", i, m)
+		}
+	}
+}
+
+func TestCPUNotContendedBelowCoreCount(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	spec := QuerySpec{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: 10}}}
+	mix := []QuerySpec{spec, spec, spec, spec} // 4 CPU queries, 8 cores
+	res, err := e.RunSteadyState(mix, SteadyStateOptions{Samples: 2, WarmupSkip: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mix {
+		if m := res.MeanLatency(i); !almostEq(m, 10, 1e-6) {
+			t.Fatalf("CPU query %d latency %g, want 10 (no contention)", i, m)
+		}
+	}
+}
+
+func TestCPUSharedAboveCoreCount(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Cores = 2
+	e := NewEngine(cfg)
+	spec := QuerySpec{TemplateID: 1, Stages: []Stage{{Kind: StageCPU, Amount: 10}}}
+	mix := []QuerySpec{spec, spec, spec, spec} // 4 CPU queries, 2 cores
+	res, err := e.RunSteadyState(mix, SteadyStateOptions{Samples: 2, WarmupSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.MeanLatency(0); !almostEq(m, 20, 0.5) {
+		t.Fatalf("latency %g, want ~20 (2x sharing)", m)
+	}
+}
+
+func TestMemoryOvercommitInflatesIO(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// A query whose working set fits alone but spills under the spoiler.
+	spec := QuerySpec{
+		TemplateID:      1,
+		Stages:          []Stage{{Kind: StageSeqIO, Table: "t", Amount: cfg.SeqBandwidth * 10}},
+		WorkingSetBytes: 4 << 30,
+		WorkingSetReuse: 10,
+	}
+	iso, err := e.RunIsolated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso.SwapBytes != 0 {
+		t.Fatalf("no swap expected in isolation, got %g bytes", iso.SwapBytes)
+	}
+	// Same query with zero working set, under the same spoiler, shows the
+	// memory-pressure delta.
+	light := spec
+	light.WorkingSetBytes = 0
+	heavy, err := e.RunWithSpoiler(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightRes, err := e.RunWithSpoiler(light, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Latency <= lightRes.Latency*1.2 {
+		t.Fatalf("memory pressure must slow the spiller: heavy %g vs light %g", heavy.Latency, lightRes.Latency)
+	}
+	if heavy.SwapBytes == 0 {
+		t.Fatal("spilling query must record swap traffic")
+	}
+}
+
+func TestSpoilerMonotonicInMPL(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	spec := QuerySpec{
+		TemplateID: 1,
+		Stages: []Stage{
+			{Kind: StageSeqIO, Table: "t", Amount: cfg.SeqBandwidth * 10},
+			{Kind: StageCPU, Amount: 2},
+		},
+	}
+	prev := 0.0
+	for mpl := 1; mpl <= 5; mpl++ {
+		res, err := e.RunWithSpoiler(spec, mpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Latency <= prev {
+			t.Fatalf("spoiler latency not increasing at MPL %d: %g <= %g", mpl, res.Latency, prev)
+		}
+		prev = res.Latency
+	}
+	// At MPL n the I/O share is 1/n: latency ≈ n·10 + 2.
+	res, _ := e.RunWithSpoiler(spec, 5)
+	if !almostEq(res.Latency, 52, 1) {
+		t.Fatalf("MPL-5 spoiler latency %g, want ~52", res.Latency)
+	}
+}
+
+func TestSpoilerMPL1IsIsolated(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	spec := ioSpec(1, "t", cfg.SeqBandwidth*10)
+	iso, _ := e.RunIsolated(spec)
+	sp, _ := e.RunWithSpoiler(spec, 1)
+	if !almostEq(iso.Latency, sp.Latency, 1e-9) {
+		t.Fatalf("MPL-1 spoiler %g != isolated %g", sp.Latency, iso.Latency)
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	spec := ioSpec(1, "t", 1<<30)
+	cfg := DefaultConfig() // with noise
+	a, _ := NewEngine(cfg).RunIsolated(spec)
+	b, _ := NewEngine(cfg).RunIsolated(spec)
+	if a.Latency != b.Latency {
+		t.Fatal("same seed must reproduce identical results")
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	c, _ := NewEngine(cfg2).RunIsolated(spec)
+	if a.Latency == c.Latency {
+		t.Fatal("different seeds should produce different jitter")
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	// Isolated latency std should be in the single-digit percent range
+	// (the paper observed ~6%).
+	cfg := DefaultConfig()
+	e := NewEngine(cfg)
+	spec := QuerySpec{TemplateID: 1, Stages: []Stage{
+		{Kind: StageSeqIO, Table: "t", Amount: cfg.SeqBandwidth * 300},
+		{Kind: StageCPU, Amount: 50},
+	}}
+	var lats []float64
+	for i := 0; i < 40; i++ {
+		res, err := e.RunIsolated(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lats = append(lats, res.Latency)
+	}
+	mean, sd := meanStd(lats)
+	cv := sd / mean
+	if cv < 0.01 || cv > 0.15 {
+		t.Fatalf("isolated latency CV = %.3f, want single-digit percents", cv)
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}
+
+func TestRunIsolatedInvalidSpec(t *testing.T) {
+	e := NewEngine(quietConfig())
+	if _, err := e.RunIsolated(QuerySpec{}); err == nil {
+		t.Fatal("expected error for empty spec")
+	}
+	if _, err := e.RunWithSpoiler(QuerySpec{}, 3); err == nil {
+		t.Fatal("expected error for empty spec")
+	}
+}
+
+func TestNewEnginePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	NewEngine(cfg)
+}
+
+// Property: isolated latency is never below the sum of CPU demands and
+// never below the I/O service demand, for arbitrary well-formed specs.
+func TestIsolatedLowerBoundProperty(t *testing.T) {
+	cfg := quietConfig()
+	f := func(seqMB, cpuS, randPages uint16) bool {
+		e := NewEngine(cfg)
+		spec := QuerySpec{TemplateID: 1}
+		var cpu, io float64
+		if seqMB > 0 {
+			bytes := float64(seqMB) * (1 << 20)
+			spec.Stages = append(spec.Stages, Stage{Kind: StageSeqIO, Table: "t", Amount: bytes})
+			io += bytes / cfg.SeqBandwidth
+		}
+		if cpuS > 0 {
+			secs := float64(cpuS) / 100
+			spec.Stages = append(spec.Stages, Stage{Kind: StageCPU, Amount: secs})
+			cpu += secs
+		}
+		if randPages > 0 {
+			spec.Stages = append(spec.Stages, Stage{Kind: StageRandIO, Table: "t", Amount: float64(randPages)})
+			io += float64(randPages) / cfg.RandIOPS
+		}
+		if len(spec.Stages) == 0 {
+			return true
+		}
+		res, err := e.RunIsolated(spec)
+		if err != nil {
+			return false
+		}
+		return res.Latency >= cpu-1e-6 && res.Latency >= io-1e-6 &&
+			almostEq(res.Latency, cpu+io, 1e-6*(1+cpu+io))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a competitor never speeds up an I/O-bound query on a
+// disjoint table (contention monotonicity).
+func TestContentionMonotonicityProperty(t *testing.T) {
+	cfg := quietConfig()
+	f := func(aMB, bMB uint16) bool {
+		a := ioSpec(1, "ta", float64(aMB+1)*(1<<22))
+		b := ioSpec(2, "tb", float64(bMB+1)*(1<<22))
+		e := NewEngine(cfg)
+		iso, err := e.RunIsolated(a)
+		if err != nil {
+			return false
+		}
+		res, err := e.RunSteadyState([]QuerySpec{a, b}, SteadyStateOptions{Samples: 2, WarmupSkip: 1})
+		if err != nil {
+			return false
+		}
+		return res.MeanLatency(0) >= iso.Latency-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shared scans never make a self-mix slower than the
+// no-sharing ablation.
+func TestSharedScanNeverHurtsProperty(t *testing.T) {
+	f := func(mb uint16) bool {
+		spec := ioSpec(1, "t", float64(mb+1)*(1<<22))
+		shared := quietConfig()
+		shared.SharedScans = true
+		noShare := quietConfig()
+		noShare.SharedScans = false
+		rs, err := NewEngine(shared).RunSteadyState([]QuerySpec{spec, spec}, SteadyStateOptions{Samples: 2, WarmupSkip: 1})
+		if err != nil {
+			return false
+		}
+		rn, err := NewEngine(noShare).RunSteadyState([]QuerySpec{spec, spec}, SteadyStateOptions{Samples: 2, WarmupSkip: 1})
+		if err != nil {
+			return false
+		}
+		return rs.MeanLatency(0) <= rn.MeanLatency(0)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spoiler latency is monotone non-decreasing in the MPL for any
+// well-formed spec.
+func TestSpoilerMonotonicityProperty(t *testing.T) {
+	cfg := quietConfig()
+	f := func(seqMB, cpuDs uint16, wsMB uint16) bool {
+		e := NewEngine(cfg)
+		spec := QuerySpec{
+			TemplateID: 1,
+			Stages: []Stage{
+				{Kind: StageSeqIO, Table: "t", Amount: float64(seqMB+1) * (1 << 20)},
+				{Kind: StageCPU, Amount: float64(cpuDs) / 10},
+			},
+			WorkingSetBytes: float64(wsMB) * (1 << 20),
+			WorkingSetReuse: 4,
+		}
+		prev := 0.0
+		for mpl := 1; mpl <= 5; mpl++ {
+			res, err := e.RunWithSpoiler(spec, mpl)
+			if err != nil {
+				return false
+			}
+			if res.Latency < prev-1e-6 {
+				return false
+			}
+			prev = res.Latency
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

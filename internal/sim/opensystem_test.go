@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestOpenSystemSerialArrivals(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// Arrivals far apart: each query runs alone at isolated speed.
+	arrivals := []Arrival{
+		{Time: 0, Spec: ioSpec(1, "a", cfg.SeqBandwidth*5)},
+		{Time: 100, Spec: ioSpec(2, "b", cfg.SeqBandwidth*5)},
+	}
+	out, err := e.RunOpenSystem(arrivals, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if !almostEq(o.Latency, 5, 0.01) {
+			t.Fatalf("query %d latency %g, want 5", i, o.Latency)
+		}
+		if o.QueueTime != 0 {
+			t.Fatalf("query %d queued %g, want 0", i, o.QueueTime)
+		}
+	}
+	if out[1].Start < 100 {
+		t.Fatal("second query must not start before it arrives")
+	}
+}
+
+func TestOpenSystemContention(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// Simultaneous arrivals on disjoint tables share the disk.
+	arrivals := []Arrival{
+		{Time: 0, Spec: ioSpec(1, "a", cfg.SeqBandwidth*10)},
+		{Time: 0, Spec: ioSpec(2, "b", cfg.SeqBandwidth*10)},
+	}
+	out, err := e.RunOpenSystem(arrivals, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if !almostEq(o.Latency, 20, 0.5) {
+			t.Fatalf("query %d latency %g, want ~20", i, o.Latency)
+		}
+	}
+}
+
+func TestOpenSystemMaxActive(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	// Three simultaneous arrivals, max 1 active: strict serial execution
+	// with queueing delay.
+	spec := ioSpec(1, "a", cfg.SeqBandwidth*10)
+	arrivals := []Arrival{{0, spec}, {0, spec}, {0, spec}}
+	out, err := e.RunOpenSystem(arrivals, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(out[0].QueueTime, 0, 0.01) ||
+		!almostEq(out[1].QueueTime, 10, 0.2) ||
+		!almostEq(out[2].QueueTime, 20, 0.4) {
+		t.Fatalf("queue times %g %g %g, want 0/10/20",
+			out[0].QueueTime, out[1].QueueTime, out[2].QueueTime)
+	}
+	if !almostEq(out[2].ResponseTime(), 30, 0.5) {
+		t.Fatalf("response time %g, want ~30", out[2].ResponseTime())
+	}
+}
+
+func TestOpenSystemAdmissionGate(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	spec := ioSpec(1, "a", cfg.SeqBandwidth*10)
+	arrivals := []Arrival{{0, spec}, {0, spec}, {0, spec}}
+	// Gate rejects any concurrency: behaves like maxActive 1 even though
+	// the cap is higher.
+	gate := func(now float64, cand QuerySpec, active []int) bool { return len(active) == 0 }
+	out, err := e.RunOpenSystem(arrivals, 8, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(out[1].QueueTime, 10, 0.2) {
+		t.Fatalf("gated query queued %g, want ~10", out[1].QueueTime)
+	}
+	// The gate is never consulted with an empty active set, so a gate
+	// that always refuses still cannot deadlock.
+	e2 := NewEngine(cfg)
+	never := func(float64, QuerySpec, []int) bool { return false }
+	out2, err := e2.RunOpenSystem(arrivals, 8, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out2 {
+		if o.Latency <= 0 {
+			t.Fatal("all queries must eventually complete")
+		}
+	}
+}
+
+func TestOpenSystemErrors(t *testing.T) {
+	e := NewEngine(quietConfig())
+	if _, err := e.RunOpenSystem(nil, 0, nil); err == nil {
+		t.Fatal("no arrivals must error")
+	}
+	if _, err := e.RunOpenSystem([]Arrival{{Time: -1, Spec: ioSpec(1, "a", 1)}}, 0, nil); err == nil {
+		t.Fatal("negative arrival time must error")
+	}
+	if _, err := e.RunOpenSystem([]Arrival{{Time: 0, Spec: QuerySpec{}}}, 0, nil); err == nil {
+		t.Fatal("invalid spec must error")
+	}
+}
+
+func TestOpenSystemUnsortedArrivals(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	arrivals := []Arrival{
+		{Time: 50, Spec: ioSpec(2, "b", cfg.SeqBandwidth)},
+		{Time: 0, Spec: ioSpec(1, "a", cfg.SeqBandwidth)},
+	}
+	out, err := e.RunOpenSystem(arrivals, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results come back in sorted arrival order.
+	if out[0].ArrivalTime != 0 || out[1].ArrivalTime != 50 {
+		t.Fatalf("arrival order wrong: %g, %g", out[0].ArrivalTime, out[1].ArrivalTime)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// StageKind classifies the resource a query stage consumes.
+type StageKind int
+
+// Stage kinds.
+const (
+	// StageSeqIO reads Amount bytes sequentially from a disk-resident
+	// table. Eligible for shared-scan groups when Table is non-empty.
+	StageSeqIO StageKind = iota
+	// StageCachedIO reads Amount bytes from the buffer pool (dimension
+	// tables); it never touches the disk.
+	StageCachedIO
+	// StageRandIO performs Amount random page reads against Table.
+	StageRandIO
+	// StageCPU consumes Amount seconds of one core.
+	StageCPU
+)
+
+// String returns the stage kind name.
+func (k StageKind) String() string {
+	switch k {
+	case StageSeqIO:
+		return "SeqIO"
+	case StageCachedIO:
+		return "CachedIO"
+	case StageRandIO:
+		return "RandIO"
+	case StageCPU:
+		return "CPU"
+	default:
+		return fmt.Sprintf("StageKind(%d)", int(k))
+	}
+}
+
+// IsIO reports whether the stage kind consumes disk time.
+func (k StageKind) IsIO() bool { return k == StageSeqIO || k == StageRandIO }
+
+// Stage is one unit of work in a query's execution. Amount is bytes for
+// sequential/cached I/O, pages for random I/O, and seconds for CPU.
+type Stage struct {
+	Kind   StageKind
+	Table  string
+	Amount float64
+}
+
+// QuerySpec is the resource profile of one query template, the simulator's
+// analogue of "a query plan handed to the executor". Package tpcds derives
+// these from QEP plan trees via its cost model.
+type QuerySpec struct {
+	// TemplateID identifies the template (e.g. 71 for TPC-DS Q71).
+	TemplateID int
+	// Stages execute in order.
+	Stages []Stage
+	// WorkingSetBytes is pinned in RAM for the query's duration
+	// (intermediate results: hash tables, sort runs).
+	WorkingSetBytes float64
+	// WorkingSetReuse is how many times the working set is traversed;
+	// spilled bytes cost WorkingSetReuse passes of swap I/O. Derived from
+	// the plan (sorts and multi-pass hash operations drive it up).
+	WorkingSetReuse float64
+}
+
+// Validate reports structural problems with the spec.
+func (q QuerySpec) Validate() error {
+	if len(q.Stages) == 0 {
+		return fmt.Errorf("sim: spec %d has no stages", q.TemplateID)
+	}
+	for i, s := range q.Stages {
+		if s.Amount < 0 || math.IsNaN(s.Amount) || math.IsInf(s.Amount, 0) {
+			return fmt.Errorf("sim: spec %d stage %d has invalid amount %g", q.TemplateID, i, s.Amount)
+		}
+		if s.Kind == StageSeqIO && s.Table == "" {
+			return fmt.Errorf("sim: spec %d stage %d: sequential I/O requires a table", q.TemplateID, i)
+		}
+		if s.Kind < StageSeqIO || s.Kind > StageCPU {
+			return fmt.Errorf("sim: spec %d stage %d has unknown kind %d", q.TemplateID, i, int(s.Kind))
+		}
+	}
+	if q.WorkingSetBytes < 0 {
+		return fmt.Errorf("sim: spec %d has negative working set", q.TemplateID)
+	}
+	if q.WorkingSetReuse < 0 {
+		return fmt.Errorf("sim: spec %d has negative working-set reuse", q.TemplateID)
+	}
+	return nil
+}
+
+// TotalIOBytes returns the spec's disk demand in bytes (sequential bytes
+// plus random pages converted at pageBytes). Swap inflation is normalized
+// against this quantity.
+func (q QuerySpec) TotalIOBytes(pageBytes float64) float64 {
+	var b float64
+	for _, s := range q.Stages {
+		switch s.Kind {
+		case StageSeqIO:
+			b += s.Amount
+		case StageRandIO:
+			b += s.Amount * pageBytes
+		}
+	}
+	return b
+}
+
+// ScannedTables returns the distinct tables read by sequential I/O stages.
+func (q QuerySpec) ScannedTables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range q.Stages {
+		if s.Kind == StageSeqIO && !seen[s.Table] {
+			seen[s.Table] = true
+			out = append(out, s.Table)
+		}
+	}
+	return out
+}
+
+// Result summarizes one completed query instance.
+type Result struct {
+	TemplateID int
+	// Latency is wall-clock (virtual) seconds from start to completion.
+	Latency float64
+	// IOTime is wall-clock seconds spent in disk I/O stages — the
+	// simulator's analogue of the procfs I/O accounting used to compute
+	// p_t (fraction of isolated execution time spent on I/O).
+	IOTime float64
+	// CPUTime is wall-clock seconds spent in CPU stages.
+	CPUTime float64
+	// SwapBytes is the swap traffic the instance generated.
+	SwapBytes float64
+	// Start and End are virtual timestamps.
+	Start, End float64
+}
+
+// IOFraction returns IOTime / Latency, the paper's p_t.
+func (r Result) IOFraction() float64 {
+	if r.Latency <= 0 {
+		return 0
+	}
+	return r.IOTime / r.Latency
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Execution tracing: an optional observer receives every lifecycle event
+// of the simulated executor (query admission, stage transitions,
+// completions), enabling timeline inspection and debugging — the
+// simulator's analogue of an executor's instrumentation hooks.
+
+// TraceKind classifies a trace event.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceStart marks a query instance's admission.
+	TraceStart TraceKind = iota
+	// TraceStage marks a stage transition within a query.
+	TraceStage
+	// TraceComplete marks a query instance's completion.
+	TraceComplete
+)
+
+// String returns the kind name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStart:
+		return "start"
+	case TraceStage:
+		return "stage"
+	case TraceComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one executor lifecycle event.
+type TraceEvent struct {
+	Time       float64
+	Kind       TraceKind
+	TemplateID int
+	Stream     int
+	// Stage is the stage being entered (TraceStage) or the first stage
+	// (TraceStart); meaningless for TraceComplete.
+	Stage StageKind
+	// Table is the stage's table, when applicable.
+	Table string
+}
+
+// Tracer receives executor events. Implementations must be cheap: the
+// engine calls them inline.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) the engine's tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+func (e *Engine) trace(ev TraceEvent) {
+	if e.tracer != nil {
+		ev.Time = e.clock
+		e.tracer.Event(ev)
+	}
+}
+
+// RecordingTracer retains every event in order.
+type RecordingTracer struct {
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (r *RecordingTracer) Event(ev TraceEvent) { r.Events = append(r.Events, ev) }
+
+// Reset clears the recording.
+func (r *RecordingTracer) Reset() { r.Events = r.Events[:0] }
+
+// Timeline renders the recorded events as a per-stream execution timeline
+// ("Gantt as text"): one line per query instance with its stage
+// transitions.
+func (r *RecordingTracer) Timeline() string {
+	type span struct {
+		stream, template int
+		start, end       float64
+		stages           []string
+		open             bool
+	}
+	var spans []*span
+	active := make(map[int]*span)
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case TraceStart:
+			s := &span{stream: ev.Stream, template: ev.TemplateID, start: ev.Time, open: true}
+			s.stages = append(s.stages, stageLabel(ev))
+			active[ev.Stream] = s
+			spans = append(spans, s)
+		case TraceStage:
+			if s := active[ev.Stream]; s != nil {
+				s.stages = append(s.stages, stageLabel(ev))
+			}
+		case TraceComplete:
+			if s := active[ev.Stream]; s != nil {
+				s.end = ev.Time
+				s.open = false
+				delete(active, ev.Stream)
+			}
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].stream < spans[j].stream
+	})
+	var b strings.Builder
+	for _, s := range spans {
+		end := "…"
+		if !s.open {
+			end = fmt.Sprintf("%.1fs", s.end)
+		}
+		fmt.Fprintf(&b, "stream %d T%-4d %10.1fs → %-10s %s\n",
+			s.stream, s.template, s.start, end, strings.Join(s.stages, " "))
+	}
+	return b.String()
+}
+
+func stageLabel(ev TraceEvent) string {
+	if ev.Table != "" {
+		return fmt.Sprintf("%s(%s)", ev.Stage, ev.Table)
+	}
+	return ev.Stage.String()
+}

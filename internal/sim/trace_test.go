@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerEventSequence(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	rec := &RecordingTracer{}
+	e.SetTracer(rec)
+
+	spec := QuerySpec{
+		TemplateID: 7,
+		Stages: []Stage{
+			{Kind: StageSeqIO, Table: "f", Amount: cfg.SeqBandwidth * 2},
+			{Kind: StageCPU, Amount: 1},
+		},
+	}
+	if _, err := e.RunIsolated(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 3 {
+		t.Fatalf("got %d events, want start/stage/complete", len(rec.Events))
+	}
+	if rec.Events[0].Kind != TraceStart || rec.Events[0].Stage != StageSeqIO || rec.Events[0].Table != "f" {
+		t.Fatalf("first event %+v", rec.Events[0])
+	}
+	if rec.Events[1].Kind != TraceStage || rec.Events[1].Stage != StageCPU {
+		t.Fatalf("second event %+v", rec.Events[1])
+	}
+	if rec.Events[2].Kind != TraceComplete || rec.Events[2].TemplateID != 7 {
+		t.Fatalf("third event %+v", rec.Events[2])
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].Time < rec.Events[i-1].Time {
+			t.Fatal("timestamps must be monotone")
+		}
+	}
+}
+
+func TestTracerTimeline(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	rec := &RecordingTracer{}
+	e.SetTracer(rec)
+
+	mix := []QuerySpec{
+		ioSpec(1, "a", cfg.SeqBandwidth*2),
+		ioSpec(2, "b", cfg.SeqBandwidth*4),
+	}
+	if _, err := e.RunSteadyState(mix, SteadyStateOptions{Samples: 2, WarmupSkip: 0}); err != nil {
+		t.Fatal(err)
+	}
+	tl := rec.Timeline()
+	if !strings.Contains(tl, "T1") || !strings.Contains(tl, "T2") {
+		t.Fatalf("timeline missing templates:\n%s", tl)
+	}
+	if !strings.Contains(tl, "SeqIO(a)") {
+		t.Fatalf("timeline missing stage labels:\n%s", tl)
+	}
+	rec.Reset()
+	if len(rec.Events) != 0 {
+		t.Fatal("Reset must clear events")
+	}
+}
+
+func TestTracerDetachable(t *testing.T) {
+	cfg := quietConfig()
+	e := NewEngine(cfg)
+	rec := &RecordingTracer{}
+	e.SetTracer(rec)
+	e.SetTracer(nil) // detached: no panic, no events
+	if _, err := e.RunIsolated(ioSpec(1, "a", cfg.SeqBandwidth)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 0 {
+		t.Fatal("detached tracer must receive nothing")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceStart.String() != "start" || TraceStage.String() != "stage" || TraceComplete.String() != "complete" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(TraceKind(9).String(), "9") {
+		t.Fatal("unknown kind must render its number")
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "math/rand"
+
+// Fold is one train/test split produced by KFold: index sets into the
+// original sample slice.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold partitions the indices 0..n-1 into k folds for cross-validation.
+// Indices are shuffled with the given seed so the split is deterministic
+// for a fixed seed, then each fold in turn becomes the test set.
+// If k > n, k is clamped to n. k < 2 yields a single degenerate fold with
+// everything in both sets (train-on-all, test-on-all).
+func KFold(n, k int, seed int64) []Fold {
+	if n <= 0 {
+		return nil
+	}
+	if k < 2 {
+		all := seq(n)
+		return []Fold{{Train: all, Test: all}}
+	}
+	if k > n {
+		k = n
+	}
+	idx := seq(n)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		test := append([]int(nil), idx[lo:hi]...)
+		train := make([]int, 0, n-len(test))
+		train = append(train, idx[:lo]...)
+		train = append(train, idx[hi:]...)
+		folds[f] = Fold{Train: train, Test: test}
+	}
+	return folds
+}
+
+// LeaveOneOut returns n folds, each testing on exactly one sample.
+func LeaveOneOut(n int) []Fold {
+	folds := make([]Fold, n)
+	for i := 0; i < n; i++ {
+		train := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				train = append(train, j)
+			}
+		}
+		folds[i] = Fold{Train: train, Test: []int{i}}
+	}
+	return folds
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKFoldBasic(t *testing.T) {
+	folds := KFold(10, 5, 1)
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds, want 5", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		if len(f.Test) != 2 {
+			t.Fatalf("test fold size %d, want 2", len(f.Test))
+		}
+		if len(f.Train) != 8 {
+			t.Fatalf("train fold size %d, want 8", len(f.Train))
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// No index appears in both train and test of the same fold.
+		inTest := make(map[int]bool)
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatalf("index %d in both train and test", i)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears %d times in test folds, want 1", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFold(20, 4, 7)
+	b := KFold(20, 4, 7)
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("KFold not deterministic for fixed seed")
+			}
+		}
+	}
+	c := KFold(20, 4, 8)
+	same := true
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != c[i].Test[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should shuffle differently")
+	}
+}
+
+func TestKFoldEdgeCases(t *testing.T) {
+	if KFold(0, 5, 1) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+	// k < 2 → degenerate single fold.
+	folds := KFold(5, 1, 1)
+	if len(folds) != 1 || len(folds[0].Train) != 5 || len(folds[0].Test) != 5 {
+		t.Fatalf("degenerate fold wrong: %+v", folds)
+	}
+	// k > n → clamped to n.
+	folds = KFold(3, 10, 1)
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds, want 3 (clamped)", len(folds))
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	folds := LeaveOneOut(4)
+	if len(folds) != 4 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	for i, f := range folds {
+		if len(f.Test) != 1 || f.Test[0] != i {
+			t.Fatalf("fold %d test = %v", i, f.Test)
+		}
+		if len(f.Train) != 3 {
+			t.Fatalf("fold %d train size %d", i, len(f.Train))
+		}
+		for _, j := range f.Train {
+			if j == i {
+				t.Fatalf("fold %d train contains test index", i)
+			}
+		}
+	}
+}
+
+// Property: every index lands in exactly one test fold, and train+test
+// always partition 0..n-1.
+func TestKFoldPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%50) + 2
+		k := int(seed%7) + 2
+		folds := KFold(n, k, seed)
+		testCount := make(map[int]int)
+		for _, fold := range folds {
+			union := make(map[int]bool)
+			for _, i := range fold.Train {
+				union[i] = true
+			}
+			for _, i := range fold.Test {
+				union[i] = true
+				testCount[i]++
+			}
+			if len(union) != n {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if testCount[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors regressor over fixed-dimension feature
+// vectors with Euclidean distance. Features are standardized (zero mean,
+// unit variance per dimension, computed over the training set) before
+// distance computation so dimensions with large magnitudes — e.g. working
+// set bytes vs. an I/O fraction in [0,1] — do not dominate.
+//
+// Contender uses KNN in two places: predicting spoiler-model coefficients
+// for new templates from (working set, I/O time) in Section 5.5, and as the
+// prediction step of KCCA (nearest neighbors in projection space).
+type KNN struct {
+	k       int
+	feats   [][]float64 // standardized training features
+	targets [][]float64 // per-sample target vectors (averaged component-wise)
+	mean    []float64
+	std     []float64
+}
+
+// NewKNN builds a regressor from training features and matching target
+// vectors. k is clamped to the number of samples. All feature rows must
+// share one dimension; all target rows must share one dimension.
+func NewKNN(k int, features [][]float64, targets [][]float64) *KNN {
+	if len(features) == 0 || len(features) != len(targets) {
+		panic("stats: KNN requires equal, non-zero features and targets")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(features) {
+		k = len(features)
+	}
+	d := len(features[0])
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(features))
+		for i, f := range features {
+			col[i] = f[j]
+		}
+		mean[j] = Mean(col)
+		std[j] = StdDev(col)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	std2 := make([][]float64, len(features))
+	for i, f := range features {
+		row := make([]float64, d)
+		for j, v := range f {
+			row[j] = (v - mean[j]) / std[j]
+		}
+		std2[i] = row
+	}
+	t := make([][]float64, len(targets))
+	for i, tv := range targets {
+		t[i] = append([]float64(nil), tv...)
+	}
+	return &KNN{k: k, feats: std2, targets: t, mean: mean, std: std}
+}
+
+// Predict returns the component-wise average of the target vectors of the
+// k nearest training samples to x.
+func (n *KNN) Predict(x []float64) []float64 {
+	idx := n.Neighbors(x)
+	out := make([]float64, len(n.targets[0]))
+	for _, i := range idx {
+		for j, v := range n.targets[i] {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(idx))
+	}
+	return out
+}
+
+// Neighbors returns the indices of the k nearest training samples to x,
+// closest first.
+func (n *KNN) Neighbors(x []float64) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	sx := make([]float64, len(x))
+	for j, v := range x {
+		sx[j] = (v - n.mean[j]) / n.std[j]
+	}
+	cands := make([]cand, len(n.feats))
+	for i, f := range n.feats {
+		var d float64
+		for j := range f {
+			diff := f[j] - sx[j]
+			d += diff * diff
+		}
+		cands[i] = cand{i, math.Sqrt(d)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, n.k)
+	for i := 0; i < n.k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKNNExactNeighbor(t *testing.T) {
+	feats := [][]float64{{0, 0}, {10, 10}, {20, 20}}
+	targets := [][]float64{{1}, {2}, {3}}
+	knn := NewKNN(1, feats, targets)
+	got := knn.Predict([]float64{9, 9})
+	if got[0] != 2 {
+		t.Fatalf("predicted %v, want [2]", got)
+	}
+}
+
+func TestKNNAveraging(t *testing.T) {
+	feats := [][]float64{{0}, {1}, {100}}
+	targets := [][]float64{{10}, {20}, {1000}}
+	knn := NewKNN(2, feats, targets)
+	got := knn.Predict([]float64{0.5})
+	if got[0] != 15 {
+		t.Fatalf("predicted %v, want [15] (avg of 10 and 20)", got)
+	}
+}
+
+func TestKNNStandardization(t *testing.T) {
+	// Dimension 0 spans millions, dimension 1 spans [0,1]. Without
+	// standardization dimension 1 would be ignored; with it, the nearest
+	// neighbor of (0, 0.9) by dimension-1 distance must win when
+	// dimension-0 values are equal.
+	feats := [][]float64{{1e6, 0.0}, {1e6, 1.0}, {2e6, 0.5}}
+	targets := [][]float64{{1}, {2}, {3}}
+	knn := NewKNN(1, feats, targets)
+	got := knn.Predict([]float64{1e6, 0.9})
+	if got[0] != 2 {
+		t.Fatalf("predicted %v, want [2]", got)
+	}
+}
+
+func TestKNNVectorTargets(t *testing.T) {
+	feats := [][]float64{{0}, {1}}
+	targets := [][]float64{{1, 10}, {3, 30}}
+	knn := NewKNN(2, feats, targets)
+	got := knn.Predict([]float64{0.5})
+	if got[0] != 2 || got[1] != 20 {
+		t.Fatalf("predicted %v, want [2 20]", got)
+	}
+}
+
+func TestKNNKClamped(t *testing.T) {
+	feats := [][]float64{{0}, {1}}
+	targets := [][]float64{{1}, {2}}
+	knn := NewKNN(10, feats, targets) // k > n must clamp
+	got := knn.Predict([]float64{0})
+	if got[0] != 1.5 {
+		t.Fatalf("predicted %v, want [1.5]", got)
+	}
+	knn = NewKNN(0, feats, targets) // k < 1 must become 1
+	if got := knn.Predict([]float64{0}); got[0] != 1 {
+		t.Fatalf("predicted %v, want [1]", got)
+	}
+}
+
+func TestKNNNeighborsOrdered(t *testing.T) {
+	feats := [][]float64{{0}, {5}, {1}, {10}}
+	targets := [][]float64{{0}, {0}, {0}, {0}}
+	knn := NewKNN(3, feats, targets)
+	nn := knn.Neighbors([]float64{0})
+	if nn[0] != 0 || nn[1] != 2 || nn[2] != 1 {
+		t.Fatalf("neighbors %v, want [0 2 1]", nn)
+	}
+}
+
+func TestKNNEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty training set")
+		}
+	}()
+	NewKNN(1, nil, nil)
+}

@@ -1,0 +1,256 @@
+// Package stats provides the statistical toolkit Contender is built on:
+// descriptive statistics, mean relative error (the paper's quality metric),
+// simple and multiple ordinary least squares, the coefficient of
+// determination R², k-fold cross-validation, and a k-nearest-neighbors
+// regressor. Everything operates on plain float64 slices so callers never
+// need to adapt their data structures.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"contender/internal/linalg"
+)
+
+// ErrInsufficientData is returned when a fit is requested on fewer samples
+// than the model has parameters.
+var ErrInsufficientData = errors.New("stats: insufficient data for fit")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RelativeError returns |observed-predicted| / |observed|. An observed value
+// of zero yields the absolute error of the prediction so the metric stays
+// finite.
+func RelativeError(observed, predicted float64) float64 {
+	if observed == 0 {
+		return math.Abs(predicted)
+	}
+	return math.Abs(observed-predicted) / math.Abs(observed)
+}
+
+// MRE returns the mean relative error between observed and predicted values
+// (Equation 1 in the paper). It panics if the slices differ in length and
+// returns 0 for empty input.
+func MRE(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) {
+		panic("stats: MRE length mismatch")
+	}
+	if len(observed) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range observed {
+		s += RelativeError(observed[i], predicted[i])
+	}
+	return s / float64(len(observed))
+}
+
+// Linear is a fitted simple linear model y = Slope*x + Intercept.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Predict evaluates the model at x.
+func (l Linear) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// FitLinear fits y = a*x + b by ordinary least squares.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, ErrInsufficientData
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		// All xs identical: degenerate fit, predict the mean.
+		return Linear{Slope: 0, Intercept: my}, nil
+	}
+	slope := sxy / sxx
+	return Linear{Slope: slope, Intercept: my - slope*mx}, nil
+}
+
+// RSquared computes the coefficient of determination of predictions against
+// observations: 1 - SS_res/SS_tot. A constant observation vector yields 0.
+func RSquared(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) || len(observed) == 0 {
+		return 0
+	}
+	m := Mean(observed)
+	var ssRes, ssTot float64
+	for i := range observed {
+		r := observed[i] - predicted[i]
+		d := observed[i] - m
+		ssRes += r * r
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// LinearR2 fits y = a*x+b and returns the R² of the fit. It is the measure
+// used throughout Table 3 of the paper ("R² for linear regression
+// correlating template features with ... the QS models").
+func LinearR2(xs, ys []float64) float64 {
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		return 0
+	}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = fit.Predict(x)
+	}
+	return RSquared(ys, pred)
+}
+
+// MultiLinear is a fitted multiple linear model
+// y = Intercept + Σ Coeffs[j]*x[j].
+type MultiLinear struct {
+	Coeffs    []float64
+	Intercept float64
+}
+
+// Predict evaluates the model on a feature vector.
+func (m MultiLinear) Predict(x []float64) float64 {
+	s := m.Intercept
+	for j, c := range m.Coeffs {
+		s += c * x[j]
+	}
+	return s
+}
+
+// FitMultiLinear fits a multiple OLS regression via the normal equations
+// with a small ridge term for numerical stability.
+func FitMultiLinear(xs [][]float64, ys []float64) (MultiLinear, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return MultiLinear{}, ErrInsufficientData
+	}
+	d := len(xs[0])
+	if n < d+1 {
+		return MultiLinear{}, ErrInsufficientData
+	}
+	// Design matrix with a leading 1s column for the intercept.
+	x := linalg.NewMatrix(n, d+1)
+	for i, row := range xs {
+		x.Set(i, 0, 1)
+		for j, v := range row {
+			x.Set(i, j+1, v)
+		}
+	}
+	xt := x.T()
+	xtx := linalg.Mul(xt, x).AddDiag(1e-9)
+	xty := xt.MulVec(ys)
+	beta, err := linalg.Solve(xtx, xty)
+	if err != nil {
+		return MultiLinear{}, err
+	}
+	return MultiLinear{Intercept: beta[0], Coeffs: beta[1:]}, nil
+}
+
+// Summary is a five-number descriptive summary of a sample.
+type Summary struct {
+	Count     int
+	Mean, Std float64
+	Min, Max  float64
+	P50, P95  float64
+}
+
+// Summarize computes a Summary of xs (zero value for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return Summary{
+		Count: len(s),
+		Mean:  Mean(s),
+		Std:   StdDev(s),
+		Min:   s[0],
+		Max:   s[len(s)-1],
+		P50:   q(0.50),
+		P95:   q(0.95),
+	}
+}

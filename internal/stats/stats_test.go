@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %g, want 5", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("variance = %g, want 4", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("stddev = %g, want 2", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty slices must yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median wrong")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEq(Pearson(xs, ys), 1, 1e-12) {
+		t.Fatal("perfect positive correlation expected")
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEq(Pearson(xs, neg), -1, 1e-12) {
+		t.Fatal("perfect negative correlation expected")
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series must yield 0")
+	}
+	if Pearson(xs, ys[:2]) != 0 {
+		t.Fatal("length mismatch must yield 0")
+	}
+}
+
+func TestRelativeErrorAndMRE(t *testing.T) {
+	if RelativeError(100, 80) != 0.2 {
+		t.Fatal("relative error wrong")
+	}
+	if RelativeError(0, 3) != 3 {
+		t.Fatal("zero-observed fallback wrong")
+	}
+	mre := MRE([]float64{100, 200}, []float64{110, 180})
+	if !almostEq(mre, 0.1, 1e-12) {
+		t.Fatalf("MRE = %g, want 0.1", mre)
+	}
+	if MRE(nil, nil) != 0 {
+		t.Fatal("empty MRE must be 0")
+	}
+}
+
+func TestMREMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MRE([]float64{1}, []float64{1, 2})
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEq(fit.Predict(10), 21, 1e-12) {
+		t.Fatal("Predict wrong")
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	// All x equal → predict the mean.
+	fit, err := FitLinear([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 2 {
+		t.Fatalf("degenerate fit = %+v, want mean predictor", fit)
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error for a single point")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if RSquared(obs, obs) != 1 {
+		t.Fatal("perfect prediction must give R²=1")
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if RSquared(obs, mean) != 0 {
+		t.Fatal("mean prediction must give R²=0")
+	}
+	if RSquared([]float64{1, 1}, []float64{1, 1}) != 0 {
+		t.Fatal("constant observations must give 0")
+	}
+}
+
+func TestLinearR2(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if !almostEq(LinearR2(xs, ys), 1, 1e-12) {
+		t.Fatal("perfectly linear data must give R²=1")
+	}
+	if LinearR2([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("unfittable data must give 0")
+	}
+}
+
+func TestFitMultiLinear(t *testing.T) {
+	// y = 3 + 2a - b over a grid.
+	var xs [][]float64
+	var ys []float64
+	for a := 0.0; a < 4; a++ {
+		for b := 0.0; b < 4; b++ {
+			xs = append(xs, []float64{a, b})
+			ys = append(ys, 3+2*a-b)
+		}
+	}
+	m, err := FitMultiLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Intercept, 3, 1e-6) || !almostEq(m.Coeffs[0], 2, 1e-6) || !almostEq(m.Coeffs[1], -1, 1e-6) {
+		t.Fatalf("fit = %+v", m)
+	}
+	if !almostEq(m.Predict([]float64{1, 1}), 4, 1e-6) {
+		t.Fatal("Predict wrong")
+	}
+}
+
+func TestFitMultiLinearInsufficient(t *testing.T) {
+	if _, err := FitMultiLinear(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected error for n < d+1")
+	}
+}
+
+// Property: MRE is non-negative and zero only for exact predictions.
+func TestMREProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		obs := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range obs {
+			obs[i] = 1 + rng.Float64()*100
+			pred[i] = obs[i]
+		}
+		if MRE(obs, pred) != 0 {
+			return false
+		}
+		pred[0] = obs[0] * 1.5
+		return MRE(obs, pred) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OLS recovers the generating line from noiseless data.
+func TestFitLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := rng.NormFloat64() * 5
+		intercept := rng.NormFloat64() * 5
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = slope*xs[i] + intercept
+		}
+		// Need at least two distinct xs.
+		xs[1] = xs[0] + 1
+		ys[1] = slope*xs[1] + intercept
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(fit.Slope, slope, 1e-8) && almostEq(fit.Intercept, intercept, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %g, want 3", s.P50)
+	}
+	if s.P95 != 5 {
+		t.Fatalf("P95 = %g, want 5", s.P95)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	// Summarize must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,140 @@
+// Package tpcds provides the synthetic analytical workload the experiments
+// run on: a TPC-DS-like schema at scale factor 100 and 25 query templates of
+// moderate running time (130–1000 s in isolation on the default simulated
+// host), mirroring the workload selection of Section 2 of the paper.
+//
+// Templates are defined as query execution plan (QEP) trees; a cost model
+// derives each template's simulator resource profile (sequential/random
+// I/O, CPU work, working-set size) from its plan, the same way the paper's
+// observables derive from real PostgreSQL plans. The template mix follows
+// the paper's Section 6.1 taxonomy: extremely I/O-bound templates (26, 33,
+// 61, 71 spend ≥97% of isolated execution on I/O), random-I/O templates
+// (17, 25, 32), CPU-heavy templates (62, 65), and memory-intensive
+// templates (2, 22) with multi-gigabyte working sets.
+package tpcds
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table describes one relation of the schema.
+type Table struct {
+	Name     string
+	RowCount float64
+	RowBytes int
+	// Fact marks the large, disk-resident tables whose scans drive I/O
+	// contention (and shared-scan savings). Non-fact (dimension) tables
+	// are buffer-pool resident.
+	Fact bool
+}
+
+// Bytes returns the table's on-disk size.
+func (t Table) Bytes() float64 { return t.RowCount * float64(t.RowBytes) }
+
+// Catalog is the schema: a fixed set of tables at scale factor 100.
+type Catalog struct {
+	tables map[string]Table
+}
+
+// NewCatalog returns the TPC-DS SF=100 catalog used throughout the
+// repository. Sizes approximate the published TPC-DS table volumes at
+// 100 GB.
+func NewCatalog() *Catalog {
+	c := &Catalog{tables: make(map[string]Table)}
+	add := func(name string, rows float64, width int, fact bool) {
+		c.tables[name] = Table{Name: name, RowCount: rows, RowBytes: width, Fact: fact}
+	}
+	// Fact tables.
+	add("store_sales", 288e6, 132, true)
+	add("catalog_sales", 144e6, 158, true)
+	add("web_sales", 72e6, 158, true)
+	add("inventory", 399e6, 20, true)
+	add("store_returns", 28.8e6, 134, true)
+	add("catalog_returns", 14.4e6, 166, true)
+	add("web_returns", 7.2e6, 162, true)
+	// Dimension tables (buffer-pool resident).
+	add("date_dim", 73049, 141, false)
+	add("time_dim", 86400, 59, false)
+	add("item", 204000, 294, false)
+	add("customer", 2e6, 280, false)
+	add("customer_address", 1e6, 110, false)
+	add("customer_demographics", 1.92e6, 42, false)
+	add("household_demographics", 7200, 21, false)
+	add("store", 402, 263, false)
+	add("warehouse", 15, 117, false)
+	add("promotion", 1000, 124, false)
+	add("web_site", 24, 292, false)
+	add("web_page", 2040, 96, false)
+	add("call_center", 24, 305, false)
+	add("catalog_page", 20400, 139, false)
+	add("ship_mode", 20, 56, false)
+	add("reason", 55, 38, false)
+	add("income_band", 20, 16, false)
+	return c
+}
+
+// Table returns the named table; ok is false if it does not exist.
+func (c *Catalog) Table(name string) (Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// MustTable returns the named table or panics — used by the template
+// catalog, where a missing table is a programming error.
+func (c *Catalog) MustTable(name string) Table {
+	t, ok := c.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("tpcds: unknown table %q", name))
+	}
+	return t
+}
+
+// FactTables returns all fact tables sorted by name.
+func (c *Catalog) FactTables() []Table {
+	var out []Table
+	for _, t := range c.tables {
+		if t.Fact {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Tables returns every table sorted by name.
+func (c *Catalog) Tables() []Table {
+	out := make([]Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalFactBytes returns the combined size of all fact tables.
+func (c *Catalog) TotalFactBytes() float64 {
+	var s float64
+	for _, t := range c.FactTables() {
+		s += t.Bytes()
+	}
+	return s
+}
+
+// Scaled returns a copy of the catalog with every fact table's row count
+// multiplied by factor, modeling an expanding database (accumulated
+// writes). Dimension tables, which are near-static in TPC-DS, keep their
+// size.
+func (c *Catalog) Scaled(factor float64) *Catalog {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := &Catalog{tables: make(map[string]Table, len(c.tables))}
+	for name, t := range c.tables {
+		if t.Fact {
+			t.RowCount *= factor
+		}
+		out.tables[name] = t
+	}
+	return out
+}

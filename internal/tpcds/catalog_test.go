@@ -1,0 +1,64 @@
+package tpcds
+
+import (
+	"testing"
+)
+
+func TestCatalogTables(t *testing.T) {
+	c := NewCatalog()
+	ss, ok := c.Table("store_sales")
+	if !ok || !ss.Fact {
+		t.Fatal("store_sales must exist and be a fact table")
+	}
+	if ss.Bytes() < 30e9 || ss.Bytes() > 45e9 {
+		t.Fatalf("store_sales size %g bytes, want ~38 GB at SF 100", ss.Bytes())
+	}
+	dd, ok := c.Table("date_dim")
+	if !ok || dd.Fact {
+		t.Fatal("date_dim must exist and be a dimension")
+	}
+	if _, ok := c.Table("nonexistent"); ok {
+		t.Fatal("unknown table must not resolve")
+	}
+}
+
+func TestCatalogFactTables(t *testing.T) {
+	c := NewCatalog()
+	facts := c.FactTables()
+	if len(facts) != 7 {
+		t.Fatalf("got %d fact tables, want 7", len(facts))
+	}
+	for i := 1; i < len(facts); i++ {
+		if facts[i-1].Name >= facts[i].Name {
+			t.Fatal("fact tables must be sorted by name")
+		}
+	}
+	// Total fact volume approximates the benchmark's 100 GB configuration
+	// (dimensions account for the remainder).
+	total := c.TotalFactBytes()
+	if total < 70e9 || total > 110e9 {
+		t.Fatalf("total fact bytes %g, want roughly 100 GB", total)
+	}
+}
+
+func TestCatalogMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCatalog().MustTable("nope")
+}
+
+func TestCatalogTablesSorted(t *testing.T) {
+	c := NewCatalog()
+	all := c.Tables()
+	if len(all) < 20 {
+		t.Fatalf("only %d tables", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatal("tables must be sorted")
+		}
+	}
+}

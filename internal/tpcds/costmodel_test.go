@@ -1,0 +1,149 @@
+package tpcds
+
+import (
+	"testing"
+
+	"contender/internal/qep"
+	"contender/internal/sim"
+)
+
+func TestCostSimpleScanPlan(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	plan := &qep.Plan{Root: qep.Scan("store_sales", 1e6, 132)}
+	prof := cm.Cost(cat, plan)
+
+	if len(prof.SeqScans) != 1 || prof.SeqScans[0].Table != "store_sales" {
+		t.Fatalf("SeqScans = %+v", prof.SeqScans)
+	}
+	if prof.SeqScans[0].Bytes != cat.MustTable("store_sales").Bytes() {
+		t.Fatal("scan bytes must equal the full table size")
+	}
+	// Scan CPU charged on full row count, not the post-filter estimate.
+	wantCPU := cat.MustTable("store_sales").RowCount * cm.ScanCPUPerRow * 1e-6
+	if prof.CPUSeconds != wantCPU {
+		t.Fatalf("CPU = %g, want %g", prof.CPUSeconds, wantCPU)
+	}
+	if prof.WorkingSetReuse != cm.WorkingSetReuseBase {
+		t.Fatal("plain scan must have the base reuse only")
+	}
+}
+
+func TestCostDimensionScansAreCached(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	plan := &qep.Plan{Root: qep.Scan("date_dim", 100, 141)}
+	prof := cm.Cost(cat, plan)
+	if len(prof.SeqScans) != 0 {
+		t.Fatal("dimension scans must not hit the disk")
+	}
+	if prof.CachedBytes != cat.MustTable("date_dim").Bytes() {
+		t.Fatal("dimension bytes must be cached reads")
+	}
+}
+
+func TestCostOperators(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	build := qep.Scan("date_dim", 1000, 141)
+	probe := qep.Scan("store_sales", 5e6, 132)
+	join := qep.Op(qep.HashJoin, 5e6, 100, build, probe)
+	sortN := qep.Op(qep.Sort, 5e6, 100, join)
+	plan := &qep.Plan{Root: sortN}
+	prof := cm.Cost(cat, plan)
+
+	// Hash join pins its build side.
+	if prof.WorkingSetBytes < 1000*141 {
+		t.Fatal("hash join build must contribute to the working set")
+	}
+	// Sort pins its input (5e6 rows × 100 B).
+	if prof.WorkingSetBytes < 5e6*100 {
+		t.Fatalf("sort input missing from working set: %g", prof.WorkingSetBytes)
+	}
+	wantReuse := cm.WorkingSetReuseBase + cm.ReusePerSort + cm.ReusePerHashJoin
+	if prof.WorkingSetReuse != wantReuse {
+		t.Fatalf("reuse = %g, want %g", prof.WorkingSetReuse, wantReuse)
+	}
+}
+
+func TestCostIndexScan(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	plan := &qep.Plan{Root: qep.Index("catalog_sales", 5000, 158)}
+	prof := cm.Cost(cat, plan)
+	if prof.RandomPages != 5000 {
+		t.Fatalf("random pages = %g, want 5000", prof.RandomPages)
+	}
+	if len(prof.SeqScans) != 0 {
+		t.Fatal("index scan must not add sequential demand")
+	}
+}
+
+func TestSpecAssembly(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	plan := &qep.Plan{Root: qep.Op(qep.HashJoin, 1e6, 100,
+		qep.Scan("date_dim", 100, 141),
+		qep.Op(qep.NestedLoop, 1e6, 120,
+			qep.Scan("store_sales", 2e6, 132),
+			qep.Index("catalog_sales", 3000, 158)))}
+	spec := cm.Spec(cat, 42, plan)
+	if spec.TemplateID != 42 {
+		t.Fatal("template id not propagated")
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []sim.StageKind
+	for _, s := range spec.Stages {
+		kinds = append(kinds, s.Kind)
+	}
+	// Expected order: cached dims, (seq scan, cpu)×1, (rand, cpu), final cpu.
+	want := []sim.StageKind{
+		sim.StageCachedIO,
+		sim.StageSeqIO, sim.StageCPU,
+		sim.StageRandIO, sim.StageCPU,
+		sim.StageCPU,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("stage kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("stage %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// CPU total is split evenly across the chunks.
+	prof := cm.Cost(cat, plan)
+	var cpu float64
+	for _, s := range spec.Stages {
+		if s.Kind == sim.StageCPU {
+			cpu += s.Amount
+		}
+	}
+	if d := cpu - prof.CPUSeconds; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("CPU split %g != total %g", cpu, prof.CPUSeconds)
+	}
+}
+
+func TestRestartCost(t *testing.T) {
+	stages := RestartCost()
+	if len(stages) == 0 {
+		t.Fatal("restart cost must not be empty")
+	}
+	var hasCPU, hasIO bool
+	for _, s := range stages {
+		switch s.Kind {
+		case sim.StageCPU:
+			hasCPU = true
+		case sim.StageSeqIO:
+			hasIO = true
+			if s.Table == "" {
+				t.Fatal("restart I/O needs a table for disk accounting")
+			}
+		}
+	}
+	if !hasCPU || !hasIO {
+		t.Fatal("restart cost must include plan generation (CPU) and dimension re-caching (I/O)")
+	}
+}

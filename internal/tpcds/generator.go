@@ -1,0 +1,111 @@
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contender/internal/qep"
+)
+
+// Template generation: synthesize plausible ad-hoc analytical templates —
+// random join trees over the catalog with realistic cardinalities — for
+// stress-testing the new-template prediction pipeline. Contender's whole
+// point is handling queries it has never seen; the generator provides an
+// unbounded supply of them.
+
+// GeneratorOptions bounds the shape of generated templates.
+type GeneratorOptions struct {
+	// FactTables is the number of fact tables scanned (1–3 typical).
+	// Zero picks randomly in [1,3].
+	FactTables int
+	// AllowIndexScan permits a random-I/O stage.
+	AllowIndexScan bool
+	// AllowSort permits a top-level sort (working-set pressure).
+	AllowSort bool
+}
+
+// DefaultGeneratorOptions allows the full shape space.
+func DefaultGeneratorOptions() GeneratorOptions {
+	return GeneratorOptions{AllowIndexScan: true, AllowSort: true}
+}
+
+// GenerateTemplate synthesizes one random template against the catalog.
+// The ID is caller-chosen (use values ≥ 1000 to avoid the bundled set).
+// Generation is deterministic for a fixed rng state.
+func GenerateTemplate(cat *Catalog, id int, opts GeneratorOptions, rng *rand.Rand) Template {
+	facts := cat.FactTables()
+	nFacts := opts.FactTables
+	if nFacts <= 0 {
+		nFacts = 1 + rng.Intn(3)
+	}
+	if nFacts > len(facts) {
+		nFacts = len(facts)
+	}
+	// Pick distinct fact tables.
+	perm := rng.Perm(len(facts))[:nFacts]
+
+	dims := []string{"date_dim", "item", "store", "promotion", "household_demographics", "customer_address"}
+
+	// Build a left-deep join tree: each fact scan joins against a dim
+	// build side; fact-fact joins keep the smaller estimate as the build.
+	var tree *qep.Node
+	for i, fi := range perm {
+		ft := facts[fi]
+		sel := 0.005 + rng.Float64()*0.05 // post-filter selectivity
+		scan := qep.Scan(ft.Name, ft.RowCount*sel, widthFor(rng))
+		dim := dims[rng.Intn(len(dims))]
+		dt := cat.MustTable(dim)
+		dimSel := 0.001 + rng.Float64()*0.1
+		join := qep.Op(qep.HashJoin, scan.Rows*0.8, widthFor(rng),
+			qep.Scan(dim, dt.RowCount*dimSel, dt.RowBytes),
+			scan)
+		if i == 0 {
+			tree = join
+		} else {
+			build, probe := join, tree
+			if build.Rows > probe.Rows {
+				build, probe = probe, build
+			}
+			tree = qep.Op(qep.HashJoin, probe.Rows*0.6, widthFor(rng), build, probe)
+		}
+	}
+
+	if opts.AllowIndexScan && rng.Float64() < 0.35 {
+		ft := facts[rng.Intn(len(facts))]
+		pages := float64(5000 + rng.Intn(45000))
+		tree = qep.Op(qep.NestedLoop, tree.Rows*0.5, widthFor(rng),
+			tree, qep.Index(ft.Name, pages, ft.RowBytes))
+	}
+
+	groups := tree.Rows * (0.05 + rng.Float64()*0.4)
+	tree = qep.Op(qep.HashAggregate, groups, widthFor(rng), tree)
+	if opts.AllowSort && rng.Float64() < 0.6 {
+		tree = qep.Op(qep.Sort, tree.Rows, tree.Width, tree)
+	}
+	if rng.Float64() < 0.3 {
+		tree = qep.Op(qep.Limit, 100, tree.Width, tree)
+	}
+
+	t := Template{
+		ID:          id,
+		Name:        fmt.Sprintf("G%d", id),
+		Description: fmt.Sprintf("generated ad-hoc template over %d fact table(s)", nFacts),
+		Plan:        &qep.Plan{Root: tree},
+	}
+	if err := t.Plan.Validate(); err != nil {
+		panic(fmt.Sprintf("tpcds: generated invalid plan: %v", err))
+	}
+	return t
+}
+
+// GenerateTemplates synthesizes n templates with IDs base..base+n-1.
+func GenerateTemplates(cat *Catalog, base, n int, opts GeneratorOptions, seed int64) []Template {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Template, n)
+	for i := range out {
+		out[i] = GenerateTemplate(cat, base+i, opts, rng)
+	}
+	return out
+}
+
+func widthFor(rng *rand.Rand) int { return 40 + rng.Intn(120) }

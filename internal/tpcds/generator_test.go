@@ -1,0 +1,122 @@
+package tpcds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contender/internal/qep"
+)
+
+func TestGenerateTemplateValid(t *testing.T) {
+	cat := NewCatalog()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tpl := GenerateTemplate(cat, 1000+i, DefaultGeneratorOptions(), rng)
+		if err := tpl.Plan.Validate(); err != nil {
+			t.Fatalf("template %d invalid: %v", tpl.ID, err)
+		}
+		if len(tpl.Plan.ScannedTables()) == 0 {
+			t.Fatal("generated template must scan at least one table")
+		}
+		spec := DefaultCostModel().Spec(cat, tpl.ID, tpl.Plan)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v", err)
+		}
+	}
+}
+
+func TestGenerateTemplatesDeterministic(t *testing.T) {
+	cat := NewCatalog()
+	a := GenerateTemplates(cat, 1000, 5, DefaultGeneratorOptions(), 7)
+	b := GenerateTemplates(cat, 1000, 5, DefaultGeneratorOptions(), 7)
+	for i := range a {
+		if a[i].Plan.String() != b[i].Plan.String() {
+			t.Fatal("generation must be deterministic for a fixed seed")
+		}
+	}
+	c := GenerateTemplates(cat, 1000, 5, DefaultGeneratorOptions(), 8)
+	same := true
+	for i := range a {
+		if a[i].Plan.String() != c[i].Plan.String() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must generate different templates")
+	}
+}
+
+func TestGenerateTemplatesIDs(t *testing.T) {
+	cat := NewCatalog()
+	ts := GenerateTemplates(cat, 2000, 4, DefaultGeneratorOptions(), 3)
+	for i, tpl := range ts {
+		if tpl.ID != 2000+i {
+			t.Fatalf("id %d, want %d", tpl.ID, 2000+i)
+		}
+	}
+}
+
+func TestGenerateFactTableBound(t *testing.T) {
+	cat := NewCatalog()
+	rng := rand.New(rand.NewSource(2))
+	opts := GeneratorOptions{FactTables: 2}
+	tpl := GenerateTemplate(cat, 1, opts, rng)
+	facts := 0
+	for table := range tpl.Plan.ScannedTables() {
+		if tb, ok := cat.Table(table); ok && tb.Fact {
+			facts++
+		}
+	}
+	if facts != 2 {
+		t.Fatalf("scanned %d fact tables, want 2", facts)
+	}
+	// Requesting more fact tables than exist clamps.
+	opts.FactTables = 100
+	tpl = GenerateTemplate(cat, 2, opts, rng)
+	if err := tpl.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated template simulates to a positive, finite
+// latency with sensible accounting.
+func TestGeneratedTemplatesSimulateProperty(t *testing.T) {
+	cat := NewCatalog()
+	cm := DefaultCostModel()
+	e := quietEngine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tpl := GenerateTemplate(cat, 1000, DefaultGeneratorOptions(), rng)
+		spec := cm.Spec(cat, tpl.ID, tpl.Plan)
+		res, err := e.RunIsolated(spec)
+		if err != nil {
+			return false
+		}
+		return res.Latency > 0 && res.IOFraction() > 0 && res.IOFraction() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated plans only reference catalog tables.
+func TestGeneratedTablesExistProperty(t *testing.T) {
+	cat := NewCatalog()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tpl := GenerateTemplate(cat, 1, DefaultGeneratorOptions(), rng)
+		ok := true
+		tpl.Plan.Walk(func(n *qep.Node) {
+			if n.Kind.IsScan() {
+				if _, exists := cat.Table(n.Table); !exists {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package tpcds
+
+import (
+	"fmt"
+	"sort"
+
+	"contender/internal/qep"
+)
+
+// Template is one parameterized query class of the workload. Examples of a
+// template share plan structure and differ only in predicate constants
+// (which the simulator models as per-instance jitter).
+type Template struct {
+	ID   int
+	Name string
+	// Description summarizes the query's intent and its Section 6.1
+	// category (I/O-bound, random I/O, CPU-heavy, memory-intensive).
+	Description string
+	Plan        *qep.Plan
+}
+
+// Templates returns the paper's 25-template workload of moderate running
+// time, sorted by ID. The mix reproduces the taxonomy of Section 6.1:
+//
+//   - templates 26, 33, 61, 71 are extremely I/O-bound (≥97% of isolated
+//     execution time on I/O);
+//   - templates 17, 25, 32 execute substantial random I/O (index scans);
+//   - templates 62 and 65 are CPU-limited;
+//   - templates 2 and 22 are memory-intensive with multi-GB working sets;
+//   - templates 56 and 60 share plan structure (near-twins);
+//   - templates 22 and 82 share an inventory fact scan.
+func Templates() []Template {
+	ts := []Template{
+		{2, "Q2", "week-over-week sales ratio across catalog and web channels; large sort makes it the workload's most memory-intensive template", q2()},
+		{7, "Q7", "promotional store sales with inventory correlation; the longest template, touching four fact tables plus index lookups", q7()},
+		{15, "Q15", "catalog sales rolled up by customer zip; hash aggregation over a catalog_sales scan", q15()},
+		{17, "Q17", "store/catalog return ratios fetched partly through index scans (random I/O)", q17()},
+		{18, "Q18", "catalog sales demographics averages with a wide group-by", q18()},
+		{20, "Q20", "catalog sales by item class over a date window", q20()},
+		{22, "Q22", "inventory quantity-on-hand rollup; memory-intensive hash aggregation, shares the inventory scan with Q82", q22()},
+		{25, "Q25", "store-to-web return chains located via index scans (random I/O)", q25()},
+		{26, "Q26", "catalog/web promotion averages; extremely I/O-bound", q26()},
+		{27, "Q27", "store sales averages by state with rollup aggregation", q27()},
+		{32, "Q32", "excess catalog discount detection via index-driven correlated lookups (random I/O)", q32()},
+		{33, "Q33", "manufacturer sales across store and web channels; extremely I/O-bound", q33()},
+		{40, "Q40", "catalog sales/returns before-and-after comparison with index lookups", q40()},
+		{46, "Q46", "store sales by household demographic with a large sort", q46()},
+		{56, "Q56", "item sales across web and catalog channels (structural twin of Q60)", q56()},
+		{60, "Q60", "item sales across web and catalog channels (structural twin of Q56)", q60()},
+		{61, "Q61", "promotional vs total store sales; extremely I/O-bound", q61()},
+		{62, "Q62", "web sales shipping-delay buckets; the workload's lightest template", q62()},
+		{65, "Q65", "store sales min/max margins; CPU-limited by a very large sort", q65()},
+		{66, "Q66", "web sales by warehouse and shipping mode with window aggregation", q66()},
+		{70, "Q70", "store sales ranking by state with window aggregation", q70()},
+		{71, "Q71", "brand revenue across all three sales channels; extremely I/O-bound", q71()},
+		{79, "Q79", "store sales by customer with demographic filters", q79()},
+		{82, "Q82", "items with excess inventory and store sales; shares the inventory scan with Q22", q82()},
+		{90, "Q90", "morning-to-evening web sales ratio with index-backed time lookups", q90()},
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	for _, t := range ts {
+		if err := t.Plan.Validate(); err != nil {
+			panic(fmt.Sprintf("tpcds: template %d: %v", t.ID, err))
+		}
+	}
+	return ts
+}
+
+// Plan-building shorthand. Cardinalities are post-filter optimizer
+// estimates; scan CPU is charged on full table row counts by the cost
+// model.
+
+func q2() *qep.Plan {
+	inner := qep.Op(qep.HashJoin, 7.2e6, 110,
+		qep.Scan("date_dim", 400, 141),
+		qep.Scan("web_sales", 60e6, 158),
+	)
+	join := qep.Op(qep.HashJoin, 30e6, 140,
+		inner,
+		qep.Scan("catalog_sales", 120e6, 158),
+	)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 30e6, 140, join)}
+}
+
+func q7() *qep.Plan {
+	dims := qep.Op(qep.HashJoin, 12e6, 100,
+		qep.Scan("promotion", 300, 124),
+		qep.Scan("store_sales", 60e6, 132),
+	)
+	inv := qep.Op(qep.HashJoin, 20e6, 90,
+		qep.Scan("item", 5e4, 294),
+		qep.Scan("inventory", 80e6, 20),
+	)
+	big := qep.Op(qep.HashJoin, 25e6, 120, dims,
+		qep.Op(qep.HashJoin, 30e6, 110, inv,
+			qep.Scan("catalog_sales", 50e6, 158)))
+	withReturns := qep.Op(qep.HashJoin, 8e6, 130,
+		qep.Scan("store_returns", 3e6, 134), big)
+	idx := qep.Op(qep.NestedLoop, 2e6, 140, withReturns,
+		qep.Index("catalog_returns", 20000, 166))
+	agg := qep.Op(qep.HashAggregate, 1e6, 100, idx)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 1e6, 100, agg)}
+}
+
+func q15() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 20e6, 90,
+		qep.Scan("customer_address", 2e5, 110),
+		qep.Op(qep.HashJoin, 40e6, 100,
+			qep.Scan("date_dim", 90, 141),
+			qep.Scan("catalog_sales", 100e6, 158)))
+	agg := qep.Op(qep.HashAggregate, 5e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 5e6, 100, agg)}
+}
+
+func q17() *qep.Plan {
+	base := qep.Op(qep.HashJoin, 30e6, 110,
+		qep.Scan("date_dim", 90, 141),
+		qep.Scan("catalog_sales", 80e6, 158))
+	sr := qep.Op(qep.HashJoin, 8e6, 130,
+		qep.Scan("store_returns", 6e6, 134), base)
+	idx := qep.Op(qep.NestedLoop, 4e6, 140, sr,
+		qep.Index("store_sales", 30000, 132))
+	agg := qep.Op(qep.HashAggregate, 3e6, 120, idx)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 3e6, 120, agg)}
+}
+
+func q18() *qep.Plan {
+	j1 := qep.Op(qep.HashJoin, 25e6, 100,
+		qep.Scan("customer_demographics", 3e5, 42),
+		qep.Op(qep.HashJoin, 60e6, 110,
+			qep.Scan("date_dim", 365, 141),
+			qep.Scan("catalog_sales", 90e6, 158)))
+	j2 := qep.Op(qep.HashJoin, 10e6, 50,
+		qep.Scan("catalog_returns", 3e6, 166), j1)
+	sorted := qep.Op(qep.Sort, 10e6, 50, j2)
+	return &qep.Plan{Root: qep.Op(qep.GroupAggregate, 3e6, 110, sorted)}
+}
+
+func q20() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 30e6, 100,
+		qep.Scan("item", 1e4, 294),
+		qep.Op(qep.HashJoin, 50e6, 110,
+			qep.Scan("date_dim", 30, 141),
+			qep.Scan("catalog_sales", 80e6, 158)))
+	agg := qep.Op(qep.HashAggregate, 4e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 4e6, 100, agg)}
+}
+
+func q22() *qep.Plan {
+	inv := qep.Op(qep.HashJoin, 10e6, 80,
+		qep.Scan("item", 2e5, 294),
+		qep.Scan("inventory", 200e6, 20))
+	j := qep.Op(qep.MergeJoin, 80e6, 100, inv,
+		qep.Scan("catalog_sales", 100e6, 158))
+	agg := qep.Op(qep.HashAggregate, 16e6, 130, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 16e6, 130, agg)}
+}
+
+func q25() *qep.Plan {
+	base := qep.Op(qep.HashJoin, 20e6, 110,
+		qep.Scan("date_dim", 30, 141),
+		qep.Scan("web_sales", 40e6, 158))
+	sr := qep.Op(qep.HashJoin, 5e6, 130,
+		qep.Scan("store_returns", 4e6, 134), base)
+	idx := qep.Op(qep.NestedLoop, 2e6, 140, sr,
+		qep.Index("catalog_sales", 35000, 158))
+	agg := qep.Op(qep.HashAggregate, 2e6, 110, idx)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 2e6, 110, agg)}
+}
+
+func q26() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 2e6, 100,
+		qep.Scan("promotion", 200, 124),
+		qep.Op(qep.HashJoin, 2.5e6, 110,
+			qep.Scan("date_dim", 365, 141),
+			qep.Op(qep.HashJoin, 2.5e6, 60,
+				qep.Scan("catalog_sales", 1.5e6, 60),
+				qep.Scan("web_sales", 1e6, 60))))
+	agg := qep.Op(qep.HashAggregate, 8e6, 120, j)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 120, agg)}
+}
+
+func q27() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 40e6, 100,
+		qep.Scan("store", 120, 263),
+		qep.Op(qep.HashJoin, 70e6, 110,
+			qep.Scan("date_dim", 365, 141),
+			qep.Scan("store_sales", 100e6, 132)))
+	agg := qep.Op(qep.HashAggregate, 8e6, 110, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 8e6, 110, agg)}
+}
+
+func q32() *qep.Plan {
+	base := qep.Op(qep.HashJoin, 25e6, 110,
+		qep.Scan("item", 5e3, 294),
+		qep.Scan("catalog_sales", 60e6, 158))
+	idx := qep.Op(qep.NestedLoop, 5e6, 130, base,
+		qep.Index("catalog_sales", 50000, 158))
+	return &qep.Plan{Root: qep.Op(qep.HashAggregate, 12e6, 120, idx)}
+}
+
+func q33() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 2e6, 100,
+		qep.Scan("item", 1e4, 294),
+		qep.Op(qep.HashJoin, 2.5e6, 60,
+			qep.Scan("store_sales", 1.5e6, 60),
+			qep.Scan("web_sales", 1e6, 60)))
+	agg := qep.Op(qep.HashAggregate, 7e6, 130, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 7e6, 130, agg)}
+}
+
+func q40() *qep.Plan {
+	j1 := qep.Op(qep.HashJoin, 30e6, 110,
+		qep.Scan("warehouse", 15, 117),
+		qep.Op(qep.HashJoin, 50e6, 120,
+			qep.Scan("date_dim", 60, 141),
+			qep.Scan("catalog_sales", 70e6, 158)))
+	j2 := qep.Op(qep.HashJoin, 12e6, 130,
+		qep.Scan("catalog_returns", 3e6, 166), j1)
+	idx := qep.Op(qep.NestedLoop, 3e6, 140, j2,
+		qep.Index("catalog_sales", 15000, 158))
+	agg := qep.Op(qep.HashAggregate, 2e6, 110, idx)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 2e6, 110, agg)}
+}
+
+func q46() *qep.Plan {
+	j1 := qep.Op(qep.HashJoin, 50e6, 110,
+		qep.Scan("household_demographics", 1800, 21),
+		qep.Op(qep.HashJoin, 80e6, 120,
+			qep.Scan("date_dim", 300, 141),
+			qep.Scan("store_sales", 120e6, 132)))
+	j2 := qep.Op(qep.HashJoin, 15e6, 130,
+		qep.Scan("store_returns", 4e6, 134), j1)
+	sorted := qep.Op(qep.Sort, 25e6, 40, j2)
+	return &qep.Plan{Root: qep.Op(qep.GroupAggregate, 5e6, 120, sorted)}
+}
+
+func q56() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 12e6, 100,
+		qep.Scan("item", 8e3, 294),
+		qep.Op(qep.HashJoin, 25e6, 110,
+			qep.Scan("web_sales", 2e6, 60),
+			qep.Scan("catalog_sales", 3e6, 60)))
+	agg := qep.Op(qep.HashAggregate, 5e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 5e6, 100, agg)}
+}
+
+func q60() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 14e6, 100,
+		qep.Scan("item", 9e3, 294),
+		qep.Op(qep.HashJoin, 28e6, 110,
+			qep.Scan("web_sales", 2.2e6, 60),
+			qep.Scan("catalog_sales", 3.3e6, 60)))
+	agg := qep.Op(qep.HashAggregate, 5.5e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 5.5e6, 100, agg)}
+}
+
+func q61() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 8e6, 100,
+		qep.Scan("promotion", 150, 124),
+		qep.Op(qep.HashJoin, 2e6, 60,
+			qep.Scan("store_sales", 1.2e6, 60),
+			qep.Scan("store_returns", 0.8e6, 60)))
+	agg := qep.Op(qep.HashAggregate, 12e6, 110, j)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 110, agg)}
+}
+
+func q62() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 7.2e6, 30,
+		qep.Scan("ship_mode", 20, 56),
+		qep.Scan("web_sales", 65e6, 158))
+	g := qep.Op(qep.GroupAggregate, 1e6, 90,
+		qep.Op(qep.Sort, 7.2e6, 30, j))
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 90, g)}
+}
+
+func q65() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 250e6, 8,
+		qep.Scan("store", 402, 263),
+		qep.Scan("store_sales", 250e6, 132))
+	sorted := qep.Op(qep.Sort, 250e6, 8, j)
+	win := qep.Op(qep.WindowAgg, 100e6, 60, sorted)
+	agg := qep.Op(qep.HashAggregate, 50e6, 16, win)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 60, agg)}
+}
+
+func q66() *qep.Plan {
+	j1 := qep.Op(qep.HashJoin, 20e6, 110,
+		qep.Scan("warehouse", 15, 117),
+		qep.Op(qep.HashJoin, 40e6, 120,
+			qep.Scan("ship_mode", 4, 56),
+			qep.Scan("web_sales", 55e6, 158)))
+	j2 := qep.Op(qep.HashJoin, 5e6, 130,
+		qep.Scan("web_returns", 2e6, 162), j1)
+	win := qep.Op(qep.WindowAgg, 20e6, 60, j2)
+	agg := qep.Op(qep.HashAggregate, 2e6, 110, win)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 6e6, 110, agg)}
+}
+
+func q70() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 60e6, 25,
+		qep.Scan("store", 402, 263),
+		qep.Op(qep.HashJoin, 90e6, 110,
+			qep.Scan("date_dim", 365, 141),
+			qep.Scan("store_sales", 130e6, 132)))
+	sorted := qep.Op(qep.Sort, 60e6, 25, j)
+	win := qep.Op(qep.WindowAgg, 50e6, 60, sorted)
+	agg := qep.Op(qep.HashAggregate, 4e6, 90, win)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 90, agg)}
+}
+
+func q71() *qep.Plan {
+	channels := qep.Op(qep.HashJoin, 8e6, 80,
+		qep.Scan("web_sales", 8e6, 60),
+		qep.Op(qep.HashJoin, 8e6, 80,
+			qep.Scan("catalog_sales", 6e6, 60),
+			qep.Scan("store_sales", 2.5e6, 40)))
+	j := qep.Op(qep.HashJoin, 5e6, 60,
+		qep.Scan("date_dim", 30, 141),
+		qep.Op(qep.HashJoin, 5e6, 70,
+			qep.Scan("item", 2000, 294),
+			channels))
+	agg := qep.Op(qep.HashAggregate, 10e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 100, agg)}
+}
+
+func q79() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 45e6, 100,
+		qep.Scan("household_demographics", 1500, 21),
+		qep.Op(qep.HashJoin, 75e6, 110,
+			qep.Scan("date_dim", 300, 141),
+			qep.Scan("store_sales", 110e6, 132)))
+	agg := qep.Op(qep.HashAggregate, 9e6, 110, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 9e6, 110, agg)}
+}
+
+func q82() *qep.Plan {
+	inv := qep.Op(qep.HashJoin, 12e6, 80,
+		qep.Scan("item", 1e5, 294),
+		qep.Scan("inventory", 150e6, 20))
+	j := qep.Op(qep.HashJoin, 30e6, 100, inv,
+		qep.Scan("store_sales", 60e6, 132))
+	agg := qep.Op(qep.HashAggregate, 5e6, 100, j)
+	return &qep.Plan{Root: qep.Op(qep.Sort, 5e6, 100, agg)}
+}
+
+func q90() *qep.Plan {
+	j := qep.Op(qep.HashJoin, 10e6, 110,
+		qep.Scan("web_page", 500, 96),
+		qep.Scan("web_sales", 30e6, 158))
+	idx := qep.Op(qep.NestedLoop, 2e6, 120, j,
+		qep.Index("web_returns", 8000, 162))
+	agg := qep.Op(qep.HashAggregate, 1.5e6, 120, idx)
+	return &qep.Plan{Root: qep.Op(qep.Limit, 100, 120, agg)}
+}

@@ -1,0 +1,175 @@
+package tpcds
+
+import (
+	"fmt"
+	"sort"
+
+	"contender/internal/qep"
+	"contender/internal/sim"
+)
+
+// Workload bundles the catalog, the template set, and the cost model, and
+// memoizes each template's simulator spec. It is the single source of truth
+// the experiments draw queries from.
+type Workload struct {
+	Catalog   *Catalog
+	CostModel CostModel
+
+	templates []Template
+	byID      map[int]Template
+	specs     map[int]sim.QuerySpec
+}
+
+// NewWorkload builds the default 25-template workload.
+func NewWorkload() *Workload {
+	return NewWorkloadWith(NewCatalog(), DefaultCostModel(), Templates())
+}
+
+// NewWorkloadWith builds a workload from explicit parts (used by tests and
+// by callers that define their own ad-hoc templates).
+func NewWorkloadWith(cat *Catalog, cm CostModel, templates []Template) *Workload {
+	w := &Workload{
+		Catalog:   cat,
+		CostModel: cm,
+		templates: append([]Template(nil), templates...),
+		byID:      make(map[int]Template, len(templates)),
+		specs:     make(map[int]sim.QuerySpec, len(templates)),
+	}
+	sort.Slice(w.templates, func(i, j int) bool { return w.templates[i].ID < w.templates[j].ID })
+	for _, t := range w.templates {
+		if _, dup := w.byID[t.ID]; dup {
+			panic(fmt.Sprintf("tpcds: duplicate template id %d", t.ID))
+		}
+		w.byID[t.ID] = t
+		w.specs[t.ID] = cm.Spec(cat, t.ID, t.Plan)
+	}
+	return w
+}
+
+// Templates returns the workload templates sorted by ID.
+func (w *Workload) Templates() []Template { return w.templates }
+
+// IDs returns the template IDs in ascending order.
+func (w *Workload) IDs() []int {
+	ids := make([]int, len(w.templates))
+	for i, t := range w.templates {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// Size returns the number of templates.
+func (w *Workload) Size() int { return len(w.templates) }
+
+// Template returns the template with the given ID.
+func (w *Workload) Template(id int) (Template, bool) {
+	t, ok := w.byID[id]
+	return t, ok
+}
+
+// Plan returns the QEP of template id, or nil if unknown.
+func (w *Workload) Plan(id int) *qep.Plan {
+	if t, ok := w.byID[id]; ok {
+		return t.Plan
+	}
+	return nil
+}
+
+// Spec returns the simulator resource profile of template id.
+func (w *Workload) Spec(id int) (sim.QuerySpec, bool) {
+	s, ok := w.specs[id]
+	return s, ok
+}
+
+// MustSpec returns the spec of template id or panics (programming error).
+func (w *Workload) MustSpec(id int) sim.QuerySpec {
+	s, ok := w.specs[id]
+	if !ok {
+		panic(fmt.Sprintf("tpcds: unknown template %d", id))
+	}
+	return s
+}
+
+// Plans returns all template plans in ID order (input for the ML feature
+// space).
+func (w *Workload) Plans() []*qep.Plan {
+	out := make([]*qep.Plan, len(w.templates))
+	for i, t := range w.templates {
+		out[i] = t.Plan
+	}
+	return out
+}
+
+// Subset returns a new workload restricted to the given template IDs.
+// Unknown IDs panic (programming error in experiment setup).
+func (w *Workload) Subset(ids []int) *Workload {
+	ts := make([]Template, 0, len(ids))
+	for _, id := range ids {
+		t, ok := w.byID[id]
+		if !ok {
+			panic(fmt.Sprintf("tpcds: unknown template %d", id))
+		}
+		ts = append(ts, t)
+	}
+	return NewWorkloadWith(w.Catalog, w.CostModel, ts)
+}
+
+// Scaled returns the same templates costed against a catalog whose fact
+// tables have grown by the given factor — the substrate for the paper's
+// expanding-database extension. Plan shapes are unchanged; fact-scan
+// volumes and cardinality estimates (and with them join traffic and
+// intermediate-result sizes) grow with the data, while dimension-side
+// cardinalities stay fixed.
+func (w *Workload) Scaled(factor float64) *Workload {
+	if factor <= 0 {
+		factor = 1
+	}
+	cat := w.Catalog.Scaled(factor)
+	ts := make([]Template, len(w.templates))
+	for i, t := range w.templates {
+		t.Plan = scalePlan(cat, t.Plan, factor)
+		ts[i] = t
+	}
+	return NewWorkloadWith(cat, w.CostModel, ts)
+}
+
+// scalePlan deep-copies a plan, growing the cardinality estimates of fact
+// scans and of every interior operator (whose outputs are driven by the
+// fact-side inputs) by factor. Dimension scans keep their estimates.
+func scalePlan(cat *Catalog, p *qep.Plan, factor float64) *qep.Plan {
+	var clone func(n *qep.Node) *qep.Node
+	clone = func(n *qep.Node) *qep.Node {
+		if n == nil {
+			return nil
+		}
+		out := &qep.Node{Kind: n.Kind, Table: n.Table, Rows: n.Rows, Width: n.Width}
+		switch {
+		case n.Kind.IsScan():
+			if t, ok := cat.Table(n.Table); ok && t.Fact {
+				out.Rows *= factor
+			}
+		default:
+			out.Rows *= factor
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, clone(c))
+		}
+		return out
+	}
+	return &qep.Plan{Root: clone(p.Root)}
+}
+
+// Without returns a new workload excluding the given template IDs.
+func (w *Workload) Without(ids ...int) *Workload {
+	excl := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		excl[id] = true
+	}
+	var keep []int
+	for _, t := range w.templates {
+		if !excl[t.ID] {
+			keep = append(keep, t.ID)
+		}
+	}
+	return w.Subset(keep)
+}

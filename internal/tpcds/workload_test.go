@@ -1,0 +1,238 @@
+package tpcds
+
+import (
+	"testing"
+
+	"contender/internal/sim"
+)
+
+// quietEngine returns a noise-free engine for calibration assertions.
+func quietEngine() *sim.Engine {
+	cfg := sim.DefaultConfig()
+	cfg.SeqNoise, cfg.RandNoise, cfg.CPUNoise, cfg.InstanceNoise = 0, 0, 0, 0
+	return sim.NewEngine(cfg)
+}
+
+func TestWorkloadHas25ValidTemplates(t *testing.T) {
+	w := NewWorkload()
+	if w.Size() != 25 {
+		t.Fatalf("workload has %d templates, want 25", w.Size())
+	}
+	for _, tpl := range w.Templates() {
+		if err := tpl.Plan.Validate(); err != nil {
+			t.Errorf("template %d: %v", tpl.ID, err)
+		}
+		spec := w.MustSpec(tpl.ID)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("template %d spec: %v", tpl.ID, err)
+		}
+		if tpl.Description == "" || tpl.Name == "" {
+			t.Errorf("template %d missing metadata", tpl.ID)
+		}
+	}
+}
+
+func TestWorkloadLookups(t *testing.T) {
+	w := NewWorkload()
+	if _, ok := w.Template(71); !ok {
+		t.Fatal("template 71 must exist")
+	}
+	if _, ok := w.Template(999); ok {
+		t.Fatal("template 999 must not exist")
+	}
+	if w.Plan(71) == nil || w.Plan(999) != nil {
+		t.Fatal("Plan lookup wrong")
+	}
+	if len(w.IDs()) != 25 || len(w.Plans()) != 25 {
+		t.Fatal("IDs/Plans size wrong")
+	}
+	ids := w.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs must be ascending")
+		}
+	}
+}
+
+func TestWorkloadSubsetWithout(t *testing.T) {
+	w := NewWorkload()
+	sub := w.Subset([]int{2, 71})
+	if sub.Size() != 2 {
+		t.Fatalf("subset size %d", sub.Size())
+	}
+	rest := w.Without(2, 71)
+	if rest.Size() != 23 {
+		t.Fatalf("without size %d", rest.Size())
+	}
+	if _, ok := rest.Template(2); ok {
+		t.Fatal("excluded template still present")
+	}
+}
+
+func TestWorkloadMustSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorkload().MustSpec(12345)
+}
+
+// TestWorkloadCalibration pins the Section 6.1 taxonomy the experiments
+// rely on: latency range, I/O-bound templates, random-I/O templates,
+// CPU-heavy templates, and the memory hogs.
+func TestWorkloadCalibration(t *testing.T) {
+	w := NewWorkload()
+	e := quietEngine()
+
+	lat := make(map[int]float64)
+	iofrac := make(map[int]float64)
+	for _, id := range w.IDs() {
+		res, err := e.RunIsolated(w.MustSpec(id))
+		if err != nil {
+			t.Fatalf("T%d: %v", id, err)
+		}
+		lat[id] = res.Latency
+		iofrac[id] = res.IOFraction()
+	}
+
+	// Latency range: "moderate running time with a latency range of
+	// 130-1000 seconds" (±10% tolerance for the simulated host).
+	for id, l := range lat {
+		if l < 115 || l > 1000 {
+			t.Errorf("T%d isolated latency %.0f s outside the workload's range", id, l)
+		}
+	}
+
+	// Extremely I/O-bound templates: ≥97% of isolated time on I/O.
+	for _, id := range []int{26, 33, 61, 71} {
+		if iofrac[id] < 0.97 {
+			t.Errorf("T%d I/O fraction %.3f, want ≥0.97", id, iofrac[id])
+		}
+	}
+
+	// CPU-heavy templates spend a substantially smaller share on I/O.
+	if iofrac[65] > 0.75 {
+		t.Errorf("T65 I/O fraction %.3f, want <0.75 (CPU-limited)", iofrac[65])
+	}
+
+	// Random-I/O templates perform index scans.
+	for _, id := range []int{17, 25, 32} {
+		var rand float64
+		for _, st := range w.MustSpec(id).Stages {
+			if st.Kind == sim.StageRandIO {
+				rand += st.Amount
+			}
+		}
+		if rand < 10000 {
+			t.Errorf("T%d has %0.f random pages, want substantial random I/O", id, rand)
+		}
+	}
+
+	// Memory-intensive templates have multi-GB working sets, with T2 the
+	// largest ("the most memory-intensive query").
+	ws2 := w.MustSpec(2).WorkingSetBytes
+	ws22 := w.MustSpec(22).WorkingSetBytes
+	if ws2 < 3e9 || ws22 < 2e9 {
+		t.Errorf("memory templates too small: T2 %g, T22 %g", ws2, ws22)
+	}
+	for _, id := range w.IDs() {
+		if id != 2 && w.MustSpec(id).WorkingSetBytes > ws2 {
+			t.Errorf("T%d working set exceeds T2's", id)
+		}
+	}
+
+	// Templates 22 and 82 share the inventory fact scan.
+	if !w.Plan(22).ScannedTables()["inventory"] || !w.Plan(82).ScannedTables()["inventory"] {
+		t.Error("templates 22 and 82 must both scan inventory")
+	}
+
+	// Templates 56 and 60 are structural twins: same plan-step multiset.
+	if w.Plan(56).Steps() != w.Plan(60).Steps() {
+		t.Error("templates 56 and 60 must have the same number of plan steps")
+	}
+}
+
+func TestSpoilerGrowthCategories(t *testing.T) {
+	w := NewWorkload()
+	e := quietEngine()
+	growth := func(id int) float64 {
+		spec := w.MustSpec(id)
+		iso, err := e.RunIsolated(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := e.RunWithSpoiler(spec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.Latency / iso.Latency
+	}
+	light, io, mem := growth(62), growth(71), growth(22)
+	if !(light < io && io < mem) {
+		t.Fatalf("spoiler growth ordering wrong: light %.1fx, I/O %.1fx, memory %.1fx", light, io, mem)
+	}
+}
+
+func TestDuplicateTemplateIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tpl := Templates()[:2]
+	dup := []Template{tpl[0], tpl[0]}
+	NewWorkloadWith(NewCatalog(), DefaultCostModel(), dup)
+}
+
+func TestCatalogScaled(t *testing.T) {
+	c := NewCatalog()
+	s := c.Scaled(2)
+	ss, _ := s.Table("store_sales")
+	orig, _ := c.Table("store_sales")
+	if ss.RowCount != 2*orig.RowCount {
+		t.Fatal("fact rows must scale")
+	}
+	dd, _ := s.Table("date_dim")
+	origDD, _ := c.Table("date_dim")
+	if dd.RowCount != origDD.RowCount {
+		t.Fatal("dimension rows must not scale")
+	}
+	// Degenerate factor behaves as identity.
+	id := c.Scaled(0)
+	ss0, _ := id.Table("store_sales")
+	if ss0.RowCount != orig.RowCount {
+		t.Fatal("factor 0 must behave as identity")
+	}
+}
+
+func TestWorkloadScaled(t *testing.T) {
+	w := NewWorkload()
+	g := w.Scaled(1.5)
+	if g.Size() != w.Size() {
+		t.Fatal("template count changed")
+	}
+	e := quietEngine()
+	for _, id := range []int{71, 62, 22} {
+		iso, err := e.RunIsolated(w.MustSpec(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := e.RunIsolated(g.MustSpec(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := grown.Latency / iso.Latency
+		if ratio < 1.35 || ratio > 1.6 {
+			t.Errorf("T%d grew by %.2fx, want ~1.5x", id, ratio)
+		}
+	}
+	// Working sets scale with the data.
+	if g.MustSpec(2).WorkingSetBytes <= w.MustSpec(2).WorkingSetBytes {
+		t.Error("working set must grow")
+	}
+	// The original workload is untouched.
+	if w.Catalog.MustTable("store_sales").RowCount != 288e6 {
+		t.Error("Scaled must not mutate the original catalog")
+	}
+}

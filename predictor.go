@@ -1,0 +1,138 @@
+package contender
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"contender/internal/core"
+	"contender/internal/experiments"
+)
+
+// Predictor is a trained Contender instance: reference QS models for every
+// sampled MPL plus the knowledge base of isolated statistics.
+type Predictor struct {
+	inner *core.Predictor
+	env   *experiments.Env
+}
+
+// MPLs returns the multiprogramming levels the predictor was trained for.
+func (p *Predictor) MPLs() []int { return p.inner.MPLs() }
+
+// PredictKnown estimates the steady-state latency of a known template
+// executing concurrently with the given templates (the mix's MPL is
+// len(concurrent)+1). The pipeline is the paper's: compute the mix's CQI,
+// apply the template's QS model, scale by its measured performance
+// continuum.
+func (p *Predictor) PredictKnown(template int, concurrent []int) (float64, error) {
+	return p.inner.PredictKnown(template, concurrent)
+}
+
+// CQI returns the Concurrent Query Intensity of a mix from the primary's
+// point of view — the fraction of time the concurrent queries will spend
+// competing with it for the I/O bus (Eq. 5 of the paper). The primary must
+// be a known template; use CQIForStats for ad-hoc primaries.
+func (p *Predictor) CQI(primary int, concurrent []int) float64 {
+	return p.inner.Know.CQI(primary, concurrent)
+}
+
+// CQIForStats computes the mix's CQI for an ad-hoc primary described by
+// its isolated statistics (the concurrent templates must be known).
+func (p *Predictor) CQIForStats(primary TemplateStats, concurrent []int) float64 {
+	return p.inner.Know.CQIForStats(primary, concurrent)
+}
+
+// QSModelFor returns the reference QS model of a known template at an MPL.
+func (p *Predictor) QSModelFor(template, mpl int) (QSModel, bool) {
+	refs, ok := p.inner.References(mpl)
+	if !ok {
+		return QSModel{}, false
+	}
+	return refs.Model(template)
+}
+
+// NewTemplateMode selects how PredictNew fills in an ad-hoc template's
+// spoiler latency.
+type NewTemplateMode int
+
+const (
+	// SpoilerMeasured uses measured spoiler latencies from the template's
+	// stats (linear-time sampling: one spoiler run per MPL).
+	SpoilerMeasured NewTemplateMode = iota
+	// SpoilerKNN predicts spoiler latencies from the template's isolated
+	// statistics via KNN over known templates (constant-time sampling:
+	// a single isolated execution suffices).
+	SpoilerKNN
+)
+
+// PredictNew estimates the latency of a template that was never sampled
+// under concurrency, reproducing Figure 5: the QS model is estimated from
+// the reference models via the template's isolated latency, and the
+// spoiler latency is either measured (SpoilerMeasured) or predicted
+// (SpoilerKNN).
+func (p *Predictor) PredictNew(t TemplateStats, concurrent []int, mode NewTemplateMode) (float64, error) {
+	opts := core.NewTemplateOptions{}
+	if mode == SpoilerKNN {
+		knn, err := core.NewKNNSpoilerPredictor(p.inner.Know, 3)
+		if err != nil {
+			return 0, fmt.Errorf("contender: building spoiler predictor: %w", err)
+		}
+		opts.Spoiler = knn
+	}
+	return p.inner.PredictNew(t, concurrent, opts)
+}
+
+// PredictSpoiler predicts the worst-case (spoiler) latency of an ad-hoc
+// template at an MPL from its isolated statistics alone.
+func (p *Predictor) PredictSpoiler(t TemplateStats, mpl int) (float64, error) {
+	knn, err := core.NewKNNSpoilerPredictor(p.inner.Know, 3)
+	if err != nil {
+		return 0, err
+	}
+	return core.PredictSpoilerLatency(knn, t, mpl)
+}
+
+// Knowledge exposes the underlying knowledge base for advanced use
+// (inspection, custom experiments).
+func (p *Predictor) Knowledge() *core.Knowledge { return p.inner.Know }
+
+// ProgressTracker is a concurrency-aware query progress indicator — one of
+// the paper's motivating applications. See Predictor.TrackProgress.
+type ProgressTracker = core.ProgressTracker
+
+// TrackProgress returns a progress indicator for one execution of a known
+// template. Feed it the observed timeline with Advance(dt, concurrent);
+// Remaining(concurrent) estimates the time to completion under the current
+// mix. Isolation (no concurrent queries) uses the template's isolated
+// latency directly.
+func (p *Predictor) TrackProgress(template int) (*ProgressTracker, error) {
+	stats, ok := p.inner.Know.Template(template)
+	if !ok {
+		return nil, fmt.Errorf("contender: unknown template %d", template)
+	}
+	return core.NewProgressTracker(func(concurrent []int) (float64, error) {
+		if len(concurrent) == 0 {
+			return stats.IsolatedLatency, nil
+		}
+		return p.PredictKnown(template, concurrent)
+	}), nil
+}
+
+// Save serializes the trained predictor to w as JSON, so training cost is
+// paid once and reused across processes. Reload with LoadPredictor.
+func (p *Predictor) Save(w io.Writer) error {
+	return p.inner.WriteSnapshot(w)
+}
+
+// SaveFile writes the predictor snapshot to a file.
+func (p *Predictor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("contender: creating snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,280 @@
+package contender
+
+import (
+	"fmt"
+
+	"contender/internal/core"
+	"contender/internal/lhs"
+	"contender/internal/sim"
+	"contender/internal/tpcds"
+)
+
+// Integration interface: Contender's models consume only a handful of
+// observables — isolated latencies, procfs-style I/O time, plan scan sets,
+// spoiler latencies, steady-state mix latencies. System captures exactly
+// that contract, so the framework can be trained against any database
+// that can run queries and a spoiler process: implement System for your
+// DBMS and call TrainFromSystem. The bundled simulator is the reference
+// implementation (Workbench.System).
+
+// Measurement is one observed query execution.
+type Measurement struct {
+	// LatencySeconds is wall-clock execution time.
+	LatencySeconds float64
+	// IOSeconds is time spent on disk I/O during the execution (procfs
+	// accounting on a real system).
+	IOSeconds float64
+}
+
+// TemplateMeta describes a workload template to the trainer: its identity
+// plus the plan-derived features Contender's models use.
+type TemplateMeta struct {
+	ID int
+	// FactScans lists the fact tables the template's plan scans
+	// sequentially (CQI's shared-scan terms are computed over them).
+	FactScans []string
+	// WorkingSetBytes is the size of the largest intermediate result
+	// (from the plan's hash/sort operators).
+	WorkingSetBytes float64
+	// PlanSteps and RecordsAccessed are the complexity features of
+	// Table 3.
+	PlanSteps       int
+	RecordsAccessed float64
+}
+
+// System is the measurement backend Contender trains against.
+// Implementations must be deterministic per seed where possible, but the
+// trainer tolerates real-world variance.
+type System interface {
+	// Templates enumerates the trainable workload.
+	Templates() []TemplateMeta
+	// FactTables lists the fact tables whose scan times CQI needs.
+	FactTables() []string
+	// ScanSeconds measures s_f: the isolated duration of a sequential
+	// scan of the table.
+	ScanSeconds(table string) (float64, error)
+	// RunIsolated executes the template alone on an idle system.
+	RunIsolated(id int) (Measurement, error)
+	// RunSpoiler executes the template against the paper's spoiler for
+	// the given MPL: (1-1/mpl) of RAM pinned, mpl-1 competing I/O streams.
+	RunSpoiler(id int, mpl int) (Measurement, error)
+	// RunMix executes the template mix at steady state (Figure 2) and
+	// returns each slot's mean latency.
+	RunMix(mix []int, samplesPerStream int) ([]float64, error)
+}
+
+// TrainConfig controls TrainFromSystem's sampling design. The zero value
+// uses the paper's protocol at MPLs 2–3.
+type TrainConfig struct {
+	// MPLs to sample and train for (default 2, 3).
+	MPLs []int
+	// LHSRuns is the number of disjoint Latin Hypercube designs per
+	// MPL ≥ 3 (default 2).
+	LHSRuns int
+	// SteadySamples per stream in each steady-state mix (default 3).
+	SteadySamples int
+	// IsolatedRuns averaged into l_min and p_t (default 2).
+	IsolatedRuns int
+	// Seed drives the sampling designs.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if len(c.MPLs) == 0 {
+		c.MPLs = []int{2, 3}
+	}
+	if c.LHSRuns <= 0 {
+		c.LHSRuns = 2
+	}
+	if c.SteadySamples <= 0 {
+		c.SteadySamples = 3
+	}
+	if c.IsolatedRuns <= 0 {
+		c.IsolatedRuns = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// TrainFromSystem runs Contender's full training pipeline against an
+// arbitrary measurement backend: profile every template in isolation and
+// under the spoiler, measure per-table scan times, sample concurrent mixes
+// (exhaustive pairs at MPL 2, LHS designs above), and fit the reference QS
+// models.
+func TrainFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
+	cfg = cfg.withDefaults()
+	templates := sys.Templates()
+	if len(templates) < 2 {
+		return nil, fmt.Errorf("contender: need at least 2 templates, have %d", len(templates))
+	}
+
+	know := core.NewKnowledge()
+	for _, table := range sys.FactTables() {
+		s, err := sys.ScanSeconds(table)
+		if err != nil {
+			return nil, fmt.Errorf("contender: measuring scan of %s: %w", table, err)
+		}
+		know.SetScanTime(table, s)
+	}
+
+	ids := make([]int, len(templates))
+	for i, t := range templates {
+		ids[i] = t.ID
+		var latSum, ioSum float64
+		for r := 0; r < cfg.IsolatedRuns; r++ {
+			m, err := sys.RunIsolated(t.ID)
+			if err != nil {
+				return nil, fmt.Errorf("contender: isolated run of T%d: %w", t.ID, err)
+			}
+			latSum += m.LatencySeconds
+			ioSum += m.IOSeconds
+		}
+		ts := core.TemplateStats{
+			ID:              t.ID,
+			IsolatedLatency: latSum / float64(cfg.IsolatedRuns),
+			IOFraction:      ioSum / latSum,
+			WorkingSetBytes: t.WorkingSetBytes,
+			PlanSteps:       t.PlanSteps,
+			RecordsAccessed: t.RecordsAccessed,
+			Scans:           make(map[string]bool, len(t.FactScans)),
+			SpoilerLatency:  make(map[int]float64, len(cfg.MPLs)),
+		}
+		for _, f := range t.FactScans {
+			ts.Scans[f] = true
+		}
+		for _, mpl := range cfg.MPLs {
+			m, err := sys.RunSpoiler(t.ID, mpl)
+			if err != nil {
+				return nil, fmt.Errorf("contender: spoiler run of T%d at MPL %d: %w", t.ID, mpl, err)
+			}
+			ts.SpoilerLatency[mpl] = m.LatencySeconds
+		}
+		know.AddTemplate(ts)
+	}
+
+	var observations []core.Observation
+	for _, mpl := range cfg.MPLs {
+		for _, mix := range lhs.MixesFor(len(ids), mpl, cfg.LHSRuns, cfg.Seed+int64(mpl)) {
+			idMix := make(lhs.Mix, len(mix))
+			for i, idx := range mix {
+				idMix[i] = ids[idx]
+			}
+			lats, err := sys.RunMix(idMix, cfg.SteadySamples)
+			if err != nil {
+				return nil, fmt.Errorf("contender: steady-state mix %v: %w", idMix, err)
+			}
+			if len(lats) != len(idMix) {
+				return nil, fmt.Errorf("contender: RunMix returned %d latencies for a %d-query mix", len(lats), len(idMix))
+			}
+			for slot, id := range idMix {
+				observations = append(observations, core.Observation{
+					Primary:    id,
+					Concurrent: idMix.WithoutOne(id),
+					Latency:    lats[slot],
+				})
+			}
+		}
+	}
+
+	inner, err := core.Train(know, observations, core.TrainOptions{DropOutliers: true})
+	if err != nil {
+		return nil, fmt.Errorf("contender: training from system: %w", err)
+	}
+	return &Predictor{inner: inner}, nil
+}
+
+// System returns the simulator-backed reference implementation of the
+// System interface, measuring the workbench's workload on its host.
+func (w *Workbench) System() System {
+	return &simSystem{workload: w.env.Workload, engine: w.env.Engine}
+}
+
+// simSystem adapts the simulator to the System interface.
+type simSystem struct {
+	workload *tpcds.Workload
+	engine   *sim.Engine
+}
+
+func (s *simSystem) Templates() []TemplateMeta {
+	var out []TemplateMeta
+	for _, t := range s.workload.Templates() {
+		spec := s.workload.MustSpec(t.ID)
+		meta := TemplateMeta{
+			ID:              t.ID,
+			WorkingSetBytes: spec.WorkingSetBytes,
+			PlanSteps:       t.Plan.Steps(),
+			RecordsAccessed: t.Plan.RecordsAccessed(),
+		}
+		for table := range t.Plan.ScannedTables() {
+			if tb, ok := s.workload.Catalog.Table(table); ok && tb.Fact {
+				meta.FactScans = append(meta.FactScans, table)
+			}
+		}
+		out = append(out, meta)
+	}
+	return out
+}
+
+func (s *simSystem) FactTables() []string {
+	var out []string
+	for _, t := range s.workload.Catalog.FactTables() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func (s *simSystem) ScanSeconds(table string) (float64, error) {
+	t, ok := s.workload.Catalog.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("unknown table %q", table)
+	}
+	return s.engine.MeasureScanTime(table, t.Bytes())
+}
+
+func (s *simSystem) RunIsolated(id int) (Measurement, error) {
+	spec, ok := s.workload.Spec(id)
+	if !ok {
+		return Measurement{}, fmt.Errorf("unknown template %d", id)
+	}
+	res, err := s.engine.RunIsolated(spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{LatencySeconds: res.Latency, IOSeconds: res.IOTime}, nil
+}
+
+func (s *simSystem) RunSpoiler(id, mpl int) (Measurement, error) {
+	spec, ok := s.workload.Spec(id)
+	if !ok {
+		return Measurement{}, fmt.Errorf("unknown template %d", id)
+	}
+	res, err := s.engine.RunWithSpoiler(spec, mpl)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{LatencySeconds: res.Latency, IOSeconds: res.IOTime}, nil
+}
+
+func (s *simSystem) RunMix(mix []int, samples int) ([]float64, error) {
+	specs := make([]sim.QuerySpec, len(mix))
+	for i, id := range mix {
+		spec, ok := s.workload.Spec(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown template %d", id)
+		}
+		specs[i] = spec
+	}
+	res, err := s.engine.RunSteadyState(specs, sim.SteadyStateOptions{
+		Samples: samples, WarmupSkip: 1, RestartCost: tpcds.RestartCost(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(mix))
+	for i := range mix {
+		out[i] = res.MeanLatency(i)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package contender
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestTrainFromSimSystem(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	sys := wb.System()
+
+	// The interface exposes the full workload.
+	metas := sys.Templates()
+	if len(metas) != 25 {
+		t.Fatalf("%d templates via System", len(metas))
+	}
+	if len(sys.FactTables()) != 7 {
+		t.Fatal("fact tables missing")
+	}
+
+	pred, err := TrainFromSystem(sys, TrainConfig{MPLs: []int{2}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The system-trained predictor predicts a mix close to the simulated
+	// ground truth.
+	mix := []int{26, 62}
+	estimate, err := pred.PredictKnown(mix[0], mix[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := wb.Simulate(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := abs(truth[0]-estimate) / truth[0]; rel > 0.5 {
+		t.Fatalf("prediction %g vs truth %g (%.0f%% off)", estimate, truth[0], 100*rel)
+	}
+	// And supports persistence like any other predictor.
+	path := t.TempDir() + "/sys.json"
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimSystemErrors(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	sys := wb.System()
+	if _, err := sys.RunIsolated(12345); err == nil {
+		t.Fatal("unknown template must error")
+	}
+	if _, err := sys.RunSpoiler(12345, 2); err == nil {
+		t.Fatal("unknown template must error")
+	}
+	if _, err := sys.RunMix([]int{12345}, 2); err == nil {
+		t.Fatal("unknown template must error")
+	}
+	if _, err := sys.ScanSeconds("nope"); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+// faultySystem wraps the sim system and fails a chosen operation, to check
+// error propagation through the trainer.
+type faultySystem struct {
+	System
+	failIsolated bool
+	failMix      bool
+	shortMix     bool
+}
+
+func (f *faultySystem) RunIsolated(id int) (Measurement, error) {
+	if f.failIsolated {
+		return Measurement{}, errors.New("injected isolated failure")
+	}
+	return f.System.RunIsolated(id)
+}
+
+func (f *faultySystem) RunMix(mix []int, samples int) ([]float64, error) {
+	if f.failMix {
+		return nil, errors.New("injected mix failure")
+	}
+	if f.shortMix {
+		return []float64{1}, nil // wrong length
+	}
+	return f.System.RunMix(mix, samples)
+}
+
+func TestTrainFromSystemFailureInjection(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	base := wb.System()
+	cfg := TrainConfig{MPLs: []int{2}, Seed: 4}
+
+	for name, sys := range map[string]System{
+		"isolated failure": &faultySystem{System: base, failIsolated: true},
+		"mix failure":      &faultySystem{System: base, failMix: true},
+		"short mix result": &faultySystem{System: base, shortMix: true},
+	} {
+		if _, err := TrainFromSystem(sys, cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// tinySystem has too few templates.
+type tinySystem struct{ System }
+
+func (tinySystem) Templates() []TemplateMeta { return []TemplateMeta{{ID: 1}} }
+
+func TestTrainFromSystemTooSmall(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	if _, err := TrainFromSystem(tinySystem{wb.System()}, TrainConfig{}); err == nil {
+		t.Fatal("expected error for tiny workload")
+	}
+}
+
+// Ensure the System interface stays implementable by external code: a
+// compile-time check with a standalone implementation.
+type externalSystem struct{}
+
+func (externalSystem) Templates() []TemplateMeta           { return nil }
+func (externalSystem) FactTables() []string                { return nil }
+func (externalSystem) ScanSeconds(string) (float64, error) { return 0, fmt.Errorf("x") }
+func (externalSystem) RunIsolated(int) (Measurement, error) {
+	return Measurement{}, fmt.Errorf("x")
+}
+func (externalSystem) RunSpoiler(int, int) (Measurement, error) {
+	return Measurement{}, fmt.Errorf("x")
+}
+func (externalSystem) RunMix([]int, int) ([]float64, error) { return nil, fmt.Errorf("x") }
+
+var _ System = externalSystem{}
