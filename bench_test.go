@@ -12,6 +12,7 @@ package contender
 // artifacts as formatted tables.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -214,9 +215,98 @@ func BenchmarkAblationSharedScans(b *testing.B) {
 
 // Micro-benchmarks of the framework's hot paths.
 
-func BenchmarkCQIComputation(b *testing.B) {
+// BenchmarkEnvBuild measures the full training-data collection campaign at
+// increasing worker-pool widths (a quick-scale design so one op stays in
+// seconds). Output is byte-identical at every width — see
+// TestEnvBuildDeterministic — so the sub-benchmarks differ only in
+// wall-clock time; the speedup saturates at GOMAXPROCS.
+func BenchmarkEnvBuild(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := experiments.Options{
+				MPLs:          []int{2, 3},
+				LHSRuns:       2,
+				SteadySamples: 3,
+				IsolatedRuns:  2,
+				Seed:          42,
+				Workers:       workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.NewEnv(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var (
+	predOnce  sync.Once
+	benchPred *Predictor
+	predErr   error
+)
+
+// trainedPredictor trains a predictor once per process for the serving
+// benchmarks.
+func trainedPredictor(b *testing.B) *Predictor {
+	b.Helper()
+	predOnce.Do(func() {
+		var wb *Workbench
+		wb, predErr = NewWorkbench(QuickSampling(), WithSeed(42))
+		if predErr != nil {
+			return
+		}
+		benchPred, predErr = wb.Train()
+		if predErr == nil {
+			benchPred.Prime()
+		}
+	})
+	if predErr != nil {
+		b.Fatal(predErr)
+	}
+	return benchPred
+}
+
+// BenchmarkPredictKnown is the serving hot path: one known-template
+// prediction for an MPL-3 mix. Must report 0 allocs/op.
+func BenchmarkPredictKnown(b *testing.B) {
+	pred := trainedPredictor(b)
+	mix := []int{2, 22}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictKnown(71, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch amortizes the error path over a reusable buffer —
+// the shape a scheduler probing candidate mixes uses. 0 allocs/op.
+func BenchmarkPredictBatch(b *testing.B) {
+	pred := trainedPredictor(b)
+	mixes := [][]int{{2}, {2, 22}, {22, 62}, {26, 61}}
+	var buf PredictBuffer
+	if _, err := pred.PredictBatch(&buf, 71, mixes); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictBatch(&buf, 71, mixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCQI measures Eq. 5 for a 4-query mix against the precomputed
+// index. Must report 0 allocs/op.
+func BenchmarkCQI(b *testing.B) {
 	env := fullEnv(b)
 	know := env.Know
+	know.CQI(71, []int{2}) // build the index outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		know.CQI(71, []int{2, 22, 26, 62})

@@ -6,15 +6,20 @@
 // Usage:
 //
 //	contender-bench [-experiments table2,fig8] [-mpls 2,3,4,5] [-lhs 4] [-seed 42] [-quick]
+//	contender-bench -perf            # micro-benchmarks → BENCH_*.json
+//	contender-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // -quick shrinks the sampling design (fewer LHS runs, fewer steady-state
-// samples) for a fast smoke pass.
+// samples) for a fast smoke pass. -workers bounds the sampling worker pool
+// (0 = GOMAXPROCS); every width produces identical training data.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -24,15 +29,19 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
-		mplsFlag = flag.String("mpls", "2,3,4,5", "multiprogramming levels to sample")
-		lhsRuns  = flag.Int("lhs", 4, "disjoint LHS designs per MPL ≥ 3")
-		samples  = flag.Int("samples", 5, "steady-state samples per stream")
-		seed     = flag.Int64("seed", 42, "simulation and sampling seed")
-		quick    = flag.Bool("quick", false, "reduced sampling for a fast pass")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		format   = flag.String("format", "table", "output format: table or json")
-		charts   = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
+		expFlag    = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+		mplsFlag   = flag.String("mpls", "2,3,4,5", "multiprogramming levels to sample")
+		lhsRuns    = flag.Int("lhs", 4, "disjoint LHS designs per MPL ≥ 3")
+		samples    = flag.Int("samples", 5, "steady-state samples per stream")
+		seed       = flag.Int64("seed", 42, "simulation and sampling seed")
+		quick      = flag.Bool("quick", false, "reduced sampling for a fast pass")
+		workers    = flag.Int("workers", 0, "sampling worker pool width (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		format     = flag.String("format", "table", "output format: table or json")
+		charts     = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
+		perf       = flag.Bool("perf", false, "run micro-benchmarks and write BENCH_envbuild.json / BENCH_predict.json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "json" {
@@ -51,6 +60,7 @@ func main() {
 		LHSRuns:       *lhsRuns,
 		SteadySamples: *samples,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 	if *quick {
 		opts.LHSRuns = 2
@@ -58,23 +68,61 @@ func main() {
 		opts.IsolatedRuns = 2
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	code := run(opts, *expFlag, *format, *charts, *perf)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+func run(opts experiments.Options, expFlag, format string, charts, perf bool) int {
+	if perf {
+		if err := runPerf(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "contender-bench:", err)
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Fprintf(os.Stderr, "profiling workload and sampling mixes (MPLs %v, %d LHS runs)...\n", opts.MPLs, opts.LHSRuns)
 	start := time.Now()
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "contender-bench:", err)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "environment ready in %v (%.0f simulated hours of sampling)\n",
 		time.Since(start).Round(time.Millisecond),
 		(env.SimulatedSeconds.Isolated+env.SimulatedSeconds.Spoiler+env.SimulatedSeconds.Mixes)/3600)
 
 	todo := experiments.All()
-	if *expFlag != "" {
+	if expFlag != "" {
 		todo = nil
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(expFlag, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+				fmt.Fprintf(os.Stderr, "contender-bench: unknown experiment %q (use -list)\n", id)
+				return 1
 			}
 			todo = append(todo, e)
 		}
@@ -91,9 +139,9 @@ func main() {
 			continue
 		}
 		results = append(results, res)
-		if *format == "table" {
+		if format == "table" {
 			fmt.Println(res.Render())
-			if *charts {
+			if charts {
 				if c := res.Chart(); c != "" {
 					fmt.Println(c)
 				}
@@ -101,14 +149,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
-	if *format == "json" {
+	if format == "json" {
 		if err := experiments.NewReport(env, results).WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "contender-bench:", err)
+			return 1
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func parseInts(s string) []int {

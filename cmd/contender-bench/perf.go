@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"contender"
+	"contender/internal/experiments"
+)
+
+// runPerf measures the two hot paths this package optimizes — the parallel
+// training-data build and the allocation-free serving path — and writes the
+// results as machine-readable artifacts (BENCH_envbuild.json and
+// BENCH_predict.json) for tracking across commits. The same code paths are
+// covered by `go test -bench` in bench_test.go; this mode exists so the
+// artifacts can be regenerated without the test toolchain.
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	SecPerOp    float64 `json:"sec_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func record(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		SecPerOp:    r.T.Seconds() / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func hostReport(note string) benchReport {
+	return benchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note:       note,
+	}
+}
+
+func writeReport(path string, rep benchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func runPerf(opts experiments.Options) error {
+	// Training-data collection at increasing pool widths. The speedup tops
+	// out at min(workers, GOMAXPROCS); every width produces byte-identical
+	// training data, so only wall-clock time varies.
+	envRep := hostReport(fmt.Sprintf(
+		"one op = full sampling campaign (MPLs %v, %d LHS designs); identical output at every width",
+		opts.MPLs, opts.LHSRuns))
+	for _, w := range []int{1, 2, 4, 8} {
+		o := opts
+		o.Workers = w
+		fmt.Fprintf(os.Stderr, "EnvBuild/workers=%d...\n", w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.NewEnv(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		envRep.Benchmarks = append(envRep.Benchmarks, record(fmt.Sprintf("EnvBuild/workers=%d", w), r))
+	}
+	if err := writeReport("BENCH_envbuild.json", envRep); err != nil {
+		return err
+	}
+
+	// Serving path: one trained predictor, measured on the same mixes the
+	// CLI defaults to. PredictKnown and CQI must stay at 0 allocs/op.
+	fmt.Fprintln(os.Stderr, "training predictor for serving benchmarks...")
+	wb, err := contender.NewWorkbench(
+		contender.QuickSampling(),
+		contender.WithSeed(opts.Seed),
+		contender.WithWorkers(opts.Workers),
+	)
+	if err != nil {
+		return err
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		return err
+	}
+	pred.Prime()
+
+	predRep := hostReport("steady-state serving path after Prime(); PredictKnown/CQI target 0 allocs/op")
+	mix := []int{2, 22}
+	batch := [][]int{{2}, {2, 22}, {22, 62}, {26, 61}}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.PredictKnown(71, mix); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictKnown", r))
+
+	var buf contender.PredictBuffer
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.PredictBatch(&buf, 71, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictBatch/mixes=4", r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pred.CQI(71, mix)
+		}
+	})
+	predRep.Benchmarks = append(predRep.Benchmarks, record("CQI", r))
+
+	return writeReport("BENCH_predict.json", predRep)
+}

@@ -27,6 +27,7 @@ func main() {
 		planDSL = flag.String("plan", "", "ad-hoc plan in compact notation (implies -adhoc with a synthetic template); see contender.ParsePlan")
 		save    = flag.String("save", "", "after training, save the predictor snapshot to this file")
 		load    = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
+		workers = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	wb, err := contender.NewWorkbench(
 		contender.WithMPLs(cliutil.MPLsUpTo(mpl)...),
 		contender.WithSeed(*seed),
+		contender.WithWorkers(*workers),
 	)
 	if err != nil {
 		fatal(err)

@@ -21,6 +21,7 @@ func main() {
 		mpl       = flag.Int("mpl", 2, "multiprogramming level")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		timeline  = flag.Bool("timeline", false, "print the winning schedule's forecast timeline")
+		workers   = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 	wb, err := contender.NewWorkbench(
 		contender.WithMPLs(cliutil.MPLsUpTo(*mpl)...),
 		contender.WithSeed(*seed),
+		contender.WithWorkers(*workers),
 	)
 	if err != nil {
 		fatal(err)

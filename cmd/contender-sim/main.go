@@ -7,6 +7,7 @@
 //
 //	contender-sim                        # profile all templates in isolation
 //	contender-sim -spoiler 4             # add spoiler latencies at MPL 4
+//	contender-sim -workers 4             # profile templates in parallel
 //	contender-sim -mix 71,2,22           # run a steady-state mix
 //	contender-sim -plan 71               # print a template's query plan
 package main
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 		planFlag = flag.Int("plan", 0, "print the query plan of this template and exit")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Bool("trace", false, "print the execution timeline of a -mix run")
+		workers  = flag.Int("workers", 0, "profiling worker pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,30 +57,79 @@ func main() {
 		return
 	}
 
+	profileAll(w, cfg, *seed, *spoiler, *workers)
+}
+
+// templateRow is one template's profile, filled in by a worker and printed
+// in workload order once every row is ready.
+type templateRow struct {
+	tpl     tpcds.Template
+	spec    sim.QuerySpec
+	res     sim.Result
+	spoiler float64
+	err     error
+}
+
+// profileAll measures every template on its own engine, seeded from
+// (seed, "template/<id>") exactly like the training-data collector, so the
+// printed numbers are identical at every worker count.
+func profileAll(w *tpcds.Workload, cfg sim.Config, seed int64, spoilerMPL, workers int) {
+	templates := w.Templates()
+	rows := make([]templateRow, len(templates))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(templates) {
+		workers = len(templates)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ch {
+				row := &rows[idx]
+				row.tpl = templates[idx]
+				row.spec = w.MustSpec(row.tpl.ID)
+				eng := sim.NewEngine(cfg.WithSeed(sim.DeriveSeed(seed, fmt.Sprintf("template/%d", row.tpl.ID))))
+				row.res, row.err = eng.RunIsolated(row.spec)
+				if row.err == nil && spoilerMPL > 1 {
+					var sp sim.Result
+					sp, row.err = eng.RunWithSpoiler(row.spec, spoilerMPL)
+					row.spoiler = sp.Latency
+				}
+			}
+		}()
+	}
+	for idx := range templates {
+		ch <- idx
+	}
+	close(ch)
+	wg.Wait()
+
 	fmt.Printf("%-5s %-34s %10s %8s %9s %7s", "id", "description", "isolated", "I/O %", "ws (GiB)", "scans")
-	if *spoiler > 1 {
-		fmt.Printf("  %12s", fmt.Sprintf("spoiler@%d", *spoiler))
+	if spoilerMPL > 1 {
+		fmt.Printf("  %12s", fmt.Sprintf("spoiler@%d", spoilerMPL))
 	}
 	fmt.Println()
-	for _, tpl := range w.Templates() {
-		spec := w.MustSpec(tpl.ID)
-		res, err := engine.RunIsolated(spec)
-		if err != nil {
-			fatal(err)
+	for _, row := range rows {
+		if row.err != nil {
+			fatal(row.err)
 		}
-		desc := tpl.Description
+		desc := row.tpl.Description
 		if len(desc) > 34 {
 			desc = desc[:31] + "..."
 		}
 		fmt.Printf("%-5d %-34s %9.1fs %7.1f%% %9.2f %7d",
-			tpl.ID, desc, res.Latency, 100*res.IOFraction(),
-			spec.WorkingSetBytes/(1<<30), len(tpl.Plan.ScannedTables()))
-		if *spoiler > 1 {
-			sp, err := engine.RunWithSpoiler(spec, *spoiler)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("  %11.1fs", sp.Latency)
+			row.tpl.ID, desc, row.res.Latency, 100*row.res.IOFraction(),
+			row.spec.WorkingSetBytes/(1<<30), len(row.tpl.Plan.ScannedTables()))
+		if spoilerMPL > 1 {
+			fmt.Printf("  %11.1fs", row.spoiler)
 		}
 		fmt.Println()
 	}

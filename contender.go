@@ -143,6 +143,13 @@ func WithSteadySamples(n int) Option {
 	return func(c *config) { c.opts.SteadySamples = n }
 }
 
+// WithWorkers bounds the sampling worker pool used while profiling the
+// workload (default: GOMAXPROCS). Every worker count collects identical
+// training data — parallelism only changes wall-clock time.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.opts.Workers = n }
+}
+
 // QuickSampling shrinks the sampling design for demos and tests: MPLs 2–3,
 // two LHS runs, three steady-state samples.
 func QuickSampling() Option {

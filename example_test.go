@@ -84,8 +84,9 @@ func ExamplePredictor_CQI() {
 	// T71 scans all three sales fact tables; T2's scans are a subset, so
 	// its I/O is almost entirely shared with the primary.
 	shared := pred.CQI(71, []int{2})
-	// T82 scans inventory, which T71 does not touch: direct competition.
-	disjoint := pred.CQI(71, []int{82})
+	// T25 spends most of its I/O on store_returns, which T71 does not
+	// touch: direct competition for the disk.
+	disjoint := pred.CQI(71, []int{25})
 	fmt.Println("shared mix is less intense:", shared < disjoint)
 	// Output:
 	// shared mix is less intense: true

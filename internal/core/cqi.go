@@ -2,43 +2,15 @@ package core
 
 // This file implements Section 4: the Concurrent Query Intensity metric and
 // its two ablations (Baseline I/O and Positive I/O), exactly following
-// Equations 2–5 and Table 1's notation.
-
-// cqiTerms computes, for one concurrent query c in a mix, the shared-I/O
-// savings ω_c (scans shared with the primary, Eq. 2) and τ_c (scans shared
-// among non-primaries, Eq. 3).
-func (k *Knowledge) cqiTerms(primary TemplateStats, c TemplateStats, concurrent []TemplateStats) (omega, tau float64) {
-	// ω_c: fact-table scans shared between c and the primary.
-	for f := range c.Scans {
-		if primary.Scans[f] {
-			omega += k.scanSeconds[f]
-		}
-	}
-	// τ_c: scans of tables the primary does NOT read, shared by h_f > 1
-	// concurrent queries; the model assumes the h_f sharers split the scan,
-	// saving (1 - 1/h_f)·s_f each.
-	for f := range c.Scans {
-		if primary.Scans[f] {
-			continue
-		}
-		hf := 0
-		for _, other := range concurrent {
-			if other.Scans[f] {
-				hf++
-			}
-		}
-		if hf > 1 {
-			tau += (1 - 1/float64(hf)) * k.scanSeconds[f]
-		}
-	}
-	return omega, tau
-}
+// Equations 2–5 and Table 1's notation. All three run against the
+// precomputed knowledge-base index (cqiindex.go) and allocate nothing on
+// the steady path.
 
 // concurrentIntensity computes r_c (Eq. 4): the fraction of c's fair share
 // of the I/O bus it will spend competing directly with the primary.
 // Negative estimates are truncated to zero (queries whose I/O is entirely
 // covered by shared scans).
-func concurrentIntensity(c TemplateStats, omega, tau float64) float64 {
+func concurrentIntensity(c *TemplateStats, omega, tau float64) float64 {
 	if c.IsolatedLatency <= 0 {
 		return 0
 	}
@@ -51,32 +23,49 @@ func concurrentIntensity(c TemplateStats, omega, tau float64) float64 {
 
 // CQI returns r_{t,m} (Eq. 5): the mean competing-I/O intensity of the
 // concurrent queries when `primary` executes with `concurrent` (template
-// IDs). It is the independent variable of every QS model.
+// IDs). It is the independent variable of every QS model. The shared-scan
+// savings ω_c (Eq. 2) come from the precomputed pairwise table; the
+// non-primary sharing term τ_c (Eq. 3) is mix-dependent and computed per
+// call, still without allocating.
 func (k *Knowledge) CQI(primary int, concurrent []int) float64 {
-	p := k.MustTemplate(primary)
-	return k.cqiFor(p, concurrent)
-}
-
-// CQIForStats is CQI with an explicit primary — used when the primary is an
-// ad-hoc template not present in the knowledge base.
-func (k *Knowledge) CQIForStats(primary TemplateStats, concurrent []int) float64 {
-	return k.cqiFor(primary, concurrent)
-}
-
-func (k *Knowledge) cqiFor(primary TemplateStats, concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0
 	}
-	cs := make([]TemplateStats, len(concurrent))
-	for i, id := range concurrent {
-		cs[i] = k.MustTemplate(id)
-	}
+	idx := k.index()
+	pi := idx.mustPos(primary)
+	primaryScans := idx.tmpl[pi].stats.Scans
 	var sum float64
-	for _, c := range cs {
-		omega, tau := k.cqiTerms(primary, c, cs)
-		sum += concurrentIntensity(c, omega, tau)
+	for _, id := range concurrent {
+		ci := idx.mustPos(id)
+		c := &idx.tmpl[ci]
+		omega := idx.omega[pi][ci]
+		tau := idx.tau(primaryScans, c, concurrent)
+		sum += concurrentIntensity(&c.stats, omega, tau)
 	}
-	return sum / float64(len(cs))
+	return sum / float64(len(concurrent))
+}
+
+// CQIForStats is CQI with an explicit primary — used when the primary is an
+// ad-hoc template not present in the knowledge base (its ω terms cannot be
+// precomputed and are resolved from its scan set per call).
+func (k *Knowledge) CQIForStats(primary TemplateStats, concurrent []int) float64 {
+	if len(concurrent) == 0 {
+		return 0
+	}
+	idx := k.index()
+	var sum float64
+	for _, id := range concurrent {
+		c := &idx.tmpl[idx.mustPos(id)]
+		var omega float64
+		for _, sc := range c.scans {
+			if primary.Scans[sc.table] {
+				omega += sc.seconds
+			}
+		}
+		tau := idx.tau(primary.Scans, c, concurrent)
+		sum += concurrentIntensity(&c.stats, omega, tau)
+	}
+	return sum / float64(len(concurrent))
 }
 
 // BaselineIO is the first Table 2 ablation: the mean isolated I/O fraction
@@ -85,9 +74,10 @@ func (k *Knowledge) BaselineIO(concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0
 	}
+	idx := k.index()
 	var sum float64
 	for _, id := range concurrent {
-		sum += k.MustTemplate(id).IOFraction
+		sum += idx.tmpl[idx.mustPos(id)].stats.IOFraction
 	}
 	return sum / float64(len(concurrent))
 }
@@ -98,12 +88,12 @@ func (k *Knowledge) PositiveIO(primary int, concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0
 	}
-	p := k.MustTemplate(primary)
+	idx := k.index()
+	pi := idx.mustPos(primary)
 	var sum float64
 	for _, id := range concurrent {
-		c := k.MustTemplate(id)
-		omega, _ := k.cqiTerms(p, c, nil)
-		sum += concurrentIntensity(c, omega, 0)
+		ci := idx.mustPos(id)
+		sum += concurrentIntensity(&idx.tmpl[ci].stats, idx.omega[pi][ci], 0)
 	}
 	return sum / float64(len(concurrent))
 }

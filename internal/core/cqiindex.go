@@ -1,0 +1,121 @@
+package core
+
+import "sort"
+
+// The CQI hot path — every PredictKnown call, every candidate mix a
+// scheduler evaluates — used to materialize a []TemplateStats per call and
+// iterate scan-set maps in randomized order. This file precomputes a
+// read-only index over the knowledge base instead: per-template resolved
+// stats, each template's fact scans as a sorted slice with s_f resolved,
+// and the pairwise shared-scan seconds ω(i,j) of Eq. 2. With it, CQI,
+// PositiveIO, and the prediction pipeline run allocation-free and sum
+// floating-point terms in a deterministic order.
+
+// resolvedScan is one fact-table scan with its measured scan time attached.
+type resolvedScan struct {
+	table   string
+	seconds float64 // s_f
+}
+
+// resolvedTemplate is a template's stats plus its scan set in canonical
+// (table-sorted) order. The stats' maps are shared with the knowledge base
+// and must be treated as read-only.
+type resolvedTemplate struct {
+	stats TemplateStats
+	scans []resolvedScan
+}
+
+// cqiIndex is an immutable snapshot of the knowledge base, rebuilt lazily
+// after any mutation. omega[i][j] is the shared-scan seconds between
+// templates i and j (Eq. 2's ω when j runs concurrently with primary i).
+type cqiIndex struct {
+	pos   map[int]int
+	tmpl  []resolvedTemplate
+	omega [][]float64
+}
+
+// index returns the current index, building it on first use after a
+// mutation. Reads are lock-free; concurrent builders serialize on the
+// knowledge base's mutex. Mutating the knowledge base concurrently with
+// reads is not supported (and never was).
+func (k *Knowledge) index() *cqiIndex {
+	if idx := k.cqi.Load(); idx != nil {
+		return idx
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if idx := k.cqi.Load(); idx != nil {
+		return idx
+	}
+	idx := k.buildIndex()
+	k.cqi.Store(idx)
+	return idx
+}
+
+// invalidate drops the index after a mutation.
+func (k *Knowledge) invalidate() { k.cqi.Store(nil) }
+
+func (k *Knowledge) buildIndex() *cqiIndex {
+	ids := k.IDs()
+	idx := &cqiIndex{
+		pos:   make(map[int]int, len(ids)),
+		tmpl:  make([]resolvedTemplate, len(ids)),
+		omega: make([][]float64, len(ids)),
+	}
+	for i, id := range ids {
+		ts := k.templates[id]
+		rt := resolvedTemplate{stats: ts, scans: make([]resolvedScan, 0, len(ts.Scans))}
+		for f := range ts.Scans {
+			rt.scans = append(rt.scans, resolvedScan{table: f, seconds: k.scanSeconds[f]})
+		}
+		sort.Slice(rt.scans, func(a, b int) bool { return rt.scans[a].table < rt.scans[b].table })
+		idx.tmpl[i] = rt
+		idx.pos[id] = i
+	}
+	for i := range idx.tmpl {
+		row := make([]float64, len(ids))
+		for j := range idx.tmpl {
+			var w float64
+			for _, sc := range idx.tmpl[j].scans {
+				if idx.tmpl[i].stats.Scans[sc.table] {
+					w += sc.seconds
+				}
+			}
+			row[j] = w
+		}
+		idx.omega[i] = row
+	}
+	return idx
+}
+
+// mustPos resolves a template ID to its index slot, panicking like
+// MustTemplate on unknown IDs (a programming error in experiment wiring).
+func (idx *cqiIndex) mustPos(id int) int {
+	p, ok := idx.pos[id]
+	if !ok {
+		panicUnknownTemplate(id)
+	}
+	return p
+}
+
+// tau computes Eq. 3 for concurrent query c against the given primary scan
+// set: scan savings on tables the primary does not read, shared by h_f > 1
+// concurrent queries (each sharer saves (1 − 1/h_f)·s_f).
+func (idx *cqiIndex) tau(primaryScans map[string]bool, c *resolvedTemplate, concurrent []int) float64 {
+	var tau float64
+	for _, sc := range c.scans {
+		if primaryScans[sc.table] {
+			continue
+		}
+		hf := 0
+		for _, id := range concurrent {
+			if idx.tmpl[idx.mustPos(id)].stats.Scans[sc.table] {
+				hf++
+			}
+		}
+		if hf > 1 {
+			tau += (1 - 1/float64(hf)) * sc.seconds
+		}
+	}
+	return tau
+}

@@ -96,15 +96,22 @@ func (m *OperatorModel) Predict(primary TemplateStats, stages []StageProfile, co
 	if len(stages) == 0 {
 		return 0, fmt.Errorf("core: no stage profiles for template %d", primary.ID)
 	}
-	cs := make([]TemplateStats, len(concurrent))
+	idx := m.know.index()
+	cs := make([]*resolvedTemplate, len(concurrent))
 	for i, id := range concurrent {
-		cs[i] = m.know.MustTemplate(id)
+		cs[i] = &idx.tmpl[idx.mustPos(id)]
 	}
 	// Per-competitor intensity, as in Eq. 4.
 	intensities := make([]float64, len(cs))
 	for i, c := range cs {
-		omega, tau := m.know.cqiTerms(primary, c, cs)
-		intensities[i] = concurrentIntensity(c, omega, tau)
+		var omega float64
+		for _, sc := range c.scans {
+			if primary.Scans[sc.table] {
+				omega += sc.seconds
+			}
+		}
+		tau := idx.tau(primary.Scans, c, concurrent)
+		intensities[i] = concurrentIntensity(&c.stats, omega, tau)
 	}
 
 	var total float64
@@ -118,7 +125,7 @@ func (m *OperatorModel) Predict(primary TemplateStats, stages []StageProfile, co
 		case StageClassSeqIO:
 			load := 0.0
 			for i, c := range cs {
-				if c.Scans[st.Table] {
+				if c.stats.Scans[st.Table] {
 					// Shares this scan's stream: no extra disk load for
 					// this stage.
 					continue

@@ -24,6 +24,16 @@ type Snapshot struct {
 	Models    []modelSnapshot    `json:"models"`
 }
 
+// KnowledgeSnapshot is the serialized form of a knowledge base alone
+// (templates and scan times, no trained models). Its encoding is canonical
+// — templates ascending by ID, scans and spoiler samples sorted — so two
+// equal knowledge bases marshal to identical bytes, which is how the
+// parallel-sampling determinism tests compare worker counts.
+type KnowledgeSnapshot struct {
+	Templates []templateSnapshot `json:"templates"`
+	ScanTimes map[string]float64 `json:"scan_times"`
+}
+
 type templateSnapshot struct {
 	ID              int             `json:"id"`
 	IsolatedLatency float64         `json:"isolated_latency"`
@@ -47,14 +57,14 @@ type modelSnapshot struct {
 	B        float64 `json:"b"`
 }
 
-// Snapshot captures the predictor's full trained state.
-func (p *Predictor) Snapshot() *Snapshot {
-	s := &Snapshot{Version: snapshotVersion, ScanTimes: make(map[string]float64)}
-	for f, v := range p.Know.scanSeconds {
+// Snapshot captures the knowledge base's full state in canonical order.
+func (k *Knowledge) Snapshot() *KnowledgeSnapshot {
+	s := &KnowledgeSnapshot{ScanTimes: make(map[string]float64)}
+	for f, v := range k.scanSeconds {
 		s.ScanTimes[f] = v
 	}
-	for _, id := range p.Know.IDs() {
-		t := p.Know.MustTemplate(id)
+	for _, id := range k.IDs() {
+		t := k.MustTemplate(id)
 		ts := templateSnapshot{
 			ID:              t.ID,
 			IsolatedLatency: t.IsolatedLatency,
@@ -73,6 +83,13 @@ func (p *Predictor) Snapshot() *Snapshot {
 		sort.Slice(ts.Spoilers, func(i, j int) bool { return ts.Spoilers[i].MPL < ts.Spoilers[j].MPL })
 		s.Templates = append(s.Templates, ts)
 	}
+	return s
+}
+
+// Snapshot captures the predictor's full trained state.
+func (p *Predictor) Snapshot() *Snapshot {
+	ks := p.Know.Snapshot()
+	s := &Snapshot{Version: snapshotVersion, Templates: ks.Templates, ScanTimes: ks.ScanTimes}
 	for _, mpl := range p.MPLs() {
 		refs := p.refs[mpl]
 		for _, id := range refs.IDs() {

@@ -1,0 +1,45 @@
+package core
+
+import "fmt"
+
+// Batch prediction: schedulers and admission controllers evaluate many
+// candidate mixes per decision (which queued query to dispatch next, which
+// MPL keeps the SLO). PredictBatch amortizes that loop behind a reusable
+// buffer so the whole decision runs without allocating.
+
+// PredictBuffer is reusable scratch for batch prediction. The zero value is
+// ready to use; a buffer must not be shared between goroutines.
+type PredictBuffer struct {
+	out []float64
+}
+
+// Results returns the predictions of the most recent PredictBatch call.
+// The slice is overwritten by the next call on the same buffer.
+func (b *PredictBuffer) Results() []float64 { return b.out }
+
+// PredictBatch is PredictKnown evaluated for each candidate mix of the
+// same primary, appending into buf's storage. The returned slice aliases
+// the buffer and is valid until the next call. Mixes may have different
+// MPLs; each must have a trained reference model and continuum.
+func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
+	if buf == nil {
+		return nil, fmt.Errorf("core: PredictBatch needs a non-nil buffer")
+	}
+	out := buf.out[:0]
+	for i, mix := range mixes {
+		v, err := p.PredictKnown(primary, mix)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch mix %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	buf.out = out
+	return out, nil
+}
+
+// Prime forces the knowledge base's hot-path index to be built now, so the
+// first prediction served to a latency-sensitive caller does not pay the
+// one-time O(n²·scans) construction cost.
+func (p *Predictor) Prime() {
+	p.Know.index()
+}

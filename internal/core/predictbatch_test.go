@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPredictBatchMatchesPredictKnown(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := [][]int{{1}, {2}, {1, 3}, {4, 5}}
+	var buf PredictBuffer
+	got, err := p.PredictBatch(&buf, 2, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(mixes) {
+		t.Fatalf("got %d predictions for %d mixes", len(got), len(mixes))
+	}
+	for i, mix := range mixes {
+		want, err := p.PredictKnown(2, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("mix %v: batch %g != single %g", mix, got[i], want)
+		}
+	}
+
+	// Reuse must overwrite, not append.
+	again, err := p.PredictBatch(&buf, 2, mixes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Fatalf("reused buffer returned %d predictions, want 2", len(again))
+	}
+	if res := buf.Results(); len(res) != 2 {
+		t.Fatalf("Results() has %d entries after reuse, want 2", len(res))
+	}
+}
+
+func TestPredictBatchErrors(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictBatch(nil, 1, [][]int{{2}}); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	var buf PredictBuffer
+	if _, err := p.PredictBatch(&buf, 999, [][]int{{2}}); err == nil {
+		t.Error("unknown primary accepted")
+	}
+	if _, err := p.PredictBatch(&buf, 1, [][]int{{2}, {}}); err == nil {
+		t.Error("empty mix accepted (MPL 1 has no model)")
+	}
+}
+
+// The serving hot path must not allocate: a scheduler probing thousands of
+// candidate mixes per decision would otherwise spend its time in GC.
+func TestServingPathDoesNotAllocate(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Prime()
+	mix := []int{2, 3}
+	mixes := [][]int{{1}, {2}, {1, 3}}
+	var buf PredictBuffer
+	if _, err := p.PredictBatch(&buf, 2, mixes); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CQI", func() { k.CQI(1, mix) }},
+		{"PositiveIO", func() { k.PositiveIO(1, mix) }},
+		{"BaselineIO", func() { k.BaselineIO(mix) }},
+		{"PredictKnown", func() {
+			if _, err := p.PredictKnown(2, mix); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PredictBatch", func() {
+			if _, err := p.PredictBatch(&buf, 2, mixes); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

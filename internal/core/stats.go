@@ -13,6 +13,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // TemplateStats holds the isolated-execution observables of one template —
@@ -54,11 +56,20 @@ func (t TemplateStats) SpoilerSlowdown(mpl int) float64 {
 
 // Knowledge is Contender's training-time view of the workload: per-template
 // isolated statistics plus the measured per-table scan times s_f.
+//
+// Reads (CQI, prediction) are safe to run concurrently; mutation
+// (AddTemplate, SetScanTime, Remove) must not overlap with reads or other
+// mutation. Always handle Knowledge by pointer — it embeds sync state.
 type Knowledge struct {
 	templates map[int]TemplateStats
 	// scanSeconds[f] is s_f: time to sequentially scan fact table f in
 	// isolation, measured by running a scan-only query.
 	scanSeconds map[string]float64
+
+	// cqi caches the resolved hot-path index (cqiindex.go); it is rebuilt
+	// lazily after any mutation. mu serializes concurrent rebuilds.
+	cqi atomic.Pointer[cqiIndex]
+	mu  sync.Mutex
 }
 
 // NewKnowledge builds an empty knowledge base.
@@ -78,11 +89,13 @@ func (k *Knowledge) AddTemplate(ts TemplateStats) {
 		ts.Scans = make(map[string]bool)
 	}
 	k.templates[ts.ID] = ts
+	k.invalidate()
 }
 
 // SetScanTime records s_f for a fact table.
 func (k *Knowledge) SetScanTime(table string, seconds float64) {
 	k.scanSeconds[table] = seconds
+	k.invalidate()
 }
 
 // ScanTime returns s_f, or 0 if the table was never profiled.
@@ -99,9 +112,13 @@ func (k *Knowledge) Template(id int) (TemplateStats, bool) {
 func (k *Knowledge) MustTemplate(id int) TemplateStats {
 	t, ok := k.templates[id]
 	if !ok {
-		panic(fmt.Sprintf("core: unknown template %d", id))
+		panicUnknownTemplate(id)
 	}
 	return t
+}
+
+func panicUnknownTemplate(id int) {
+	panic(fmt.Sprintf("core: unknown template %d", id))
 }
 
 // IDs returns the known template IDs in ascending order.
@@ -142,6 +159,7 @@ func (k *Knowledge) Remove(id int) (TemplateStats, bool) {
 	t, ok := k.templates[id]
 	if ok {
 		delete(k.templates, id)
+		k.invalidate()
 	}
 	return t, ok
 }

@@ -34,6 +34,9 @@ type Options struct {
 	Seed int64
 	// Config overrides the host configuration (zero value = default host).
 	Config *sim.Config
+	// Workers bounds the sampling worker pool (see parallel.go). 0 uses
+	// GOMAXPROCS. The collected data is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,13 +68,17 @@ type MixSample struct {
 // Env is the shared experimental environment: the workload profiled in
 // isolation and under the spoiler, plus steady-state mix samples at every
 // MPL. Building it corresponds to the paper's entire training-data
-// collection; on the simulator it takes seconds instead of weeks.
+// collection; on the simulator it takes seconds instead of weeks, and the
+// collection fans out over a deterministic worker pool (parallel.go).
 type Env struct {
 	Opts     Options
 	Workload *tpcds.Workload
-	Engine   *sim.Engine
-	Know     *core.Knowledge
-	// Samples maps MPL → sampled mixes.
+	// Engine is the host used for post-build simulation (ground truth,
+	// scheduling experiments). Training-data collection runs on per-task
+	// engines instead; see parallel.go.
+	Engine *sim.Engine
+	Know   *core.Knowledge
+	// Samples maps MPL → sampled mixes, in design order.
 	Samples map[int][]MixSample
 	// SimulatedSeconds tallies the virtual time each collection phase
 	// consumed, for the Section 5.4 sampling-cost accounting.
@@ -80,6 +87,15 @@ type Env struct {
 		Spoiler  float64
 		Mixes    float64
 	}
+
+	// baseCfg is the host configuration before per-task reseeding.
+	baseCfg sim.Config
+	// Flattened observation indexes, built once after sampling:
+	// obsByMPL[mpl] is Samples[mpl] flattened; obsByPrimary[mpl][id] holds
+	// the observations whose primary is id. Both views share backing
+	// storage with the samples and are read-only.
+	obsByMPL     map[int][]core.Observation
+	obsByPrimary map[int]map[int][]core.Observation
 }
 
 // NewEnv profiles the default workload and samples mixes per opts.
@@ -101,111 +117,203 @@ func NewEnvWith(w *tpcds.Workload, opts Options) (*Env, error) {
 		Engine:   sim.NewEngine(cfg),
 		Know:     core.NewKnowledge(),
 		Samples:  make(map[int][]MixSample),
+		baseCfg:  cfg,
 	}
-	if err := env.profile(); err != nil {
+	if err := env.collect(); err != nil {
 		return nil, err
 	}
-	if err := env.sampleMixes(); err != nil {
-		return nil, err
-	}
+	env.buildObservationIndex()
 	return env, nil
 }
 
-// profile measures isolated statistics, per-table scan times, and spoiler
-// latencies for every template.
-func (e *Env) profile() error {
-	// s_f for every fact table (and the restart pseudo-table).
-	for _, t := range e.Workload.Catalog.FactTables() {
-		s, err := e.Engine.MeasureScanTime(t.Name, t.Bytes())
-		if err != nil {
-			return fmt.Errorf("experiments: measuring scan of %s: %w", t.Name, err)
-		}
-		e.Know.SetScanTime(t.Name, s)
+// scanProfile is the result slot of one scan-time task.
+type scanProfile struct {
+	table   string
+	seconds float64
+}
+
+// templateProfile is the result slot of one template-profiling task:
+// isolated statistics plus the virtual seconds the measurements consumed.
+type templateProfile struct {
+	ts              core.TemplateStats
+	isolatedSeconds float64
+	spoilerSeconds  float64
+}
+
+// mixResult is the result slot of one steady-state mix task.
+type mixResult struct {
+	sample  MixSample
+	seconds float64
+}
+
+// collect runs the full sampling campaign — scan times, per-template
+// isolated+spoiler profiles, steady-state mixes — as one pool of
+// independent tasks, then merges the results in canonical order.
+func (e *Env) collect() error {
+	facts := e.Workload.Catalog.FactTables()
+	templates := e.Workload.Templates()
+	designs := e.mixDesigns()
+
+	scans := make([]scanProfile, len(facts))
+	profiles := make([]templateProfile, len(templates))
+	mixResults := make(map[int][]mixResult, len(designs))
+	for _, mpl := range e.Opts.MPLs {
+		mixResults[mpl] = make([]mixResult, len(designs[mpl]))
 	}
 
-	for _, tpl := range e.Workload.Templates() {
-		spec := e.Workload.MustSpec(tpl.ID)
-		var latSum, ioSum float64
-		for i := 0; i < e.Opts.IsolatedRuns; i++ {
-			res, err := e.Engine.RunIsolated(spec)
-			if err != nil {
-				return fmt.Errorf("experiments: isolated run of T%d: %w", tpl.ID, err)
-			}
-			latSum += res.Latency
-			ioSum += res.IOTime
-			e.SimulatedSeconds.Isolated += res.Latency
+	var tasks []envTask
+	for i, t := range facts {
+		i, t := i, t
+		tasks = append(tasks, envTask{
+			key: "scan/" + t.Name,
+			run: func(eng *sim.Engine) error {
+				s, err := eng.MeasureScanTime(t.Name, t.Bytes())
+				if err != nil {
+					return fmt.Errorf("measuring scan of %s: %w", t.Name, err)
+				}
+				scans[i] = scanProfile{table: t.Name, seconds: s}
+				return nil
+			},
+		})
+	}
+	for i, tpl := range templates {
+		i, tpl := i, tpl
+		tasks = append(tasks, envTask{
+			key: fmt.Sprintf("template/%d", tpl.ID),
+			run: func(eng *sim.Engine) error {
+				p, err := e.profileTemplate(eng, tpl)
+				if err != nil {
+					return err
+				}
+				profiles[i] = p
+				return nil
+			},
+		})
+	}
+	for _, mpl := range e.Opts.MPLs {
+		mpl := mpl
+		for i, mix := range designs[mpl] {
+			i, mix := i, mix
+			tasks = append(tasks, envTask{
+				key: fmt.Sprintf("mix/%d/%d", mpl, i),
+				run: func(eng *sim.Engine) error {
+					sample, dur, err := e.runMix(eng, mix)
+					if err != nil {
+						return err
+					}
+					mixResults[mpl][i] = mixResult{sample: sample, seconds: dur}
+					return nil
+				},
+			})
 		}
-		lmin := latSum / float64(e.Opts.IsolatedRuns)
-		pt := ioSum / latSum
+	}
 
-		ts := core.TemplateStats{
-			ID:              tpl.ID,
-			IsolatedLatency: lmin,
-			IOFraction:      pt,
-			WorkingSetBytes: spec.WorkingSetBytes,
-			SpoilerLatency:  make(map[int]float64),
-			Scans:           tpl.Plan.ScannedTables(),
-			PlanSteps:       tpl.Plan.Steps(),
-			RecordsAccessed: tpl.Plan.RecordsAccessed(),
+	if err := e.runTasks(tasks); err != nil {
+		return err
+	}
+
+	// Merge in canonical order so Knowledge, Samples, and the virtual-time
+	// tallies are identical for every worker count.
+	for _, s := range scans {
+		e.Know.SetScanTime(s.table, s.seconds)
+	}
+	for _, p := range profiles {
+		e.Know.AddTemplate(p.ts)
+		e.SimulatedSeconds.Isolated += p.isolatedSeconds
+		e.SimulatedSeconds.Spoiler += p.spoilerSeconds
+	}
+	for _, mpl := range e.Opts.MPLs {
+		for _, r := range mixResults[mpl] {
+			e.Samples[mpl] = append(e.Samples[mpl], r.sample)
+			e.SimulatedSeconds.Mixes += r.seconds
 		}
-		// Restrict the scan set to fact tables: dimension scans are
-		// buffer-resident and create no I/O interactions.
-		for f := range ts.Scans {
-			if t, ok := e.Workload.Catalog.Table(f); !ok || !t.Fact {
-				delete(ts.Scans, f)
-			}
-		}
-		for _, mpl := range e.Opts.MPLs {
-			res, err := e.Engine.RunWithSpoiler(spec, mpl)
-			if err != nil {
-				return fmt.Errorf("experiments: spoiler run of T%d at MPL %d: %w", tpl.ID, mpl, err)
-			}
-			ts.SpoilerLatency[mpl] = res.Latency
-			e.SimulatedSeconds.Spoiler += res.Latency
-		}
-		e.Know.AddTemplate(ts)
 	}
 	return nil
 }
 
-// sampleMixes collects steady-state measurements: exhaustive pairs at
-// MPL 2, LHS designs above.
-func (e *Env) sampleMixes() error {
+// mixDesigns computes the sampling design per MPL (exhaustive pairs at
+// MPL 2, disjoint LHS designs above), with template indices translated to
+// IDs. Designs are deterministic in (Opts.Seed, MPL) alone.
+func (e *Env) mixDesigns() map[int][]lhs.Mix {
 	ids := e.Workload.IDs()
+	out := make(map[int][]lhs.Mix, len(e.Opts.MPLs))
 	for _, mpl := range e.Opts.MPLs {
 		mixes := lhs.MixesFor(len(ids), mpl, e.Opts.LHSRuns, e.Opts.Seed+int64(mpl))
-		for _, mix := range mixes {
-			// Translate template indices to IDs.
+		idMixes := make([]lhs.Mix, len(mixes))
+		for i, mix := range mixes {
 			idMix := make(lhs.Mix, len(mix))
-			for i, idx := range mix {
-				idMix[i] = ids[idx]
+			for j, idx := range mix {
+				idMix[j] = ids[idx]
 			}
-			sample, err := e.runMix(idMix)
-			if err != nil {
-				return err
-			}
-			e.Samples[mpl] = append(e.Samples[mpl], sample)
+			idMixes[i] = idMix
 		}
+		out[mpl] = idMixes
 	}
-	return nil
+	return out
 }
 
-// runMix executes one steady-state mix and converts per-stream mean
-// latencies into observations.
-func (e *Env) runMix(mix lhs.Mix) (MixSample, error) {
+// profileTemplate measures one template's isolated statistics and spoiler
+// latencies on the task's private engine.
+func (e *Env) profileTemplate(eng *sim.Engine, tpl tpcds.Template) (templateProfile, error) {
+	spec := e.Workload.MustSpec(tpl.ID)
+	var p templateProfile
+	var latSum, ioSum float64
+	for i := 0; i < e.Opts.IsolatedRuns; i++ {
+		res, err := eng.RunIsolated(spec)
+		if err != nil {
+			return p, fmt.Errorf("isolated run of T%d: %w", tpl.ID, err)
+		}
+		latSum += res.Latency
+		ioSum += res.IOTime
+		p.isolatedSeconds += res.Latency
+	}
+	lmin := latSum / float64(e.Opts.IsolatedRuns)
+	pt := ioSum / latSum
+
+	ts := core.TemplateStats{
+		ID:              tpl.ID,
+		IsolatedLatency: lmin,
+		IOFraction:      pt,
+		WorkingSetBytes: spec.WorkingSetBytes,
+		SpoilerLatency:  make(map[int]float64),
+		Scans:           tpl.Plan.ScannedTables(),
+		PlanSteps:       tpl.Plan.Steps(),
+		RecordsAccessed: tpl.Plan.RecordsAccessed(),
+	}
+	// Restrict the scan set to fact tables: dimension scans are
+	// buffer-resident and create no I/O interactions.
+	for f := range ts.Scans {
+		if t, ok := e.Workload.Catalog.Table(f); !ok || !t.Fact {
+			delete(ts.Scans, f)
+		}
+	}
+	for _, mpl := range e.Opts.MPLs {
+		res, err := eng.RunWithSpoiler(spec, mpl)
+		if err != nil {
+			return p, fmt.Errorf("spoiler run of T%d at MPL %d: %w", tpl.ID, mpl, err)
+		}
+		ts.SpoilerLatency[mpl] = res.Latency
+		p.spoilerSeconds += res.Latency
+	}
+	p.ts = ts
+	return p, nil
+}
+
+// runMix executes one steady-state mix on the given engine and converts
+// per-stream mean latencies into observations.
+func (e *Env) runMix(eng *sim.Engine, mix lhs.Mix) (MixSample, float64, error) {
 	specs := make([]sim.QuerySpec, len(mix))
 	for i, id := range mix {
 		specs[i] = e.Workload.MustSpec(id)
 	}
-	res, err := e.Engine.RunSteadyState(specs, sim.SteadyStateOptions{
+	res, err := eng.RunSteadyState(specs, sim.SteadyStateOptions{
 		Samples:     e.Opts.SteadySamples,
 		WarmupSkip:  1,
 		RestartCost: tpcds.RestartCost(),
 	})
 	if err != nil {
-		return MixSample{}, fmt.Errorf("experiments: steady state %v: %w", mix, err)
+		return MixSample{}, 0, fmt.Errorf("steady state %v: %w", mix, err)
 	}
-	e.SimulatedSeconds.Mixes += res.Duration
 
 	sample := MixSample{Mix: mix}
 	for i, id := range mix {
@@ -215,28 +323,47 @@ func (e *Env) runMix(mix lhs.Mix) (MixSample, error) {
 			Latency:    res.MeanLatency(i),
 		})
 	}
-	return sample, nil
+	return sample, res.Duration, nil
 }
 
-// Observations flattens all samples at an MPL into observations.
-func (e *Env) Observations(mpl int) []core.Observation {
-	var out []core.Observation
-	for _, s := range e.Samples[mpl] {
-		out = append(out, s.Obs...)
+// buildObservationIndex flattens the samples into the per-MPL and
+// per-primary views served by Observations and ObservationsFor.
+func (e *Env) buildObservationIndex() {
+	e.obsByMPL = make(map[int][]core.Observation, len(e.Samples))
+	e.obsByPrimary = make(map[int]map[int][]core.Observation, len(e.Samples))
+	for _, mpl := range e.Opts.MPLs {
+		var flat []core.Observation
+		byPrimary := make(map[int][]core.Observation)
+		for _, s := range e.Samples[mpl] {
+			flat = append(flat, s.Obs...)
+			for _, o := range s.Obs {
+				byPrimary[o.Primary] = append(byPrimary[o.Primary], o)
+			}
+		}
+		e.obsByMPL[mpl] = flat
+		e.obsByPrimary[mpl] = byPrimary
 	}
-	return out
+}
+
+// Observations returns all observations at an MPL, in sample order. The
+// returned slice is shared with the Env's index and must not be mutated.
+func (e *Env) Observations(mpl int) []core.Observation {
+	if e.obsByMPL == nil {
+		e.buildObservationIndex()
+	}
+	return e.obsByMPL[mpl]
 }
 
 // ObservationsFor returns the observations at mpl whose primary is the
-// given template.
+// given template, served from the primary-keyed index (the experiment
+// drivers call this once per template — re-flattening every sample per
+// call made those loops quadratic). The returned slice is shared with the
+// index and must not be mutated.
 func (e *Env) ObservationsFor(mpl, primary int) []core.Observation {
-	var out []core.Observation
-	for _, o := range e.Observations(mpl) {
-		if o.Primary == primary {
-			out = append(out, o)
-		}
+	if e.obsByPrimary == nil {
+		e.buildObservationIndex()
 	}
-	return out
+	return e.obsByPrimary[mpl][primary]
 }
 
 // AllObservations returns observations across all sampled MPLs.

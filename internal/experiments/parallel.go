@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"contender/internal/sim"
+)
+
+// Parallel training-data collection. Building an Env is the paper's entire
+// sampling campaign — isolated runs, spoiler runs per MPL, exhaustive pairs
+// at MPL 2, LHS designs above — and every experiment, benchmark, and CLI
+// pays it on startup. The campaign is embarrassingly parallel: no unit of
+// work depends on another, so the build fans out over a worker pool.
+//
+// Determinism scheme (see DESIGN.md "Deterministic parallel sampling"):
+//
+//   - Every task (one template's isolated+spoiler profile, one steady-state
+//     mix, one scan-time measurement) owns a PRIVATE sim.Engine seeded with
+//     sim.DeriveSeed(Opts.Seed, taskKey). The task's measurements depend
+//     only on its key, never on worker count or scheduling order.
+//   - Results are written to pre-assigned slots and merged into Knowledge,
+//     Samples, and the SimulatedSeconds tallies in canonical order
+//     (workload template order, then design order per MPL), so even the
+//     floating-point accumulations are byte-identical across worker counts.
+//
+// A consequence: sampled values differ from the pre-parallel releases,
+// which threaded one shared RNG stream through every measurement. That was
+// a one-time re-baseline of EXPERIMENTS.md's golden numbers.
+
+// envTask is one independent unit of sampling work.
+type envTask struct {
+	// key derives the task's engine seed and identifies it in errors.
+	key string
+	// run performs the measurement on the task's private engine.
+	run func(eng *sim.Engine) error
+}
+
+// taskEngine builds the private engine for a task key.
+func (e *Env) taskEngine(key string) *sim.Engine {
+	return sim.NewEngine(e.baseCfg.WithSeed(sim.DeriveSeed(e.Opts.Seed, key)))
+}
+
+// workers resolves the effective pool width for n tasks.
+func (e *Env) workers(n int) int {
+	w := e.Opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runTasks executes all tasks, min(Workers, len(tasks)) wide. Each task
+// runs exactly once on its own engine; the first error wins and the pool
+// drains without starting further work.
+func (e *Env) runTasks(tasks []envTask) error {
+	workers := e.workers(len(tasks))
+	if workers == 1 {
+		for _, t := range tasks {
+			if err := t.run(e.taskEngine(t.key)); err != nil {
+				return fmt.Errorf("experiments: task %s: %w", t.key, err)
+			}
+		}
+		return nil
+	}
+
+	var (
+		ch       = make(chan envTask)
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if failed() {
+					continue // drain: stop starting new work after an error
+				}
+				if err := t.run(e.taskEngine(t.key)); err != nil {
+					fail(fmt.Errorf("experiments: task %s: %w", t.key, err))
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"contender/internal/sim"
+	"contender/internal/tpcds"
+)
+
+// buildEnv constructs a small environment at the given pool width. The
+// options match sharedEnv's except for the template subset, kept tighter so
+// the determinism test can afford several full builds.
+func buildEnv(t *testing.T, workers int) *Env {
+	t.Helper()
+	w := tpcds.NewWorkload().Subset([]int{2, 22, 25, 26, 61, 71})
+	env, err := NewEnvWith(w, Options{
+		MPLs:          []int{2, 3},
+		LHSRuns:       2,
+		SteadySamples: 3,
+		IsolatedRuns:  2,
+		Seed:          7,
+		Workers:       workers,
+	})
+	if err != nil {
+		t.Fatalf("building env with %d workers: %v", workers, err)
+	}
+	return env
+}
+
+// TestEnvBuildDeterministic is the contract behind the parallel collector:
+// worker count must be invisible in the training data. Every width has to
+// produce byte-identical Knowledge snapshots, equal samples, and equal
+// simulated-time tallies (exact float equality — the merge order is
+// canonical, so even accumulation order matches). Running this test under
+// `go test -race` also exercises the pool for data races.
+func TestEnvBuildDeterministic(t *testing.T) {
+	base := buildEnv(t, 1)
+	baseSnap, err := json.Marshal(base.Know.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		env := buildEnv(t, workers)
+		snap, err := json.Marshal(env.Know.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(snap) != string(baseSnap) {
+			t.Errorf("workers=%d: Knowledge snapshot differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(env.Samples, base.Samples) {
+			t.Errorf("workers=%d: Samples differ from workers=1", workers)
+		}
+		if env.SimulatedSeconds != base.SimulatedSeconds {
+			t.Errorf("workers=%d: SimulatedSeconds %+v != %+v",
+				workers, env.SimulatedSeconds, base.SimulatedSeconds)
+		}
+	}
+}
+
+// TestRunTasksErrorPropagates checks the pool surfaces a task failure
+// (wrapped with the task key) instead of hanging, at both the sequential
+// fast path and a wide pool.
+func TestRunTasksErrorPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		env := &Env{Opts: Options{Workers: workers}, baseCfg: sim.DefaultConfig()}
+		boom := errors.New("boom")
+		var tasks []envTask
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("ok/%d", i)
+			run := func(*sim.Engine) error { return nil }
+			if i == 9 {
+				key, run = "bad/9", func(*sim.Engine) error { return boom }
+			}
+			tasks = append(tasks, envTask{key: key, run: run})
+		}
+		err := env.runTasks(tasks)
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "bad/9") {
+			t.Errorf("workers=%d: error %q does not name the failing task", workers, err)
+		}
+	}
+}
+
+// TestObservationsForIndexed cross-checks the primary-keyed observation
+// index against a straight filter of the flat list.
+func TestObservationsForIndexed(t *testing.T) {
+	env := buildEnv(t, 2)
+	for _, mpl := range []int{2, 3} {
+		all := env.Observations(mpl)
+		for _, id := range env.TemplateIDs() {
+			var want int
+			for _, o := range all {
+				if o.Primary == id {
+					want++
+				}
+			}
+			got := env.ObservationsFor(mpl, id)
+			if len(got) != want {
+				t.Errorf("MPL %d T%d: indexed %d observations, filter finds %d", mpl, id, len(got), want)
+			}
+			for _, o := range got {
+				if o.Primary != id {
+					t.Fatalf("MPL %d T%d: index returned observation with primary %d", mpl, id, o.Primary)
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ func ExtNoise(env *Env) (*Result, error) {
 			IsolatedRuns:  2,
 			Seed:          env.Opts.Seed + int64(1000*scale) + 7,
 			Config:        &cfg,
+			Workers:       env.Opts.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: noise scale %g: %w", scale, err)

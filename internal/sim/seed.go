@@ -1,0 +1,38 @@
+package sim
+
+// Deterministic parallelism support: the experiments layer fans its
+// training-data collection out over a pool of workers, and every unit of
+// work (one template's profile, one steady-state mix) owns a private Engine.
+// Each task engine is seeded from (base seed, task key), so its noise stream
+// depends only on the task identity — never on worker count or scheduling
+// order — and a parallel build reproduces the single-threaded one exactly.
+
+// DeriveSeed maps a base seed and a stable task key to an independent engine
+// seed. The key is hashed with FNV-1a and the result is mixed with the base
+// seed through a SplitMix64 finalizer, so related keys ("template/2",
+// "template/3") land on uncorrelated seeds.
+func DeriveSeed(seed int64, key string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := h + uint64(seed)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// WithSeed returns a copy of the config carrying the given seed — the
+// per-task clone handed to each sampling worker's private engine.
+func (c Config) WithSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}

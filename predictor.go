@@ -42,6 +42,23 @@ func (p *Predictor) CQIForStats(primary TemplateStats, concurrent []int) float64
 	return p.inner.Know.CQIForStats(primary, concurrent)
 }
 
+// PredictBuffer holds the reusable scratch space of PredictBatch. The zero
+// value is ready to use; reusing one buffer across calls keeps the serving
+// hot path allocation-free.
+type PredictBuffer = core.PredictBuffer
+
+// PredictBatch predicts the primary's latency under every mix, appending
+// into buf's storage and returning the filled slice (valid until the next
+// call with the same buffer). With a primed predictor the call performs no
+// heap allocations.
+func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
+	return p.inner.PredictBatch(buf, primary, mixes)
+}
+
+// Prime forces construction of the internal prediction index so the first
+// PredictKnown/PredictBatch call doesn't pay the one-time build cost.
+func (p *Predictor) Prime() { p.inner.Prime() }
+
 // QSModelFor returns the reference QS model of a known template at an MPL.
 func (p *Predictor) QSModelFor(template, mpl int) (QSModel, bool) {
 	refs, ok := p.inner.References(mpl)
