@@ -1,6 +1,7 @@
 package contender
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -101,11 +102,19 @@ func TestPredictorAccessors(t *testing.T) {
 
 func TestPredictErrors(t *testing.T) {
 	_, pred := testWorkbench(t)
-	if _, err := pred.PredictKnown(71, []int{2, 22, 26, 33}); err == nil {
-		t.Fatal("expected error for untrained MPL")
+	// Serving failures carry errors.Is-able sentinels so callers can route
+	// them (retry, fall back, reject the request) without string matching.
+	if _, err := pred.PredictKnown(71, []int{2, 22, 26, 33}); !errors.Is(err, ErrUntrainedMPL) {
+		t.Fatalf("untrained MPL: %v, want ErrUntrainedMPL", err)
 	}
-	if _, err := pred.PredictKnown(12345, []int{2}); err == nil {
-		t.Fatal("expected error for unknown template")
+	if _, err := pred.PredictKnown(12345, []int{2}); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("unknown template: %v, want ErrUnknownTemplate", err)
+	}
+	if _, err := pred.PredictKnown(71, nil); !errors.Is(err, ErrEmptyMix) {
+		t.Fatalf("empty mix: %v, want ErrEmptyMix", err)
+	}
+	if _, err := pred.TrackProgress(12345); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("TrackProgress on unknown template: %v, want ErrUnknownTemplate", err)
 	}
 }
 

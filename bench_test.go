@@ -187,6 +187,14 @@ func BenchmarkAblationNoise(b *testing.B) {
 	runExperiment(b, "ext-noise", "mre/0.0x", "mre/1.0x", "mre/3.0x")
 }
 
+// Extension §8 — the resilience layer under injected faults: identity of
+// the training data at a 10% transient rate, retries spent at 20%, and the
+// coverage a permanent per-template fault leaves behind.
+func BenchmarkExtChaos(b *testing.B) {
+	runExperiment(b, "ext-chaos",
+		"identical/10%", "retries/20%", "coverage/permanent")
+}
+
 // BenchmarkAblationSharedScans quantifies the simulator design choice CQI's
 // ω/τ terms depend on: the latency of a fully-shared self-mix with
 // shared-scan groups enabled vs. disabled. The reported ratio is the

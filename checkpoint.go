@@ -1,0 +1,124 @@
+package contender
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+)
+
+// Training checkpoints. A sampling campaign against a real system is hours
+// of measurement; TrainConfig.CheckpointPath makes it resumable. The
+// checkpoint records every RAW measurement keyed by its call site
+// ("scan/<table>", "isolated/<id>/<run>", "spoiler/<id>/<mpl>",
+// "mix/<mpl>/<index>") plus the quarantine decisions taken so far. On
+// resume, recorded sites are replayed instead of re-measured and the
+// remaining sites run as usual; because averaging and model fitting
+// consume the same raw values through the same code, a resumed campaign
+// produces a predictor byte-identical to an uninterrupted one.
+
+// trainCheckpointVersion guards against loading incompatible files.
+const trainCheckpointVersion = 1
+
+type trainCheckpointState struct {
+	Version     int                    `json:"version"`
+	Fingerprint string                 `json:"fingerprint"`
+	Scans       map[string]float64     `json:"scans,omitempty"`
+	Isolated    map[string]Measurement `json:"isolated,omitempty"`
+	Spoilers    map[string]float64     `json:"spoilers,omitempty"`
+	Mixes       map[string][]float64   `json:"mixes,omitempty"`
+	Quarantined []QuarantineRecord     `json:"quarantined,omitempty"`
+}
+
+// trainCheckpoint is the write-through persistence of a campaign in
+// flight: every completed measurement is flushed to disk atomically
+// (temp file + rename), so an interrupt at any point loses at most the
+// measurement in progress.
+type trainCheckpoint struct {
+	path  string
+	state trainCheckpointState
+}
+
+// loadTrainCheckpoint opens (or initializes) the checkpoint at path. A
+// missing file starts a fresh campaign; an existing file must carry the
+// same config fingerprint, otherwise resuming would silently mix
+// incompatible sampling designs.
+func loadTrainCheckpoint(path, fingerprint string) (*trainCheckpoint, error) {
+	c := &trainCheckpoint{path: path}
+	c.state = trainCheckpointState{
+		Version:     trainCheckpointVersion,
+		Fingerprint: fingerprint,
+		Scans:       map[string]float64{},
+		Isolated:    map[string]Measurement{},
+		Spoilers:    map[string]float64{},
+		Mixes:       map[string][]float64{},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("contender: reading checkpoint %s: %w", path, err)
+	}
+	var loaded trainCheckpointState
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		return nil, fmt.Errorf("contender: corrupt checkpoint %s: %w", path, err)
+	}
+	if loaded.Version != trainCheckpointVersion {
+		return nil, fmt.Errorf("contender: checkpoint %s has version %d (want %d)", path, loaded.Version, trainCheckpointVersion)
+	}
+	if loaded.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("contender: checkpoint %s was taken under a different configuration or workload (fingerprint %s, current campaign %s) — delete it or restore the original flags",
+			path, loaded.Fingerprint, fingerprint)
+	}
+	if loaded.Scans == nil {
+		loaded.Scans = map[string]float64{}
+	}
+	if loaded.Isolated == nil {
+		loaded.Isolated = map[string]Measurement{}
+	}
+	if loaded.Spoilers == nil {
+		loaded.Spoilers = map[string]float64{}
+	}
+	if loaded.Mixes == nil {
+		loaded.Mixes = map[string][]float64{}
+	}
+	c.state = loaded
+	return c, nil
+}
+
+// flush writes the checkpoint atomically.
+func (c *trainCheckpoint) flush() error {
+	data, err := json.MarshalIndent(&c.state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("contender: encoding checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("contender: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("contender: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// discard removes the checkpoint file after a campaign completes.
+func (c *trainCheckpoint) discard() {
+	os.Remove(c.path)
+}
+
+// trainFingerprint hashes everything that shapes the sampling design —
+// config knobs, seed, template IDs, fact tables — into a short hex string.
+// Two campaigns share a checkpoint only if their fingerprints match.
+func trainFingerprint(cfg TrainConfig, templates []TemplateMeta, tables []string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|mpls=%v|lhs=%d|steady=%d|iso=%d|seed=%d|tables=%q|ids=",
+		trainCheckpointVersion, cfg.MPLs, cfg.LHSRuns, cfg.SteadySamples, cfg.IsolatedRuns, cfg.Seed, tables)
+	for _, t := range templates {
+		fmt.Fprintf(h, "%d,", t.ID)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

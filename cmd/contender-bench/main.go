@@ -7,6 +7,7 @@
 //
 //	contender-bench [-experiments table2,fig8] [-mpls 2,3,4,5] [-lhs 4] [-seed 42] [-quick]
 //	contender-bench -perf            # micro-benchmarks → BENCH_*.json
+//	contender-bench -checkpoint bench.ckpt   # Ctrl-C-safe: rerunning resumes the campaign
 //	contender-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // -quick shrinks the sampling design (fewer LHS runs, fewer steady-state
@@ -15,9 +16,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -40,6 +44,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or json")
 		charts     = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
 		perf       = flag.Bool("perf", false, "run micro-benchmarks and write BENCH_envbuild.json / BENCH_predict.json")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file for the sampling campaign; an interrupted run (Ctrl-C) resumes from it when rerun with the same flags")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -56,17 +61,23 @@ func main() {
 	}
 
 	opts := experiments.Options{
-		MPLs:          parseInts(*mplsFlag),
-		LHSRuns:       *lhsRuns,
-		SteadySamples: *samples,
-		Seed:          *seed,
-		Workers:       *workers,
+		MPLs:           parseInts(*mplsFlag),
+		LHSRuns:        *lhsRuns,
+		SteadySamples:  *samples,
+		Seed:           *seed,
+		Workers:        *workers,
+		CheckpointPath: *checkpoint,
 	}
 	if *quick {
 		opts.LHSRuns = 2
 		opts.SteadySamples = 3
 		opts.IsolatedRuns = 2
 	}
+
+	// Ctrl-C cancels the sampling campaign; with -checkpoint the progress
+	// so far is already on disk and the next run resumes from it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -77,7 +88,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	code := run(opts, *expFlag, *format, *charts, *perf)
+	code := run(ctx, opts, *expFlag, *format, *charts, *perf)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -95,7 +106,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(opts experiments.Options, expFlag, format string, charts, perf bool) int {
+func run(ctx context.Context, opts experiments.Options, expFlag, format string, charts, perf bool) int {
 	if perf {
 		if err := runPerf(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "contender-bench:", err)
@@ -106,10 +117,17 @@ func run(opts experiments.Options, expFlag, format string, charts, perf bool) in
 
 	fmt.Fprintf(os.Stderr, "profiling workload and sampling mixes (MPLs %v, %d LHS runs)...\n", opts.MPLs, opts.LHSRuns)
 	start := time.Now()
-	env, err := experiments.NewEnv(opts)
+	env, err := experiments.NewEnvContext(ctx, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && opts.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "contender-bench: interrupted; sampling progress saved to %s — rerun with the same flags to resume\n", opts.CheckpointPath)
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, "contender-bench:", err)
 		return 1
+	}
+	if r := env.Resilience; r.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "resumed %d completed measurements from %s\n", r.Resumed, opts.CheckpointPath)
 	}
 	fmt.Fprintf(os.Stderr, "environment ready in %v (%.0f simulated hours of sampling)\n",
 		time.Since(start).Round(time.Millisecond),

@@ -6,9 +6,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"contender"
 	"contender/internal/experiments"
+	"contender/internal/resilience"
 )
 
 // runPerf measures the two hot paths this package optimizes — the parallel
@@ -89,6 +91,38 @@ func runPerf(opts experiments.Options) error {
 			}
 		})
 		envRep.Benchmarks = append(envRep.Benchmarks, record(fmt.Sprintf("EnvBuild/workers=%d", w), r))
+	}
+	// Resilience overhead on the same campaign: the retry wrapper alone
+	// (no faults — pure plumbing cost), and a 10% transient fault rate
+	// whose retries must still produce byte-identical training data.
+	retry := resilience.Default()
+	retry.Sleep = func(time.Duration) {} // measure work, not backoff waits
+	for _, bench := range []struct {
+		name string
+		rate float64
+	}{
+		{"EnvBuild/resilient/workers=4", 0},
+		{"EnvBuild/chaos=10%/workers=4", 0.10},
+	} {
+		o := opts
+		o.Workers = 4
+		o.Retry = &retry
+		if bench.rate > 0 {
+			o.Faults = &resilience.FaultConfig{
+				Seed:          101,
+				TransientRate: bench.rate,
+				Sleep:         func(time.Duration) {},
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s...\n", bench.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.NewEnv(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		envRep.Benchmarks = append(envRep.Benchmarks, record(bench.name, r))
 	}
 	if err := writeReport("BENCH_envbuild.json", envRep); err != nil {
 		return err

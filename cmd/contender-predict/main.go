@@ -11,11 +11,15 @@
 package main
 
 import (
-	"contender"
-	"contender/internal/cliutil"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"contender"
+	"contender/internal/cliutil"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 		save    = flag.String("save", "", "after training, save the predictor snapshot to this file")
 		load    = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
 		workers = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
 	)
 	flag.Parse()
 
@@ -54,14 +59,22 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "training Contender (sampling mixes at MPLs up to %d)...\n", mpl)
-	wb, err := contender.NewWorkbench(
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	wb, err := contender.NewWorkbenchContext(ctx,
 		contender.WithMPLs(cliutil.MPLsUpTo(mpl)...),
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
+		contender.WithCheckpoint(*ckpt),
 	)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "contender-predict: interrupted; training progress saved to %s — rerun with the same flags to resume\n", *ckpt)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
+	stop()
 	pred, err := wb.Train()
 	if err != nil {
 		fatal(err)

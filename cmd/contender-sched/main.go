@@ -8,11 +8,15 @@
 package main
 
 import (
-	"contender"
-	"contender/internal/cliutil"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"contender"
+	"contender/internal/cliutil"
 )
 
 func main() {
@@ -22,6 +26,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		timeline  = flag.Bool("timeline", false, "print the winning schedule's forecast timeline")
 		workers   = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
 	)
 	flag.Parse()
 
@@ -34,14 +39,22 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "training Contender...")
-	wb, err := contender.NewWorkbench(
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	wb, err := contender.NewWorkbenchContext(ctx,
 		contender.WithMPLs(cliutil.MPLsUpTo(*mpl)...),
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
+		contender.WithCheckpoint(*ckpt),
 	)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "contender-sched: interrupted; training progress saved to %s — rerun with the same flags to resume\n", *ckpt)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
+	stop()
 	pred, err := wb.Train()
 	if err != nil {
 		fatal(err)

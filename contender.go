@@ -35,6 +35,7 @@
 package contender
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -150,6 +151,31 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.opts.Workers = n }
 }
 
+// WithRetry enables resilient sampling: every measurement is retried under
+// the policy, templates whose sampling budget is exhausted are quarantined
+// (training degrades instead of aborting), and the campaign stays
+// byte-identical to a fault-free one as long as faults are transient. See
+// Workbench.Resilience for the outcome report.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *config) { c.opts.Retry = &p }
+}
+
+// WithCheckpoint persists sampling progress to path after every completed
+// measurement. An interrupted campaign (crash, SIGINT, context
+// cancellation) resumes from the checkpoint when rebuilt with the same
+// options, producing a workbench byte-identical to an uninterrupted one.
+// The file is removed once the campaign completes.
+func WithCheckpoint(path string) Option {
+	return func(c *config) { c.opts.CheckpointPath = path }
+}
+
+// WithFaults injects deterministic faults into the sampling campaign — the
+// chaos harness behind the resilience tests, exposed for demos and for
+// validating retry configurations.
+func WithFaults(f FaultConfig) Option {
+	return func(c *config) { c.opts.Faults = &f }
+}
+
 // QuickSampling shrinks the sampling design for demos and tests: MPLs 2–3,
 // two LHS runs, three steady-state samples.
 func QuickSampling() Option {
@@ -172,16 +198,32 @@ type Workbench struct {
 // Latin Hypercube designs above). This corresponds to the paper's entire
 // training-data collection and completes in seconds of wall-clock time.
 func NewWorkbench(options ...Option) (*Workbench, error) {
+	return NewWorkbenchContext(context.Background(), options...)
+}
+
+// NewWorkbenchContext is NewWorkbench with cancellation: when ctx is
+// cancelled the sampling campaign stops promptly (flushing its checkpoint
+// first, if one is configured) and returns ctx's error.
+func NewWorkbenchContext(ctx context.Context, options ...Option) (*Workbench, error) {
 	var c config
 	for _, o := range options {
 		o(&c)
 	}
-	env, err := experiments.NewEnv(c.opts)
+	env, err := experiments.NewEnvContext(ctx, c.opts)
 	if err != nil {
 		return nil, fmt.Errorf("contender: building workbench: %w", err)
 	}
 	return &Workbench{env: env}, nil
 }
+
+// Resilience reports how the workbench's sampling campaign went: retries
+// spent, tasks resumed from a checkpoint, quarantined work, and the
+// resulting template coverage. A fault-free campaign reports zeros.
+func (w *Workbench) Resilience() CollectionReport { return w.env.Resilience }
+
+// FaultStats returns the injected-fault tally when the workbench was built
+// with WithFaults; zero otherwise.
+func (w *Workbench) FaultStats() FaultStats { return w.env.FaultStats() }
 
 // TemplateIDs returns the workload's template IDs.
 func (w *Workbench) TemplateIDs() []int { return w.env.TemplateIDs() }

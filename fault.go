@@ -1,0 +1,118 @@
+package contender
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"contender/internal/resilience"
+)
+
+// Deterministic chaos for the training pipeline. FaultSystem wraps any
+// System with a seed-deterministic fault injector: per call it may fail
+// transiently, fail permanently, return a corrupt value, or stall — per
+// the configured rates. It powers the fault-injection test matrix and the
+// ext-chaos experiment.
+//
+// Faults are decided and materialized BEFORE the underlying system is
+// consulted: a faulted call never reaches the substrate. With a
+// deterministic substrate (the bundled simulator shares one RNG stream
+// across measurements), this is what makes the acceptance property hold —
+// under transient or corrupt faults plus retries, the substrate sees
+// exactly the same call sequence as in a fault-free run, so the trained
+// predictor is byte-identical.
+
+// FaultConfig parameterizes the injected fault mix: per-call rates for
+// transient errors, corrupt values, hangs, and latency spikes, plus
+// call-site prefixes that fail permanently (e.g. "isolated/26" kills one
+// template, "mix/" kills every steady-state mix). See
+// resilience.FaultConfig for field documentation.
+type FaultConfig = resilience.FaultConfig
+
+// FaultStats counts what a FaultSystem actually injected.
+type FaultStats = resilience.FaultStats
+
+// FaultSystem is a System decorated with deterministic fault injection.
+type FaultSystem struct {
+	sys System
+	inj *resilience.Injector
+}
+
+// NewFaultSystem wraps sys with a fault injector. The same (seed, rates)
+// produce the same fault schedule on every run.
+func NewFaultSystem(sys System, cfg FaultConfig) *FaultSystem {
+	return &FaultSystem{sys: sys, inj: resilience.NewInjector(cfg)}
+}
+
+// Stats returns the injection counters accumulated so far.
+func (f *FaultSystem) Stats() FaultStats { return f.inj.Stats() }
+
+// Templates delegates to the wrapped system (enumeration is never faulted).
+func (f *FaultSystem) Templates() []TemplateMeta { return f.sys.Templates() }
+
+// FactTables delegates to the wrapped system.
+func (f *FaultSystem) FactTables() []string { return f.sys.FactTables() }
+
+// ScanSeconds measures the table scan, possibly injecting a fault first.
+// Corrupt faults surface as a NaN scan time.
+func (f *FaultSystem) ScanSeconds(table string) (float64, error) {
+	site := "scan/" + table
+	switch k := f.inj.Decide(site); k {
+	case resilience.FaultTransient, resilience.FaultPermanent:
+		return 0, k.Err(site)
+	case resilience.FaultCorrupt:
+		return math.NaN(), nil
+	}
+	return f.sys.ScanSeconds(table)
+}
+
+// RunIsolated runs the template alone, possibly injecting a fault first.
+// Corrupt faults surface as a NaN latency.
+func (f *FaultSystem) RunIsolated(id int) (Measurement, error) {
+	site := "isolated/" + strconv.Itoa(id)
+	switch k := f.inj.Decide(site); k {
+	case resilience.FaultTransient, resilience.FaultPermanent:
+		return Measurement{}, k.Err(site)
+	case resilience.FaultCorrupt:
+		return Measurement{LatencySeconds: math.NaN()}, nil
+	}
+	return f.sys.RunIsolated(id)
+}
+
+// RunSpoiler runs the template under the spoiler, possibly injecting a
+// fault first. Corrupt faults surface as a negative latency.
+func (f *FaultSystem) RunSpoiler(id, mpl int) (Measurement, error) {
+	site := "spoiler/" + strconv.Itoa(id) + "/" + strconv.Itoa(mpl)
+	switch k := f.inj.Decide(site); k {
+	case resilience.FaultTransient, resilience.FaultPermanent:
+		return Measurement{}, k.Err(site)
+	case resilience.FaultCorrupt:
+		return Measurement{LatencySeconds: -1}, nil
+	}
+	return f.sys.RunSpoiler(id, mpl)
+}
+
+// RunMix runs the steady-state mix, possibly injecting a fault first.
+// Corrupt faults surface as a wrong-length latency slice.
+func (f *FaultSystem) RunMix(mix []int, samples int) ([]float64, error) {
+	site := mixSite(mix)
+	switch k := f.inj.Decide(site); k {
+	case resilience.FaultTransient, resilience.FaultPermanent:
+		return nil, k.Err(site)
+	case resilience.FaultCorrupt:
+		return make([]float64, len(mix)-1), nil
+	}
+	return f.sys.RunMix(mix, samples)
+}
+
+// mixSite names a mix call site, e.g. "mix/7/12/3" — so PermanentSites
+// prefixes like "mix/" or "mix/7/" select mixes.
+func mixSite(mix []int) string {
+	var b strings.Builder
+	b.WriteString("mix")
+	for _, id := range mix {
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -19,7 +20,7 @@ const snapshotVersion = 1
 // Snapshot is the serialized form of a trained predictor.
 type Snapshot struct {
 	Version   int                `json:"version"`
-	Templates []templateSnapshot `json:"templates"`
+	Templates []TemplateSnapshot `json:"templates"`
 	ScanTimes map[string]float64 `json:"scan_times"`
 	Models    []modelSnapshot    `json:"models"`
 }
@@ -28,13 +29,19 @@ type Snapshot struct {
 // (templates and scan times, no trained models). Its encoding is canonical
 // — templates ascending by ID, scans and spoiler samples sorted — so two
 // equal knowledge bases marshal to identical bytes, which is how the
-// parallel-sampling determinism tests compare worker counts.
+// parallel-sampling determinism tests compare worker counts and how the
+// checkpoint/resume tests compare interrupted campaigns against
+// uninterrupted ones.
 type KnowledgeSnapshot struct {
-	Templates []templateSnapshot `json:"templates"`
+	Templates []TemplateSnapshot `json:"templates"`
 	ScanTimes map[string]float64 `json:"scan_times"`
 }
 
-type templateSnapshot struct {
+// TemplateSnapshot is the canonical serialized form of one template's
+// isolated statistics: scan sets and spoiler samples are sorted, so equal
+// stats marshal to identical bytes. The training checkpoints reuse this
+// encoding to persist partially collected campaigns.
+type TemplateSnapshot struct {
 	ID              int             `json:"id"`
 	IsolatedLatency float64         `json:"isolated_latency"`
 	IOFraction      float64         `json:"io_fraction"`
@@ -42,10 +49,11 @@ type templateSnapshot struct {
 	PlanSteps       int             `json:"plan_steps"`
 	RecordsAccessed float64         `json:"records_accessed"`
 	Scans           []string        `json:"scans"`
-	Spoilers        []spoilerSample `json:"spoilers"`
+	Spoilers        []SpoilerSample `json:"spoilers"`
 }
 
-type spoilerSample struct {
+// SpoilerSample is one measured spoiler latency at an MPL.
+type SpoilerSample struct {
 	MPL     int     `json:"mpl"`
 	Latency float64 `json:"latency"`
 }
@@ -57,6 +65,49 @@ type modelSnapshot struct {
 	B        float64 `json:"b"`
 }
 
+// NewTemplateSnapshot converts template stats to their canonical snapshot
+// form (sorted scan set and spoiler samples).
+func NewTemplateSnapshot(t TemplateStats) TemplateSnapshot {
+	ts := TemplateSnapshot{
+		ID:              t.ID,
+		IsolatedLatency: t.IsolatedLatency,
+		IOFraction:      t.IOFraction,
+		WorkingSetBytes: t.WorkingSetBytes,
+		PlanSteps:       t.PlanSteps,
+		RecordsAccessed: t.RecordsAccessed,
+	}
+	for f := range t.Scans {
+		ts.Scans = append(ts.Scans, f)
+	}
+	sort.Strings(ts.Scans)
+	for mpl, l := range t.SpoilerLatency {
+		ts.Spoilers = append(ts.Spoilers, SpoilerSample{mpl, l})
+	}
+	sort.Slice(ts.Spoilers, func(i, j int) bool { return ts.Spoilers[i].MPL < ts.Spoilers[j].MPL })
+	return ts
+}
+
+// Stats converts the snapshot back to template stats.
+func (ts TemplateSnapshot) Stats() TemplateStats {
+	t := TemplateStats{
+		ID:              ts.ID,
+		IsolatedLatency: ts.IsolatedLatency,
+		IOFraction:      ts.IOFraction,
+		WorkingSetBytes: ts.WorkingSetBytes,
+		PlanSteps:       ts.PlanSteps,
+		RecordsAccessed: ts.RecordsAccessed,
+		Scans:           make(map[string]bool, len(ts.Scans)),
+		SpoilerLatency:  make(map[int]float64, len(ts.Spoilers)),
+	}
+	for _, f := range ts.Scans {
+		t.Scans[f] = true
+	}
+	for _, sp := range ts.Spoilers {
+		t.SpoilerLatency[sp.MPL] = sp.Latency
+	}
+	return t
+}
+
 // Snapshot captures the knowledge base's full state in canonical order.
 func (k *Knowledge) Snapshot() *KnowledgeSnapshot {
 	s := &KnowledgeSnapshot{ScanTimes: make(map[string]float64)}
@@ -64,24 +115,7 @@ func (k *Knowledge) Snapshot() *KnowledgeSnapshot {
 		s.ScanTimes[f] = v
 	}
 	for _, id := range k.IDs() {
-		t := k.MustTemplate(id)
-		ts := templateSnapshot{
-			ID:              t.ID,
-			IsolatedLatency: t.IsolatedLatency,
-			IOFraction:      t.IOFraction,
-			WorkingSetBytes: t.WorkingSetBytes,
-			PlanSteps:       t.PlanSteps,
-			RecordsAccessed: t.RecordsAccessed,
-		}
-		for f := range t.Scans {
-			ts.Scans = append(ts.Scans, f)
-		}
-		sort.Strings(ts.Scans)
-		for mpl, l := range t.SpoilerLatency {
-			ts.Spoilers = append(ts.Spoilers, spoilerSample{mpl, l})
-		}
-		sort.Slice(ts.Spoilers, func(i, j int) bool { return ts.Spoilers[i].MPL < ts.Spoilers[j].MPL })
-		s.Templates = append(s.Templates, ts)
+		s.Templates = append(s.Templates, NewTemplateSnapshot(k.MustTemplate(id)))
 	}
 	return s
 }
@@ -119,36 +153,70 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	return PredictorFromSnapshot(&s)
 }
 
-// PredictorFromSnapshot rebuilds the predictor from an in-memory snapshot.
-func PredictorFromSnapshot(s *Snapshot) (*Predictor, error) {
+// badLatency reports values no measurement can produce (NaN, ±Inf, or
+// negative).
+func badLatency(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
+
+// Validate checks the snapshot for structural corruption before any state
+// is built from it: version mismatch, NaN/negative latencies or scan
+// times, duplicate template IDs, and models referencing templates the
+// snapshot does not carry. Errors name the offending entry so a corrupted
+// model file is diagnosable, not just rejected.
+func (s *Snapshot) Validate() error {
 	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d (want %d)", s.Version, snapshotVersion)
+		return fmt.Errorf("core: unsupported snapshot version %d (want %d)", s.Version, snapshotVersion)
 	}
 	if len(s.Templates) == 0 {
-		return nil, fmt.Errorf("core: snapshot has no templates")
+		return fmt.Errorf("core: snapshot has no templates")
+	}
+	seen := make(map[int]bool, len(s.Templates))
+	for _, ts := range s.Templates {
+		if seen[ts.ID] {
+			return fmt.Errorf("core: snapshot has duplicate template id %d", ts.ID)
+		}
+		seen[ts.ID] = true
+		if badLatency(ts.IsolatedLatency) {
+			return fmt.Errorf("core: template %d has invalid isolated latency %g", ts.ID, ts.IsolatedLatency)
+		}
+		for _, sp := range ts.Spoilers {
+			if badLatency(sp.Latency) {
+				return fmt.Errorf("core: template %d has invalid spoiler latency %g at MPL %d", ts.ID, sp.Latency, sp.MPL)
+			}
+		}
+	}
+	for table, v := range s.ScanTimes {
+		if badLatency(v) {
+			return fmt.Errorf("core: scan time of %q is invalid (%g)", table, v)
+		}
+	}
+	for _, m := range s.Models {
+		if !seen[m.Template] {
+			return fmt.Errorf("core: model at MPL %d references unknown template %d", m.MPL, m.Template)
+		}
+		if math.IsNaN(m.Mu) || math.IsNaN(m.B) {
+			return fmt.Errorf("core: model for template %d at MPL %d has NaN coefficients", m.Template, m.MPL)
+		}
+	}
+	if len(s.Models) == 0 {
+		return fmt.Errorf("core: snapshot has no reference models")
+	}
+	return nil
+}
+
+// PredictorFromSnapshot validates the snapshot and rebuilds the predictor
+// from it.
+func PredictorFromSnapshot(s *Snapshot) (*Predictor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	know := NewKnowledge()
 	for f, v := range s.ScanTimes {
 		know.SetScanTime(f, v)
 	}
 	for _, ts := range s.Templates {
-		t := TemplateStats{
-			ID:              ts.ID,
-			IsolatedLatency: ts.IsolatedLatency,
-			IOFraction:      ts.IOFraction,
-			WorkingSetBytes: ts.WorkingSetBytes,
-			PlanSteps:       ts.PlanSteps,
-			RecordsAccessed: ts.RecordsAccessed,
-			Scans:           make(map[string]bool, len(ts.Scans)),
-			SpoilerLatency:  make(map[int]float64, len(ts.Spoilers)),
-		}
-		for _, f := range ts.Scans {
-			t.Scans[f] = true
-		}
-		for _, sp := range ts.Spoilers {
-			t.SpoilerLatency[sp.MPL] = sp.Latency
-		}
-		know.AddTemplate(t)
+		know.AddTemplate(ts.Stats())
 	}
 	p := &Predictor{Know: know, refs: make(map[int]*ReferenceModels)}
 	for _, m := range s.Models {
@@ -156,9 +224,6 @@ func PredictorFromSnapshot(s *Snapshot) (*Predictor, error) {
 			p.refs[m.MPL] = NewReferenceModels(know, m.MPL)
 		}
 		p.refs[m.MPL].Add(m.Template, QSModel{Mu: m.Mu, B: m.B})
-	}
-	if len(p.refs) == 0 {
-		return nil, fmt.Errorf("core: snapshot has no reference models")
 	}
 	return p, nil
 }

@@ -93,18 +93,24 @@ func sortInts(s []int) {
 // given mix: evaluate the mix's CQI, apply the template's QS model, and
 // scale the continuum point by the measured [l_min, l_max] range.
 func (p *Predictor) PredictKnown(primary int, concurrent []int) (float64, error) {
+	if len(concurrent) == 0 {
+		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, primary)
+	}
 	mpl := len(concurrent) + 1
 	refs, ok := p.refs[mpl]
 	if !ok {
-		return 0, fmt.Errorf("core: no reference models at MPL %d", mpl)
+		return 0, fmt.Errorf("core: %w: no reference models at MPL %d", ErrUntrainedMPL, mpl)
 	}
 	qs, ok := refs.Model(primary)
 	if !ok {
-		return 0, fmt.Errorf("core: no QS model for template %d at MPL %d", primary, mpl)
+		if _, known := p.Know.Template(primary); !known {
+			return 0, fmt.Errorf("core: %w: template %d", ErrUnknownTemplate, primary)
+		}
+		return 0, fmt.Errorf("core: %w: no QS model for template %d at MPL %d", ErrUntrainedMPL, primary, mpl)
 	}
 	cont, ok := p.Know.ContinuumFor(primary, mpl)
 	if !ok {
-		return 0, fmt.Errorf("core: no continuum for template %d at MPL %d", primary, mpl)
+		return 0, fmt.Errorf("core: %w: no continuum for template %d at MPL %d", ErrUntrainedMPL, primary, mpl)
 	}
 	r := p.Know.CQI(primary, concurrent)
 	return cont.Latency(qs.Point(r)), nil
@@ -127,10 +133,13 @@ type NewTemplateOptions struct {
 // opts.QS is set, and its spoiler latency is measured (t.SpoilerLatency)
 // unless opts.Spoiler is set.
 func (p *Predictor) PredictNew(t TemplateStats, concurrent []int, opts NewTemplateOptions) (float64, error) {
+	if len(concurrent) == 0 {
+		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, t.ID)
+	}
 	mpl := len(concurrent) + 1
 	refs, ok := p.refs[mpl]
 	if !ok {
-		return 0, fmt.Errorf("core: no reference models at MPL %d", mpl)
+		return 0, fmt.Errorf("core: %w: no reference models at MPL %d", ErrUntrainedMPL, mpl)
 	}
 
 	var qs QSModel

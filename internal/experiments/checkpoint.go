@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"sync"
+
+	"contender/internal/core"
+	"contender/internal/sim"
+	"contender/internal/tpcds"
+)
+
+// Campaign checkpoints for Env building. Every sampling task's RAW result
+// — one scan time, one template profile, one mix's per-slot latencies —
+// is flushed atomically as it completes, keyed by the task key that also
+// derives its engine seed. On resume, recorded tasks are restored into
+// their result slots instead of re-run; since the merge consumes the same
+// values through the same code in the same canonical order, a resumed
+// campaign is byte-identical (KnowledgeSnapshot and observations) to an
+// uninterrupted one.
+
+// envCheckpointVersion guards against loading incompatible files.
+const envCheckpointVersion = 1
+
+// templateEntry persists one completed template-profiling task, using the
+// canonical TemplateSnapshot encoding from internal/core.
+type templateEntry struct {
+	Stats           core.TemplateSnapshot `json:"stats"`
+	IsolatedSeconds float64               `json:"isolated_seconds"`
+	SpoilerSeconds  float64               `json:"spoiler_seconds"`
+}
+
+// mixEntry persists one completed steady-state mix task: the mix and each
+// slot's mean latency, from which the observations are rebuilt on resume.
+type mixEntry struct {
+	Mix     []int     `json:"mix"`
+	Lats    []float64 `json:"lats"`
+	Seconds float64   `json:"seconds"`
+}
+
+type envCheckpointState struct {
+	Version     int                      `json:"version"`
+	Fingerprint string                   `json:"fingerprint"`
+	Scans       map[string]float64       `json:"scans,omitempty"`
+	Templates   map[string]templateEntry `json:"templates,omitempty"`
+	Mixes       map[string]mixEntry      `json:"mixes,omitempty"`
+	Failed      []TaskFailure            `json:"failed,omitempty"`
+}
+
+// envCheckpoint is the write-through checkpoint file. record() is safe for
+// concurrent use by pool workers.
+type envCheckpoint struct {
+	path string
+
+	mu    sync.Mutex
+	state envCheckpointState
+}
+
+// loadEnvCheckpoint opens (or initializes) the checkpoint at path. An
+// existing file must carry the same campaign fingerprint; resuming under a
+// different configuration would silently mix incompatible designs.
+func loadEnvCheckpoint(path, fingerprint string) (*envCheckpoint, error) {
+	c := &envCheckpoint{path: path}
+	c.state = envCheckpointState{
+		Version:     envCheckpointVersion,
+		Fingerprint: fingerprint,
+		Scans:       map[string]float64{},
+		Templates:   map[string]templateEntry{},
+		Mixes:       map[string]mixEntry{},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading checkpoint %s: %w", path, err)
+	}
+	var loaded envCheckpointState
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		return nil, fmt.Errorf("experiments: corrupt checkpoint %s: %w", path, err)
+	}
+	if loaded.Version != envCheckpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d (want %d)", path, loaded.Version, envCheckpointVersion)
+	}
+	if loaded.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("experiments: checkpoint %s was taken under a different configuration or workload (fingerprint %s, current campaign %s) — delete it or restore the original options",
+			path, loaded.Fingerprint, fingerprint)
+	}
+	if loaded.Scans == nil {
+		loaded.Scans = map[string]float64{}
+	}
+	if loaded.Templates == nil {
+		loaded.Templates = map[string]templateEntry{}
+	}
+	if loaded.Mixes == nil {
+		loaded.Mixes = map[string]mixEntry{}
+	}
+	c.state = loaded
+	return c, nil
+}
+
+// record applies a mutation to the checkpoint state and flushes it
+// atomically (temp file + rename).
+func (c *envCheckpoint) record(fn func(*envCheckpointState)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(&c.state)
+	data, err := json.MarshalIndent(&c.state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// discard removes the checkpoint file after the campaign completes.
+func (c *envCheckpoint) discard() {
+	os.Remove(c.path)
+}
+
+// envFingerprint hashes everything that shapes the campaign's measurements
+// — sampling knobs, seed, host configuration, workload identity — into a
+// short hex string. Workers is deliberately excluded (every worker count
+// collects identical data), and so are Retry/Faults (retries rerun the
+// same derived seed, and injected faults never corrupt recorded values —
+// they only fail or stall tasks).
+func envFingerprint(opts Options, cfg sim.Config, w *tpcds.Workload) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|mpls=%v|lhs=%d|steady=%d|iso=%d|seed=%d|cfg=%+v|ids=%v|facts=",
+		envCheckpointVersion, opts.MPLs, opts.LHSRuns, opts.SteadySamples, opts.IsolatedRuns, opts.Seed, cfg, w.IDs())
+	for _, t := range w.Catalog.FactTables() {
+		fmt.Fprintf(h, "%s,", t.Name)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

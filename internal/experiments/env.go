@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"contender/internal/core"
 	"contender/internal/lhs"
+	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
 )
@@ -37,6 +39,29 @@ type Options struct {
 	// Workers bounds the sampling worker pool (see parallel.go). 0 uses
 	// GOMAXPROCS. The collected data is identical for every value.
 	Workers int
+	// Retry, when set, wraps every sampling task in the policy's
+	// retry/backoff loop and switches collection from fail-fast to
+	// quarantine-and-degrade: a task whose retry budget is exhausted (or
+	// that fails permanently) is dropped, collection continues on the rest,
+	// and the loss is reported in Env.Resilience. Retried tasks rerun on a
+	// fresh engine with the same derived seed, so retries never change the
+	// collected data.
+	Retry *resilience.RetryPolicy
+	// Faults, when set, injects a seed-deterministic fault schedule into
+	// the sampling tasks — the chaos harness behind the fault-injection
+	// tests and the ext-chaos experiment. Injected faults fail or stall
+	// tasks before the simulator runs; they never corrupt recorded values.
+	Faults *resilience.FaultConfig
+	// CheckpointPath, when non-empty, persists every completed task to this
+	// file (atomically, as it completes) and resumes an interrupted
+	// campaign from it on the next run with identical options. A resumed
+	// campaign collects byte-identical data. The file is removed when the
+	// campaign completes.
+	CheckpointPath string
+	// onTaskDone, when set (in-package tests only), fires after every task
+	// resolves — completed or quarantined. It may be called concurrently
+	// from pool workers.
+	onTaskDone func(key string)
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +90,44 @@ type MixSample struct {
 	Obs []core.Observation
 }
 
+// TaskFailure is one sampling task the campaign terminally gave up on
+// (retry budget exhausted or permanent failure).
+type TaskFailure struct {
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+}
+
+// CollectionReport summarizes the resilience events of an Env build: what
+// was retried, what was resumed from a checkpoint, and what coverage was
+// lost to quarantine.
+type CollectionReport struct {
+	// Retries is the total number of extra attempts spent by the policy.
+	Retries int `json:"retries"`
+	// Resumed is the number of tasks replayed from the checkpoint.
+	Resumed int `json:"resumed"`
+	// Quarantined lists terminal task failures, in task order.
+	Quarantined []TaskFailure `json:"quarantined,omitempty"`
+	// DroppedMixes counts mixes lost to quarantine — failed outright or
+	// containing a quarantined template.
+	DroppedMixes int `json:"dropped_mixes"`
+	// TotalTemplates and TrainedTemplates measure workload coverage.
+	TotalTemplates   int `json:"total_templates"`
+	TrainedTemplates int `json:"trained_templates"`
+}
+
+// Degraded reports whether the campaign lost any coverage.
+func (r CollectionReport) Degraded() bool {
+	return len(r.Quarantined) > 0 || r.DroppedMixes > 0
+}
+
+// Coverage is the fraction of the workload's templates that survived.
+func (r CollectionReport) Coverage() float64 {
+	if r.TotalTemplates == 0 {
+		return 1
+	}
+	return float64(r.TrainedTemplates) / float64(r.TotalTemplates)
+}
+
 // Env is the shared experimental environment: the workload profiled in
 // isolation and under the spoiler, plus steady-state mix samples at every
 // MPL. Building it corresponds to the paper's entire training-data
@@ -87,9 +150,16 @@ type Env struct {
 		Spoiler  float64
 		Mixes    float64
 	}
+	// Resilience reports how collection went under Options.Retry/Faults/
+	// CheckpointPath: retries spent, tasks resumed, coverage lost.
+	Resilience CollectionReport
 
 	// baseCfg is the host configuration before per-task reseeding.
 	baseCfg sim.Config
+	// ckpt is the campaign checkpoint (nil without CheckpointPath).
+	ckpt *envCheckpoint
+	// injector is the fault injector (nil without Opts.Faults).
+	injector *resilience.Injector
 	// Flattened observation indexes, built once after sampling:
 	// obsByMPL[mpl] is Samples[mpl] flattened; obsByPrimary[mpl][id] holds
 	// the observations whose primary is id. Both views share backing
@@ -100,11 +170,24 @@ type Env struct {
 
 // NewEnv profiles the default workload and samples mixes per opts.
 func NewEnv(opts Options) (*Env, error) {
-	return NewEnvWith(tpcds.NewWorkload(), opts)
+	return NewEnvWithContext(context.Background(), tpcds.NewWorkload(), opts)
+}
+
+// NewEnvContext is NewEnv with cancellation: the context is honored
+// between sampling tasks and during retry backoff. Cancelling returns
+// ctx.Err() with all completed tasks already persisted when
+// opts.CheckpointPath is set, so the campaign can be resumed.
+func NewEnvContext(ctx context.Context, opts Options) (*Env, error) {
+	return NewEnvWithContext(ctx, tpcds.NewWorkload(), opts)
 }
 
 // NewEnvWith profiles an explicit workload.
 func NewEnvWith(w *tpcds.Workload, opts Options) (*Env, error) {
+	return NewEnvWithContext(context.Background(), w, opts)
+}
+
+// NewEnvWithContext profiles an explicit workload with cancellation.
+func NewEnvWithContext(ctx context.Context, w *tpcds.Workload, opts Options) (*Env, error) {
 	opts = opts.withDefaults()
 	cfg := sim.DefaultConfig()
 	if opts.Config != nil {
@@ -119,11 +202,20 @@ func NewEnvWith(w *tpcds.Workload, opts Options) (*Env, error) {
 		Samples:  make(map[int][]MixSample),
 		baseCfg:  cfg,
 	}
-	if err := env.collect(); err != nil {
+	if err := env.collect(ctx); err != nil {
 		return nil, err
 	}
 	env.buildObservationIndex()
 	return env, nil
+}
+
+// FaultStats returns what the configured fault injector actually injected
+// (zero value without Opts.Faults).
+func (e *Env) FaultStats() resilience.FaultStats {
+	if e.injector == nil {
+		return resilience.FaultStats{}
+	}
+	return e.injector.Stats()
 }
 
 // scanProfile is the result slot of one scan-time task.
@@ -148,8 +240,12 @@ type mixResult struct {
 
 // collect runs the full sampling campaign — scan times, per-template
 // isolated+spoiler profiles, steady-state mixes — as one pool of
-// independent tasks, then merges the results in canonical order.
-func (e *Env) collect() error {
+// independent tasks, then merges the results in canonical order. With
+// Opts.Retry set, terminally failed tasks are quarantined and the merge
+// degrades (templates dropped, their mixes dropped) instead of aborting;
+// with Opts.CheckpointPath set, completed tasks are restored from the
+// checkpoint instead of re-run.
+func (e *Env) collect(ctx context.Context) error {
 	facts := e.Workload.Catalog.FactTables()
 	templates := e.Workload.Templates()
 	designs := e.mixDesigns()
@@ -161,11 +257,40 @@ func (e *Env) collect() error {
 		mixResults[mpl] = make([]mixResult, len(designs[mpl]))
 	}
 
+	if e.Opts.Faults != nil {
+		e.injector = resilience.NewInjector(*e.Opts.Faults)
+	}
+	failedSet := map[string]bool{}
+	if e.Opts.CheckpointPath != "" {
+		ck, err := loadEnvCheckpoint(e.Opts.CheckpointPath, envFingerprint(e.Opts, e.baseCfg, e.Workload))
+		if err != nil {
+			return err
+		}
+		e.ckpt = ck
+		// Replay quarantine decisions so the resumed run skips the same
+		// units of work instead of re-failing them.
+		for _, f := range ck.state.Failed {
+			failedSet[f.Key] = true
+			e.Resilience.Quarantined = append(e.Resilience.Quarantined, f)
+		}
+	}
+
 	var tasks []envTask
 	for i, t := range facts {
 		i, t := i, t
-		tasks = append(tasks, envTask{
-			key: "scan/" + t.Name,
+		key := "scan/" + t.Name
+		if failedSet[key] {
+			continue
+		}
+		if e.ckpt != nil {
+			if v, ok := e.ckpt.state.Scans[key]; ok {
+				scans[i] = scanProfile{table: t.Name, seconds: v}
+				e.Resilience.Resumed++
+				continue
+			}
+		}
+		task := envTask{
+			key: key,
 			run: func(eng *sim.Engine) error {
 				s, err := eng.MeasureScanTime(t.Name, t.Bytes())
 				if err != nil {
@@ -174,12 +299,33 @@ func (e *Env) collect() error {
 				scans[i] = scanProfile{table: t.Name, seconds: s}
 				return nil
 			},
-		})
+		}
+		if e.ckpt != nil {
+			task.done = func() error {
+				return e.ckpt.record(func(s *envCheckpointState) { s.Scans[key] = scans[i].seconds })
+			}
+		}
+		tasks = append(tasks, task)
 	}
 	for i, tpl := range templates {
 		i, tpl := i, tpl
-		tasks = append(tasks, envTask{
-			key: fmt.Sprintf("template/%d", tpl.ID),
+		key := fmt.Sprintf("template/%d", tpl.ID)
+		if failedSet[key] {
+			continue
+		}
+		if e.ckpt != nil {
+			if entry, ok := e.ckpt.state.Templates[key]; ok {
+				profiles[i] = templateProfile{
+					ts:              entry.Stats.Stats(),
+					isolatedSeconds: entry.IsolatedSeconds,
+					spoilerSeconds:  entry.SpoilerSeconds,
+				}
+				e.Resilience.Resumed++
+				continue
+			}
+		}
+		task := envTask{
+			key: key,
 			run: func(eng *sim.Engine) error {
 				p, err := e.profileTemplate(eng, tpl)
 				if err != nil {
@@ -188,14 +334,37 @@ func (e *Env) collect() error {
 				profiles[i] = p
 				return nil
 			},
-		})
+		}
+		if e.ckpt != nil {
+			task.done = func() error {
+				return e.ckpt.record(func(s *envCheckpointState) {
+					s.Templates[key] = templateEntry{
+						Stats:           core.NewTemplateSnapshot(profiles[i].ts),
+						IsolatedSeconds: profiles[i].isolatedSeconds,
+						SpoilerSeconds:  profiles[i].spoilerSeconds,
+					}
+				})
+			}
+		}
+		tasks = append(tasks, task)
 	}
 	for _, mpl := range e.Opts.MPLs {
 		mpl := mpl
 		for i, mix := range designs[mpl] {
 			i, mix := i, mix
-			tasks = append(tasks, envTask{
-				key: fmt.Sprintf("mix/%d/%d", mpl, i),
+			key := fmt.Sprintf("mix/%d/%d", mpl, i)
+			if failedSet[key] {
+				continue
+			}
+			if e.ckpt != nil {
+				if entry, ok := e.ckpt.state.Mixes[key]; ok {
+					mixResults[mpl][i] = mixResult{sample: mixSampleFromEntry(entry), seconds: entry.Seconds}
+					e.Resilience.Resumed++
+					continue
+				}
+			}
+			task := envTask{
+				key: key,
 				run: func(eng *sim.Engine) error {
 					sample, dur, err := e.runMix(eng, mix)
 					if err != nil {
@@ -204,31 +373,107 @@ func (e *Env) collect() error {
 					mixResults[mpl][i] = mixResult{sample: sample, seconds: dur}
 					return nil
 				},
-			})
+			}
+			if e.ckpt != nil {
+				task.done = func() error {
+					return e.ckpt.record(func(s *envCheckpointState) {
+						r := mixResults[mpl][i]
+						entry := mixEntry{Mix: append([]int(nil), r.sample.Mix...), Seconds: r.seconds}
+						for _, o := range r.sample.Obs {
+							entry.Lats = append(entry.Lats, o.Latency)
+						}
+						s.Mixes[key] = entry
+					})
+				}
+			}
+			tasks = append(tasks, task)
 		}
 	}
 
-	if err := e.runTasks(tasks); err != nil {
+	failures, err := e.runTasks(ctx, tasks)
+	if err != nil {
 		return err
+	}
+	e.Resilience.Quarantined = append(e.Resilience.Quarantined, failures...)
+
+	// Templates whose profiling terminally failed are excluded from the
+	// knowledge base, and every mix containing one is dropped: its
+	// observations could neither be trained on (no continuum) nor
+	// CQI-scored. Dropping at merge time keeps the surviving data exactly
+	// what a fault-free campaign would have collected for those mixes.
+	quarantinedTemplates := map[int]bool{}
+	for _, f := range e.Resilience.Quarantined {
+		var id int
+		if n, _ := fmt.Sscanf(f.Key, "template/%d", &id); n == 1 {
+			quarantinedTemplates[id] = true
+		}
 	}
 
 	// Merge in canonical order so Knowledge, Samples, and the virtual-time
 	// tallies are identical for every worker count.
 	for _, s := range scans {
+		if s.table == "" {
+			continue // quarantined scan: CQI degrades without the shared-scan term
+		}
 		e.Know.SetScanTime(s.table, s.seconds)
 	}
+	trained := 0
 	for _, p := range profiles {
+		if p.ts.ID == 0 {
+			continue // quarantined template
+		}
+		trained++
 		e.Know.AddTemplate(p.ts)
 		e.SimulatedSeconds.Isolated += p.isolatedSeconds
 		e.SimulatedSeconds.Spoiler += p.spoilerSeconds
 	}
+	e.Resilience.TotalTemplates = len(templates)
+	e.Resilience.TrainedTemplates = trained
+	if trained < 2 {
+		return fmt.Errorf("experiments: only %d of %d templates survived sampling (need at least 2, %d tasks quarantined)",
+			trained, len(templates), len(e.Resilience.Quarantined))
+	}
 	for _, mpl := range e.Opts.MPLs {
 		for _, r := range mixResults[mpl] {
+			if r.sample.Mix == nil {
+				e.Resilience.DroppedMixes++
+				continue
+			}
+			dropped := false
+			for _, id := range r.sample.Mix {
+				if quarantinedTemplates[id] {
+					dropped = true
+					break
+				}
+			}
+			if dropped {
+				e.Resilience.DroppedMixes++
+				continue
+			}
 			e.Samples[mpl] = append(e.Samples[mpl], r.sample)
 			e.SimulatedSeconds.Mixes += r.seconds
 		}
 	}
+	if e.ckpt != nil {
+		e.ckpt.discard()
+	}
 	return nil
+}
+
+// mixSampleFromEntry rebuilds a mix sample from its checkpoint entry,
+// through the same observation-construction code runMix uses — so resumed
+// and freshly measured samples are indistinguishable.
+func mixSampleFromEntry(entry mixEntry) MixSample {
+	mix := lhs.Mix(append([]int(nil), entry.Mix...))
+	sample := MixSample{Mix: mix}
+	for i, id := range mix {
+		sample.Obs = append(sample.Obs, core.Observation{
+			Primary:    id,
+			Concurrent: mix.WithoutOne(id),
+			Latency:    entry.Lats[i],
+		})
+	}
+	return sample
 }
 
 // mixDesigns computes the sampling design per MPL (exhaustive pairs at

@@ -129,8 +129,8 @@ func TestConcurrencySlowsQueriesDown(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -148,7 +148,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 21 {
 		t.Fatal("IDs() wrong")
 	}
 }
@@ -563,6 +563,33 @@ func TestExtNoiseShape(t *testing.T) {
 	// Error must grow with noise.
 	if loud <= quiet {
 		t.Errorf("3x-noise MRE %.3f not above zero-noise MRE %.3f", loud, quiet)
+	}
+}
+
+func TestExtChaosShape(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := ExtChaos(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 clean baseline + 3 transient rates + 1 permanent fault.
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	for _, rate := range []string{"5%", "10%", "20%"} {
+		if res.Metrics["identical/"+rate] != 1 {
+			t.Errorf("training data at %s transient faults diverged from clean", rate)
+		}
+		if res.Metrics["retries/"+rate] <= 0 {
+			t.Errorf("no retries recorded at %s transient faults", rate)
+		}
+	}
+	cov := res.Metrics["coverage/permanent"]
+	if cov <= 0.5 || cov >= 1 {
+		t.Errorf("permanent-fault coverage %.3f, want partial degradation", cov)
+	}
+	if res.Metrics["dropped_mixes/permanent"] <= 0 {
+		t.Error("permanent fault must drop the victim's mixes")
 	}
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +26,10 @@ import (
 //     Samples, and the SimulatedSeconds tallies in canonical order
 //     (workload template order, then design order per MPL), so even the
 //     floating-point accumulations are byte-identical across worker counts.
+//   - A retried task reruns on a FRESH engine with the same derived seed,
+//     so retries reproduce exactly the measurement an untroubled attempt
+//     would have made — which is why campaigns under transient faults stay
+//     byte-identical to clean ones.
 //
 // A consequence: sampled values differ from the pre-parallel releases,
 // which threaded one shared RNG stream through every measurement. That was
@@ -31,10 +37,14 @@ import (
 
 // envTask is one independent unit of sampling work.
 type envTask struct {
-	// key derives the task's engine seed and identifies it in errors.
+	// key derives the task's engine seed and identifies it in errors, the
+	// fault injector, and the checkpoint.
 	key string
 	// run performs the measurement on the task's private engine.
 	run func(eng *sim.Engine) error
+	// done persists the task's result into the checkpoint; nil when no
+	// checkpoint is configured.
+	done func() error
 }
 
 // taskEngine builds the private engine for a task key.
@@ -57,56 +67,175 @@ func (e *Env) workers(n int) int {
 	return w
 }
 
-// runTasks executes all tasks, min(Workers, len(tasks)) wide. Each task
-// runs exactly once on its own engine; the first error wins and the pool
-// drains without starting further work.
-func (e *Env) runTasks(tasks []envTask) error {
-	workers := e.workers(len(tasks))
-	if workers == 1 {
-		for _, t := range tasks {
-			if err := t.run(e.taskEngine(t.key)); err != nil {
-				return fmt.Errorf("experiments: task %s: %w", t.key, err)
+// errTaskCheckpoint marks a failed checkpoint write — always fatal, even
+// under a retry policy, because continuing would break the resume
+// guarantee.
+var errTaskCheckpoint = errors.New("checkpoint write failed")
+
+// runOne executes one task: consult the fault injector (if configured),
+// then run the measurement, under the retry policy when one is set. Each
+// attempt gets a fresh engine seeded from the task key alone.
+func (e *Env) runOne(ctx context.Context, t envTask) (attempts int, err error) {
+	attempt := func() error {
+		if e.injector != nil {
+			if ferr := e.injector.Decide(t.key).Err(t.key); ferr != nil {
+				return ferr
 			}
 		}
-		return nil
+		return t.run(e.taskEngine(t.key))
+	}
+	if e.Opts.Retry == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		return 1, attempt()
+	}
+	return e.Opts.Retry.Do(ctx, t.key, attempt)
+}
+
+// fatalTask reports whether a task error must abort the whole campaign:
+// cancellation and checkpoint-write failures always do; without a retry
+// policy every error does (legacy fail-fast mode). Everything else is
+// quarantined and the campaign degrades.
+func (e *Env) fatalTask(err error) bool {
+	return e.Opts.Retry == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errTaskCheckpoint)
+}
+
+// finishTask checkpoints a successful task and fires the completion hook.
+func (e *Env) finishTask(t envTask) error {
+	if t.done != nil {
+		if err := t.done(); err != nil {
+			return fmt.Errorf("%w: %v", errTaskCheckpoint, err)
+		}
+	}
+	if e.Opts.onTaskDone != nil {
+		e.Opts.onTaskDone(t.key)
+	}
+	return nil
+}
+
+// quarantineTask records a terminal, non-fatal task failure in the
+// checkpoint (so a resumed campaign skips it) and fires the hook.
+func (e *Env) quarantineTask(t envTask, cause error) error {
+	if e.ckpt != nil {
+		if err := e.ckpt.record(func(s *envCheckpointState) {
+			s.Failed = append(s.Failed, TaskFailure{Key: t.key, Reason: cause.Error()})
+		}); err != nil {
+			return fmt.Errorf("%w: %v", errTaskCheckpoint, err)
+		}
+	}
+	if e.Opts.onTaskDone != nil {
+		e.Opts.onTaskDone(t.key)
+	}
+	return nil
+}
+
+// runTasks executes all tasks, min(Workers, len(tasks)) wide, honoring ctx
+// between tasks (and during retry backoff). Fatal errors win and drain the
+// pool without starting further work; non-fatal terminal failures are
+// returned as quarantined TaskFailures in task order.
+func (e *Env) runTasks(ctx context.Context, tasks []envTask) ([]TaskFailure, error) {
+	workers := e.workers(len(tasks))
+	fails := make([]error, len(tasks))
+
+	if workers == 1 {
+		for i, t := range tasks {
+			attempts, err := e.runOne(ctx, t)
+			if attempts > 1 {
+				e.Resilience.Retries += attempts - 1
+			}
+			if err != nil {
+				if e.fatalTask(err) {
+					return nil, fmt.Errorf("experiments: task %s: %w", t.key, err)
+				}
+				if qerr := e.quarantineTask(t, err); qerr != nil {
+					return nil, fmt.Errorf("experiments: task %s: %w", t.key, qerr)
+				}
+				fails[i] = err
+				continue
+			}
+			if ferr := e.finishTask(t); ferr != nil {
+				return nil, fmt.Errorf("experiments: task %s: %w", t.key, ferr)
+			}
+		}
+		return compactFailures(tasks, fails), nil
 	}
 
 	var (
-		ch       = make(chan envTask)
+		ch       = make(chan int)
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstErr error
+		fatalErr error
 	)
-	fail := func(err error) {
+	fatal := func(err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		if fatalErr == nil {
+			fatalErr = err
 		}
 		mu.Unlock()
 	}
-	failed := func() bool {
+	stopped := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		return firstErr != nil
+		return fatalErr != nil
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range ch {
-				if failed() {
-					continue // drain: stop starting new work after an error
+			for i := range ch {
+				if stopped() {
+					continue // drain: stop starting new work after a fatal error
 				}
-				if err := t.run(e.taskEngine(t.key)); err != nil {
-					fail(fmt.Errorf("experiments: task %s: %w", t.key, err))
+				t := tasks[i]
+				attempts, err := e.runOne(ctx, t)
+				if attempts > 1 {
+					mu.Lock()
+					e.Resilience.Retries += attempts - 1
+					mu.Unlock()
+				}
+				if err != nil {
+					if e.fatalTask(err) {
+						fatal(fmt.Errorf("experiments: task %s: %w", t.key, err))
+						continue
+					}
+					if qerr := e.quarantineTask(t, err); qerr != nil {
+						fatal(fmt.Errorf("experiments: task %s: %w", t.key, qerr))
+						continue
+					}
+					mu.Lock()
+					fails[i] = err
+					mu.Unlock()
+					continue
+				}
+				if ferr := e.finishTask(t); ferr != nil {
+					fatal(fmt.Errorf("experiments: task %s: %w", t.key, ferr))
 				}
 			}
 		}()
 	}
-	for _, t := range tasks {
-		ch <- t
+	for i := range tasks {
+		ch <- i
 	}
 	close(ch)
 	wg.Wait()
-	return firstErr
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
+	return compactFailures(tasks, fails), nil
+}
+
+// compactFailures converts the per-slot error array into TaskFailures in
+// task order — canonical regardless of worker scheduling.
+func compactFailures(tasks []envTask, fails []error) []TaskFailure {
+	var out []TaskFailure
+	for i, err := range fails {
+		if err != nil {
+			out = append(out, TaskFailure{Key: tasks[i].key, Reason: err.Error()})
+		}
+	}
+	return out
 }

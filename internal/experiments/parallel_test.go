@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -79,7 +80,7 @@ func TestRunTasksErrorPropagates(t *testing.T) {
 			}
 			tasks = append(tasks, envTask{key: key, run: run})
 		}
-		err := env.runTasks(tasks)
+		_, err := env.runTasks(context.Background(), tasks)
 		if !errors.Is(err, boom) {
 			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
 		}

@@ -113,6 +113,7 @@ func All() []Experiment {
 		{"ext-qsfeatures", "Ablation — µ-estimation features", ExtQSFeatures},
 		{"ext-crossmpl", "Ablation — QS models across MPLs", ExtCrossMPL},
 		{"ext-noise", "Ablation — error vs. substrate noise", ExtNoise},
+		{"ext-chaos", "Extension §8 — resilient training under injected faults", ExtChaos},
 	}
 }
 

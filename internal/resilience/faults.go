@@ -1,0 +1,214 @@
+package resilience
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection. An Injector simulates a flaky measurement
+// substrate: each call site asks Decide what happens to its next attempt,
+// and the answer is a pure function of (seed, site, attempt number). Two
+// runs with the same seed see the same fault schedule — which is what lets
+// the chaos tests assert that a campaign under transient faults produces a
+// predictor byte-identical to a clean run.
+
+// FaultKind is one injected failure mode.
+type FaultKind int
+
+const (
+	// FaultNone: the call proceeds normally.
+	FaultNone FaultKind = iota
+	// FaultTransient: the call fails with an ErrTransient error without
+	// reaching the substrate; a retry will reach it.
+	FaultTransient
+	// FaultPermanent: the call fails with an ErrPermanent error on every
+	// attempt.
+	FaultPermanent
+	// FaultCorrupt: the call returns a value no valid measurement can
+	// produce (NaN, negative, wrong length) without reaching the substrate.
+	FaultCorrupt
+	// FaultHang: the call stalls for HangDuration before proceeding.
+	FaultHang
+	// FaultSpike: the call stalls for SpikeDuration before proceeding — a
+	// latency spike rather than a hard hang.
+	FaultSpike
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultPermanent:
+		return "permanent"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultHang:
+		return "hang"
+	case FaultSpike:
+		return "spike"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultConfig parameterizes an Injector. Rates are probabilities in [0, 1]
+// evaluated independently per attempt; they must sum to at most 1.
+type FaultConfig struct {
+	// Seed drives the deterministic fault schedule (default 1).
+	Seed int64
+	// TransientRate injects retryable errors.
+	TransientRate float64
+	// CorruptRate injects corrupt measurement values.
+	CorruptRate float64
+	// HangRate stalls calls for HangDuration (default 50ms).
+	HangRate     float64
+	HangDuration time.Duration
+	// SpikeRate stalls calls for SpikeDuration (default 5ms).
+	SpikeRate     float64
+	SpikeDuration time.Duration
+	// PermanentSites lists call sites that fail permanently on every
+	// attempt. An entry matches its exact site or any site under it at a
+	// "/" boundary: "isolated/26" kills one template's isolated runs
+	// (without touching "isolated/260"), "mix/" kills every steady-state
+	// mix.
+	PermanentSites []string
+	// Sleep replaces the stall implementation for hangs and spikes; nil
+	// uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// FaultStats counts what an Injector actually injected.
+type FaultStats struct {
+	Calls     int
+	Transient int
+	Permanent int
+	Corrupt   int
+	Hangs     int
+	Spikes    int
+}
+
+// Injected returns the total number of faulted calls.
+func (s FaultStats) Injected() int {
+	return s.Transient + s.Permanent + s.Corrupt + s.Hangs + s.Spikes
+}
+
+// Injector decides, deterministically per (site, attempt), whether a call
+// is faulted. Safe for concurrent use.
+type Injector struct {
+	cfg FaultConfig
+
+	mu       sync.Mutex
+	attempts map[string]int
+	stats    FaultStats
+}
+
+// NewInjector builds an injector from cfg.
+func NewInjector(cfg FaultConfig) *Injector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.HangDuration <= 0 {
+		cfg.HangDuration = 50 * time.Millisecond
+	}
+	if cfg.SpikeDuration <= 0 {
+		cfg.SpikeDuration = 5 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, attempts: make(map[string]int)}
+}
+
+// Decide returns the fault injected into the next attempt at the given
+// call site, advancing the site's attempt counter. Stall faults (hang,
+// spike) sleep here and then report themselves; the caller proceeds with
+// the real call afterwards.
+func (in *Injector) Decide(site string) FaultKind {
+	in.mu.Lock()
+	attempt := in.attempts[site]
+	in.attempts[site] = attempt + 1
+	in.stats.Calls++
+	kind := in.decide(site, attempt)
+	switch kind {
+	case FaultTransient:
+		in.stats.Transient++
+	case FaultPermanent:
+		in.stats.Permanent++
+	case FaultCorrupt:
+		in.stats.Corrupt++
+	case FaultHang:
+		in.stats.Hangs++
+	case FaultSpike:
+		in.stats.Spikes++
+	}
+	sleep := in.cfg.Sleep
+	in.mu.Unlock()
+
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	switch kind {
+	case FaultHang:
+		sleep(in.cfg.HangDuration)
+	case FaultSpike:
+		sleep(in.cfg.SpikeDuration)
+	}
+	return kind
+}
+
+// decide is the pure decision function; the caller holds the mutex.
+func (in *Injector) decide(site string, attempt int) FaultKind {
+	for _, p := range in.cfg.PermanentSites {
+		if siteMatches(site, p) {
+			return FaultPermanent
+		}
+	}
+	u := unitFloat(hash64(in.cfg.Seed, fmt.Sprintf("%s@%d", site, attempt)))
+	cut := in.cfg.TransientRate
+	if u < cut {
+		return FaultTransient
+	}
+	if cut += in.cfg.CorruptRate; u < cut {
+		return FaultCorrupt
+	}
+	if cut += in.cfg.HangRate; u < cut {
+		return FaultHang
+	}
+	if cut += in.cfg.SpikeRate; u < cut {
+		return FaultSpike
+	}
+	return FaultNone
+}
+
+// siteMatches reports whether pattern selects site: exact match, or a
+// prefix ending at a "/" segment boundary — so "template/2" selects
+// "template/2" and "template/2/run0" but never "template/22".
+func siteMatches(site, pattern string) bool {
+	if !strings.HasPrefix(site, pattern) {
+		return false
+	}
+	return len(site) == len(pattern) ||
+		strings.HasSuffix(pattern, "/") ||
+		site[len(pattern)] == '/'
+}
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() FaultStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Err converts a decided fault into the matching taxonomy error (nil for
+// non-error faults).
+func (k FaultKind) Err(site string) error {
+	switch k {
+	case FaultTransient:
+		return Transient(fmt.Errorf("injected fault at %s", site))
+	case FaultPermanent:
+		return Permanent(fmt.Errorf("injected fault at %s", site))
+	case FaultCorrupt:
+		return Corruptf("injected corrupt value at %s", site)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package resilience is the fault-tolerance layer under Contender's
+// training pipeline. The paper's premise is that training is expensive — a
+// sampling campaign linear in templates — and real measurement substrates
+// are noisy: queries time out, connections drop, procfs counters glitch.
+// This package provides the three pieces the trainer composes:
+//
+//   - an error taxonomy (transient / permanent / corrupt-measurement) that
+//     callers test with errors.Is;
+//   - RetryPolicy, exponential backoff with deterministic jitter applied
+//     around every measurement; and
+//   - a seed-deterministic fault Injector (faults.go) that simulates a
+//     flaky substrate for tests and the ext-chaos experiment.
+//
+// The package is substrate-agnostic and imports nothing from the rest of
+// the module, so both the public facade and internal/experiments can use
+// it without cycles.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel classes of measurement failure. Wrap an underlying error with
+// Transient/Permanent/Corrupt (or %w the sentinel directly) and test with
+// errors.Is.
+var (
+	// ErrTransient marks a failure worth retrying: the same measurement is
+	// expected to succeed on a later attempt (timeout, dropped connection,
+	// spurious I/O error).
+	ErrTransient = errors.New("transient measurement failure")
+	// ErrPermanent marks a failure retrying cannot fix (template removed,
+	// permission revoked, malformed plan). The retry loop fails fast and the
+	// trainer quarantines the affected unit of work.
+	ErrPermanent = errors.New("permanent measurement failure")
+	// ErrCorruptMeasurement marks a call that returned, but with values no
+	// valid measurement can produce: NaN or negative latencies, or a
+	// wrong-length mix result. Corrupt measurements are discarded and
+	// resampled under the retry budget.
+	ErrCorruptMeasurement = errors.New("corrupt measurement")
+)
+
+// Transient wraps err as a retryable failure.
+func Transient(err error) error {
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// Permanent wraps err as a non-retryable failure.
+func Permanent(err error) error {
+	return fmt.Errorf("%w: %w", ErrPermanent, err)
+}
+
+// Corrupt wraps err as a corrupt-measurement failure.
+func Corrupt(err error) error {
+	return fmt.Errorf("%w: %w", ErrCorruptMeasurement, err)
+}
+
+// Corruptf builds a corrupt-measurement error from a format string.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptMeasurement, fmt.Sprintf(format, args...))
+}
+
+// Retryable reports whether a retry can plausibly fix err. Permanent
+// failures and context cancellation are not retryable; transient and
+// corrupt failures are, and so are unclassified errors — a backend that
+// does not speak the taxonomy still benefits from retries, and a persistent
+// unclassified failure exhausts the budget and quarantines like a permanent
+// one.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrPermanent) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// RetryPolicy is an exponential-backoff retry schedule with deterministic
+// jitter. The zero value is NOT usable; start from Default() and override
+// fields. Policies are value types and safe to copy; one policy value may
+// be shared by concurrent Do calls.
+type RetryPolicy struct {
+	// MaxAttempts caps the total number of attempts, including the first
+	// (default 4). Values < 1 behave as 1: no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries (default 2).
+	Multiplier float64
+	// JitterFrac perturbs each delay by a uniform factor in
+	// [1-JitterFrac, 1+JitterFrac] (default 0.25). Jitter is derived
+	// deterministically from Seed and the call site, so a rerun of the same
+	// campaign waits the same schedule.
+	JitterFrac float64
+	// Seed drives the deterministic jitter (default 1).
+	Seed int64
+	// Sleep replaces the delay implementation; nil uses a context-aware
+	// timer wait. Tests and simulations install a no-op.
+	Sleep func(time.Duration)
+}
+
+// Default returns the default retry schedule: 4 attempts, 50ms base delay
+// doubling to a 2s cap, ±25% deterministic jitter.
+func Default() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.25,
+		Seed:        1,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := Default()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	if p.JitterFrac > 1 {
+		p.JitterFrac = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number retry (1-based) of the
+// given call site: BaseDelay·Multiplier^(retry-1), capped at MaxDelay,
+// jittered deterministically by (Seed, site, retry).
+func (p RetryPolicy) Delay(site string, retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.JitterFrac > 0 {
+		u := unitFloat(hash64(p.Seed, fmt.Sprintf("%s#%d", site, retry)))
+		d *= 1 + p.JitterFrac*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn under the policy: it retries retryable failures (transient,
+// corrupt, unclassified) with backoff and fails fast on permanent failures
+// and context cancellation. The site string names the unit of work — it
+// keys the deterministic jitter and appears in the returned error. Do
+// returns the number of attempts made alongside the terminal error (nil on
+// success); attempts > 1 with a nil error means retries rescued the call.
+func (p RetryPolicy) Do(ctx context.Context, site string, fn func() error) (attempts int, err error) {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return attempt - 1, cerr
+		}
+		err = fn()
+		if err == nil {
+			return attempt, nil
+		}
+		if !Retryable(err) || attempt >= p.MaxAttempts {
+			return attempt, fmt.Errorf("%s: attempt %d/%d: %w", site, attempt, p.MaxAttempts, err)
+		}
+		if werr := p.wait(ctx, p.Delay(site, attempt)); werr != nil {
+			return attempt, werr
+		}
+	}
+}
+
+// wait sleeps for d or until the context is cancelled.
+func (p RetryPolicy) wait(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// hash64 mixes a seed and a key into a 64-bit value (FNV-1a over the key,
+// finalized SplitMix64-style with the seed) — the same construction
+// internal/sim uses for per-task engine seeds, duplicated here so the
+// package stays dependency-free.
+func hash64(seed int64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := h + uint64(seed)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// unitFloat maps a 64-bit hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,307 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func noSleep(p RetryPolicy) RetryPolicy {
+	p.Sleep = func(time.Duration) {}
+	return p
+}
+
+func TestTaxonomyClassification(t *testing.T) {
+	base := errors.New("io timeout")
+	cases := []struct {
+		err       error
+		retryable bool
+		sentinel  error
+	}{
+		{Transient(base), true, ErrTransient},
+		{Permanent(base), false, ErrPermanent},
+		{Corrupt(base), true, ErrCorruptMeasurement},
+		{Corruptf("latency %g", -1.0), true, ErrCorruptMeasurement},
+		{base, true, nil},                      // unclassified errors retry
+		{context.Canceled, false, nil},         // cancellation never retries
+		{context.DeadlineExceeded, false, nil}, // timeouts never retry
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.retryable {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.retryable)
+		}
+		if c.sentinel != nil && !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v must wrap %v", c.err, c.sentinel)
+		}
+	}
+	// Wrapping preserves the underlying error too.
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient must keep the cause")
+	}
+	if Retryable(nil) {
+		t.Fatal("nil error is not retryable")
+	}
+}
+
+func TestRetryRescuesTransient(t *testing.T) {
+	p := noSleep(Default())
+	fails := 2
+	attempts, err := p.Do(context.Background(), "t", func() error {
+		if fails > 0 {
+			fails--
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRetryFailsFastOnPermanent(t *testing.T) {
+	p := noSleep(Default())
+	calls := 0
+	attempts, err := p.Do(context.Background(), "p", func() error {
+		calls++
+		return Permanent(errors.New("gone"))
+	})
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("err = %v, want ErrPermanent", err)
+	}
+	if calls != 1 || attempts != 1 {
+		t.Fatalf("calls=%d attempts=%d, want 1/1", calls, attempts)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := noSleep(Default())
+	p.MaxAttempts = 3
+	calls := 0
+	attempts, err := p.Do(context.Background(), "site/x", func() error {
+		calls++
+		return Transient(errors.New("still down"))
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want wrapped ErrTransient", err)
+	}
+	if calls != 3 || attempts != 3 {
+		t.Fatalf("calls=%d attempts=%d, want 3/3", calls, attempts)
+	}
+	// The error names the site and the budget.
+	if want := "site/x: attempt 3/3"; !errors.Is(err, ErrTransient) || !containsStr(err.Error(), want) {
+		t.Fatalf("error %q must contain %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := noSleep(Default())
+	calls := 0
+	_, err := p.Do(ctx, "c", func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatal("cancelled context must prevent the first attempt")
+	}
+
+	// Cancellation during backoff stops the loop.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	p2 := Default()
+	p2.Sleep = func(time.Duration) { cancel2() }
+	_, err = p2.Do(ctx2, "c2", func() error { return Transient(errors.New("x")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled after backoff cancel", err)
+	}
+}
+
+func TestBackoffGrowthAndJitter(t *testing.T) {
+	p := Default()
+	p.JitterFrac = 0
+	if d1, d2 := p.Delay("s", 1), p.Delay("s", 2); d2 != 2*d1 {
+		t.Fatalf("delay must double: %v then %v", d1, d2)
+	}
+	if d := p.Delay("s", 50); d != p.MaxDelay {
+		t.Fatalf("delay %v must cap at %v", d, p.MaxDelay)
+	}
+
+	// Jitter is deterministic per (seed, site, retry) and bounded.
+	p = Default()
+	for retry := 1; retry <= 5; retry++ {
+		a, b := p.Delay("s", retry), p.Delay("s", retry)
+		if a != b {
+			t.Fatalf("jittered delay must be deterministic: %v vs %v", a, b)
+		}
+	}
+	base := Default()
+	base.JitterFrac = 0
+	for retry := 1; retry <= 4; retry++ {
+		want := float64(base.Delay("s", retry))
+		got := float64(p.Delay("s", retry))
+		if got < want*(1-p.JitterFrac)-1 || got > want*(1+p.JitterFrac)+1 {
+			t.Fatalf("retry %d: jittered %v outside ±%.0f%% of %v", retry, time.Duration(got), 100*p.JitterFrac, time.Duration(want))
+		}
+	}
+	// Different sites decorrelate.
+	if p.Delay("a", 1) == p.Delay("b", 1) {
+		t.Fatal("different sites should jitter differently")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, TransientRate: 0.3, CorruptRate: 0.1, Sleep: func(time.Duration) {}}
+	schedule := func() []FaultKind {
+		in := NewInjector(cfg)
+		var out []FaultKind
+		for site := 0; site < 20; site++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				out = append(out, in.Decide(fmt.Sprintf("site/%d", site)))
+			}
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical injectors: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var faulted bool
+	for _, k := range a {
+		if k != FaultNone {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Fatal("30%+10% rates over 60 calls must inject something")
+	}
+
+	// A different seed produces a different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	in2 := NewInjector(cfg2)
+	var differs bool
+	for i, site := 0, 0; site < 20; site++ {
+		for attempt := 0; attempt < 3; attempt, i = attempt+1, i+1 {
+			if in2.Decide(fmt.Sprintf("site/%d", site)) != a[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds must change the fault schedule")
+	}
+}
+
+func TestInjectorRatesAndStats(t *testing.T) {
+	in := NewInjector(FaultConfig{Seed: 3, TransientRate: 0.5, Sleep: func(time.Duration) {}})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		in.Decide(fmt.Sprintf("s/%d", i))
+	}
+	st := in.Stats()
+	if st.Calls != n {
+		t.Fatalf("calls %d, want %d", st.Calls, n)
+	}
+	frac := float64(st.Transient) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("transient fraction %.3f far from configured 0.5", frac)
+	}
+	if st.Injected() != st.Transient {
+		t.Fatalf("only transient faults configured, got %+v", st)
+	}
+}
+
+func TestInjectorPermanentSites(t *testing.T) {
+	in := NewInjector(FaultConfig{Seed: 1, PermanentSites: []string{"isolated/26", "mix/"}, Sleep: func(time.Duration) {}})
+	for _, site := range []string{"isolated/26", "mix/2/0", "mix/3/4"} {
+		if k := in.Decide(site); k != FaultPermanent {
+			t.Fatalf("site %s: %v, want permanent", site, k)
+		}
+	}
+	if k := in.Decide("isolated/2"); k != FaultPermanent {
+		// isolated/2 is not a configured prefix match of isolated/26.
+		_ = k
+	} else {
+		t.Fatal("isolated/2 must not match the isolated/26 prefix")
+	}
+	if err := FaultPermanent.Err("isolated/26"); !errors.Is(err, ErrPermanent) {
+		t.Fatal("FaultKind.Err must map to the taxonomy")
+	}
+	if err := FaultNone.Err("x"); err != nil {
+		t.Fatal("FaultNone has no error")
+	}
+}
+
+func TestSiteMatchesSegmentBoundary(t *testing.T) {
+	cases := []struct {
+		site, pattern string
+		want          bool
+	}{
+		{"template/2", "template/2", true},
+		{"template/2/run0", "template/2", true},
+		{"template/22", "template/2", false}, // ID 2 must not select ID 22
+		{"template/22", "template/22", true},
+		{"mix/2/0", "mix/", true},
+		{"mix", "mix/", false},
+		{"isolated/260", "isolated/26", false},
+	}
+	for _, c := range cases {
+		if got := siteMatches(c.site, c.pattern); got != c.want {
+			t.Errorf("siteMatches(%q, %q) = %v, want %v", c.site, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestInjectorStalls(t *testing.T) {
+	var slept []time.Duration
+	in := NewInjector(FaultConfig{
+		Seed:     1,
+		HangRate: 1, HangDuration: 123 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if k := in.Decide("s"); k != FaultHang {
+		t.Fatalf("kind %v, want hang", k)
+	}
+	if len(slept) != 1 || slept[0] != 123*time.Millisecond {
+		t.Fatalf("slept %v, want one 123ms stall", slept)
+	}
+}
+
+// BenchmarkRetryDoClean measures the overhead the retry wrapper adds to a
+// successful measurement — the hot path of every fault-free campaign.
+func BenchmarkRetryDoClean(b *testing.B) {
+	p := Default()
+	ctx := context.Background()
+	fn := func() error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Do(ctx, "bench", fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectorDecide measures the per-call cost of fault injection.
+func BenchmarkInjectorDecide(b *testing.B) {
+	in := NewInjector(FaultConfig{Seed: 1, TransientRate: 0.1, Sleep: func(time.Duration) {}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Decide("bench/site")
+	}
+}

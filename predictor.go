@@ -125,7 +125,7 @@ type ProgressTracker = core.ProgressTracker
 func (p *Predictor) TrackProgress(template int) (*ProgressTracker, error) {
 	stats, ok := p.inner.Know.Template(template)
 	if !ok {
-		return nil, fmt.Errorf("contender: unknown template %d", template)
+		return nil, fmt.Errorf("contender: template %d: %w", template, ErrUnknownTemplate)
 	}
 	return core.NewProgressTracker(func(concurrent []int) (float64, error) {
 		if len(concurrent) == 0 {

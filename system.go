@@ -1,10 +1,14 @@
 package contender
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"contender/internal/core"
 	"contender/internal/lhs"
+	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
 )
@@ -64,7 +68,7 @@ type System interface {
 }
 
 // TrainConfig controls TrainFromSystem's sampling design. The zero value
-// uses the paper's protocol at MPLs 2–3.
+// uses the paper's protocol at MPLs 2–3 with fail-fast error handling.
 type TrainConfig struct {
 	// MPLs to sample and train for (default 2, 3).
 	MPLs []int
@@ -77,6 +81,19 @@ type TrainConfig struct {
 	IsolatedRuns int
 	// Seed drives the sampling designs.
 	Seed int64
+	// Retry, when set, wraps every measurement in the policy's
+	// retry/backoff loop and switches the trainer from fail-fast to
+	// quarantine-and-degrade: a template, table, or mix whose measurements
+	// exhaust the budget (or fail permanently) is dropped and training
+	// continues on the rest, with the loss reported in TrainResult.Report.
+	// Nil preserves the legacy behavior: the first error aborts.
+	Retry *RetryPolicy
+	// CheckpointPath, when non-empty, persists every completed measurement
+	// to this file (atomically, after each one) and resumes from it on the
+	// next run with an identical configuration. A resumed campaign yields a
+	// predictor byte-identical to an uninterrupted one. The file is removed
+	// when training completes.
+	CheckpointPath string
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -98,75 +115,183 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	return c
 }
 
+// QuarantineRecord documents one unit of work the trainer gave up on:
+// either a template (isolated or spoiler sampling failed) or a fact table
+// (scan-time measurement failed). Site names the failing call site and
+// Reason carries the terminal error.
+type QuarantineRecord struct {
+	Template int    `json:"template,omitempty"`
+	Table    string `json:"table,omitempty"`
+	Site     string `json:"site"`
+	Reason   string `json:"reason"`
+}
+
+// TrainReport summarizes how a resilient training campaign went: what was
+// retried, what was quarantined, what coverage the resulting predictor
+// actually has.
+type TrainReport struct {
+	// TotalTemplates is the size of the workload offered for training.
+	TotalTemplates int `json:"total_templates"`
+	// TrainedTemplates is how many survived sampling.
+	TrainedTemplates int `json:"trained_templates"`
+	// QuarantinedTemplates lists templates dropped after their retry
+	// budget was exhausted (or a permanent failure).
+	QuarantinedTemplates []QuarantineRecord `json:"quarantined_templates,omitempty"`
+	// QuarantinedTables lists fact tables whose scan time could not be
+	// measured; CQI degrades gracefully without them.
+	QuarantinedTables []QuarantineRecord `json:"quarantined_tables,omitempty"`
+	// PlannedMixes and DroppedMixes count the steady-state design: a mix is
+	// dropped when it contains a quarantined template or its own
+	// measurement failed terminally.
+	PlannedMixes int `json:"planned_mixes"`
+	DroppedMixes int `json:"dropped_mixes"`
+	// Retries is the total number of extra attempts the retry policy spent.
+	Retries int `json:"retries"`
+	// Resumed is the number of measurements replayed from the checkpoint
+	// instead of re-measured.
+	Resumed int `json:"resumed_measurements"`
+}
+
+// Degraded reports whether the campaign lost any coverage.
+func (r TrainReport) Degraded() bool {
+	return len(r.QuarantinedTemplates) > 0 || len(r.QuarantinedTables) > 0 || r.DroppedMixes > 0
+}
+
+// Coverage is the fraction of the offered workload the predictor covers.
+func (r TrainReport) Coverage() float64 {
+	if r.TotalTemplates == 0 {
+		return 1
+	}
+	return float64(r.TrainedTemplates) / float64(r.TotalTemplates)
+}
+
+// TrainResult is a trained predictor plus the campaign's resilience report.
+type TrainResult struct {
+	Predictor *Predictor
+	Report    TrainReport
+}
+
 // TrainFromSystem runs Contender's full training pipeline against an
 // arbitrary measurement backend: profile every template in isolation and
 // under the spoiler, measure per-table scan times, sample concurrent mixes
 // (exhaustive pairs at MPL 2, LHS designs above), and fit the reference QS
-// models.
+// models. See TrainFromSystemContext for cancellation and the campaign
+// report.
 func TrainFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
+	res, err := TrainFromSystemContext(context.Background(), sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Predictor, nil
+}
+
+// TrainFromSystemContext is TrainFromSystem with cancellation and a
+// campaign report. The context is honored between measurements (and during
+// retry backoff); cancelling returns ctx.Err() with all completed work
+// already persisted when cfg.CheckpointPath is set, so the campaign can be
+// resumed. With cfg.Retry set, failures are retried and then quarantined
+// rather than aborting; the report describes the degradation.
+func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*TrainResult, error) {
 	cfg = cfg.withDefaults()
 	templates := sys.Templates()
 	if len(templates) < 2 {
 		return nil, fmt.Errorf("contender: need at least 2 templates, have %d", len(templates))
 	}
+	tables := sys.FactTables()
+
+	t := &trainer{
+		ctx: ctx, sys: sys, cfg: cfg,
+		badTemplates: map[int]bool{}, badTables: map[string]bool{},
+	}
+	t.report.TotalTemplates = len(templates)
+	if cfg.CheckpointPath != "" {
+		ckpt, err := loadTrainCheckpoint(cfg.CheckpointPath, trainFingerprint(cfg, templates, tables))
+		if err != nil {
+			return nil, err
+		}
+		t.ckpt = ckpt
+		// Replay quarantine decisions from the interrupted campaign so the
+		// resumed run skips the same units of work.
+		for _, q := range ckpt.state.Quarantined {
+			if q.Table != "" {
+				t.badTables[q.Table] = true
+				t.report.QuarantinedTables = append(t.report.QuarantinedTables, q)
+			} else {
+				t.badTemplates[q.Template] = true
+				t.report.QuarantinedTemplates = append(t.report.QuarantinedTemplates, q)
+			}
+		}
+	}
 
 	know := core.NewKnowledge()
-	for _, table := range sys.FactTables() {
-		s, err := sys.ScanSeconds(table)
+	for _, table := range tables {
+		if t.badTables[table] {
+			continue
+		}
+		s, err := t.scanSeconds(table)
 		if err != nil {
-			return nil, fmt.Errorf("contender: measuring scan of %s: %w", table, err)
+			if t.fatal(err) {
+				return nil, fmt.Errorf("contender: measuring scan of %s: %w", table, err)
+			}
+			if qerr := t.quarantineTable(table, "scan/"+table, err); qerr != nil {
+				return nil, qerr
+			}
+			continue
 		}
 		know.SetScanTime(table, s)
 	}
 
+	// The mix designs are drawn over the FULL workload even when templates
+	// quarantine: keeping every template in the index space means the
+	// surviving mixes are exactly the mixes a fault-free campaign would
+	// have run, so degradation drops observations without reshuffling them.
 	ids := make([]int, len(templates))
-	for i, t := range templates {
-		ids[i] = t.ID
-		var latSum, ioSum float64
-		for r := 0; r < cfg.IsolatedRuns; r++ {
-			m, err := sys.RunIsolated(t.ID)
-			if err != nil {
-				return nil, fmt.Errorf("contender: isolated run of T%d: %w", t.ID, err)
+	for i, meta := range templates {
+		ids[i] = meta.ID
+		if t.badTemplates[meta.ID] {
+			continue
+		}
+		ts, site, err := t.profile(meta)
+		if err != nil {
+			if t.fatal(err) {
+				return nil, err
 			}
-			latSum += m.LatencySeconds
-			ioSum += m.IOSeconds
-		}
-		ts := core.TemplateStats{
-			ID:              t.ID,
-			IsolatedLatency: latSum / float64(cfg.IsolatedRuns),
-			IOFraction:      ioSum / latSum,
-			WorkingSetBytes: t.WorkingSetBytes,
-			PlanSteps:       t.PlanSteps,
-			RecordsAccessed: t.RecordsAccessed,
-			Scans:           make(map[string]bool, len(t.FactScans)),
-			SpoilerLatency:  make(map[int]float64, len(cfg.MPLs)),
-		}
-		for _, f := range t.FactScans {
-			ts.Scans[f] = true
-		}
-		for _, mpl := range cfg.MPLs {
-			m, err := sys.RunSpoiler(t.ID, mpl)
-			if err != nil {
-				return nil, fmt.Errorf("contender: spoiler run of T%d at MPL %d: %w", t.ID, mpl, err)
+			if qerr := t.quarantineTemplate(meta.ID, site, err); qerr != nil {
+				return nil, qerr
 			}
-			ts.SpoilerLatency[mpl] = m.LatencySeconds
+			continue
 		}
 		know.AddTemplate(ts)
+	}
+	trained := len(templates) - len(t.badTemplates)
+	if trained < 2 {
+		return nil, fmt.Errorf("contender: only %d of %d templates survived sampling (need at least 2, %d quarantined)",
+			trained, len(templates), len(t.report.QuarantinedTemplates))
 	}
 
 	var observations []core.Observation
 	for _, mpl := range cfg.MPLs {
-		for _, mix := range lhs.MixesFor(len(ids), mpl, cfg.LHSRuns, cfg.Seed+int64(mpl)) {
+		for i, mix := range lhs.MixesFor(len(ids), mpl, cfg.LHSRuns, cfg.Seed+int64(mpl)) {
+			t.report.PlannedMixes++
 			idMix := make(lhs.Mix, len(mix))
-			for i, idx := range mix {
-				idMix[i] = ids[idx]
+			quarantined := false
+			for j, idx := range mix {
+				idMix[j] = ids[idx]
+				if t.badTemplates[idMix[j]] {
+					quarantined = true
+				}
 			}
-			lats, err := sys.RunMix(idMix, cfg.SteadySamples)
+			if quarantined {
+				t.report.DroppedMixes++
+				continue
+			}
+			lats, err := t.mix(mpl, i, idMix)
 			if err != nil {
-				return nil, fmt.Errorf("contender: steady-state mix %v: %w", idMix, err)
-			}
-			if len(lats) != len(idMix) {
-				return nil, fmt.Errorf("contender: RunMix returned %d latencies for a %d-query mix", len(lats), len(idMix))
+				if t.fatal(err) {
+					return nil, fmt.Errorf("contender: steady-state mix %v: %w", idMix, err)
+				}
+				t.report.DroppedMixes++
+				continue
 			}
 			for slot, id := range idMix {
 				observations = append(observations, core.Observation{
@@ -182,7 +307,273 @@ func TrainFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("contender: training from system: %w", err)
 	}
-	return &Predictor{inner: inner}, nil
+	t.report.TrainedTemplates = trained
+	if t.ckpt != nil {
+		t.ckpt.discard()
+	}
+	return &TrainResult{Predictor: &Predictor{inner: inner}, Report: t.report}, nil
+}
+
+// errCheckpointWrite marks a failed checkpoint flush — always fatal, even
+// in quarantine mode, because continuing would break the resume guarantee.
+var errCheckpointWrite = errors.New("checkpoint write failed")
+
+// trainer carries one campaign's state through TrainFromSystemContext.
+type trainer struct {
+	ctx    context.Context
+	sys    System
+	cfg    TrainConfig
+	ckpt   *trainCheckpoint
+	report TrainReport
+
+	badTemplates map[int]bool
+	badTables    map[string]bool
+}
+
+// fatal reports whether err must abort the campaign: cancellation and
+// checkpoint-write failures always do; every error does when no retry
+// policy is configured (legacy fail-fast mode).
+func (t *trainer) fatal(err error) bool {
+	return t.cfg.Retry == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errCheckpointWrite)
+}
+
+// measure runs one measurement under the retry policy (or once, in legacy
+// mode) and accounts for the attempts spent.
+func (t *trainer) measure(site string, fn func() error) error {
+	if t.cfg.Retry == nil {
+		if err := t.ctx.Err(); err != nil {
+			return err
+		}
+		return fn()
+	}
+	attempts, err := t.cfg.Retry.Do(t.ctx, site, fn)
+	if attempts > 1 {
+		t.report.Retries += attempts - 1
+	}
+	return err
+}
+
+// persist flushes the checkpoint after a completed measurement.
+func (t *trainer) persist() error {
+	if t.ckpt == nil {
+		return nil
+	}
+	if err := t.ckpt.flush(); err != nil {
+		return fmt.Errorf("%w: %w", errCheckpointWrite, err)
+	}
+	return nil
+}
+
+func (t *trainer) quarantineTable(table, site string, err error) error {
+	rec := QuarantineRecord{Table: table, Site: site, Reason: err.Error()}
+	t.report.QuarantinedTables = append(t.report.QuarantinedTables, rec)
+	t.badTables[table] = true
+	if t.ckpt != nil {
+		t.ckpt.state.Quarantined = append(t.ckpt.state.Quarantined, rec)
+		return t.persist()
+	}
+	return nil
+}
+
+func (t *trainer) quarantineTemplate(id int, site string, err error) error {
+	rec := QuarantineRecord{Template: id, Site: site, Reason: err.Error()}
+	t.report.QuarantinedTemplates = append(t.report.QuarantinedTemplates, rec)
+	t.badTemplates[id] = true
+	if t.ckpt != nil {
+		t.ckpt.state.Quarantined = append(t.ckpt.state.Quarantined, rec)
+		return t.persist()
+	}
+	return nil
+}
+
+// scanSeconds measures (or replays) one table's scan time.
+func (t *trainer) scanSeconds(table string) (float64, error) {
+	site := "scan/" + table
+	if t.ckpt != nil {
+		if v, ok := t.ckpt.state.Scans[site]; ok {
+			t.report.Resumed++
+			return v, nil
+		}
+	}
+	var out float64
+	err := t.measure(site, func() error {
+		v, err := t.sys.ScanSeconds(table)
+		if err != nil {
+			return err
+		}
+		if !(v > 0) || math.IsInf(v, 0) {
+			return resilience.Corruptf("scan of %s returned %g seconds", table, v)
+		}
+		out = v
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if t.ckpt != nil {
+		t.ckpt.state.Scans[site] = out
+		if err := t.persist(); err != nil {
+			return 0, err
+		}
+	}
+	return out, nil
+}
+
+// validateMeasurement rejects values no real execution can produce; the
+// corrupt classification makes the retry loop discard and resample them.
+func validateMeasurement(m Measurement) error {
+	if !(m.LatencySeconds > 0) || math.IsInf(m.LatencySeconds, 0) {
+		return resilience.Corruptf("latency %g seconds", m.LatencySeconds)
+	}
+	if m.IOSeconds < 0 || math.IsNaN(m.IOSeconds) || math.IsInf(m.IOSeconds, 0) {
+		return resilience.Corruptf("io time %g seconds", m.IOSeconds)
+	}
+	return nil
+}
+
+// isolated measures (or replays) one isolated run of a template.
+func (t *trainer) isolated(id, run int) (Measurement, error) {
+	site := fmt.Sprintf("isolated/%d/%d", id, run)
+	if t.ckpt != nil {
+		if m, ok := t.ckpt.state.Isolated[site]; ok {
+			t.report.Resumed++
+			return m, nil
+		}
+	}
+	var out Measurement
+	err := t.measure(site, func() error {
+		m, err := t.sys.RunIsolated(id)
+		if err != nil {
+			return err
+		}
+		if verr := validateMeasurement(m); verr != nil {
+			return verr
+		}
+		out = m
+		return nil
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	if t.ckpt != nil {
+		t.ckpt.state.Isolated[site] = out
+		if err := t.persist(); err != nil {
+			return Measurement{}, err
+		}
+	}
+	return out, nil
+}
+
+// spoiler measures (or replays) one spoiler latency of a template.
+func (t *trainer) spoiler(id, mpl int) (float64, error) {
+	site := fmt.Sprintf("spoiler/%d/%d", id, mpl)
+	if t.ckpt != nil {
+		if v, ok := t.ckpt.state.Spoilers[site]; ok {
+			t.report.Resumed++
+			return v, nil
+		}
+	}
+	var out float64
+	err := t.measure(site, func() error {
+		m, err := t.sys.RunSpoiler(id, mpl)
+		if err != nil {
+			return err
+		}
+		if verr := validateMeasurement(m); verr != nil {
+			return verr
+		}
+		out = m.LatencySeconds
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if t.ckpt != nil {
+		t.ckpt.state.Spoilers[site] = out
+		if err := t.persist(); err != nil {
+			return 0, err
+		}
+	}
+	return out, nil
+}
+
+// mix measures (or replays) one steady-state mix.
+func (t *trainer) mix(mpl, index int, idMix []int) ([]float64, error) {
+	site := fmt.Sprintf("mix/%d/%d", mpl, index)
+	if t.ckpt != nil {
+		if lats, ok := t.ckpt.state.Mixes[site]; ok {
+			t.report.Resumed++
+			return lats, nil
+		}
+	}
+	var out []float64
+	err := t.measure(site, func() error {
+		lats, err := t.sys.RunMix(idMix, t.cfg.SteadySamples)
+		if err != nil {
+			return err
+		}
+		if len(lats) != len(idMix) {
+			return resilience.Corruptf("RunMix returned %d latencies for a %d-query mix", len(lats), len(idMix))
+		}
+		for slot, l := range lats {
+			if !(l > 0) || math.IsInf(l, 0) {
+				return resilience.Corruptf("mix latency %g seconds in slot %d", l, slot)
+			}
+		}
+		out = lats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if t.ckpt != nil {
+		t.ckpt.state.Mixes[site] = out
+		if err := t.persist(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// profile collects one template's isolated statistics and spoiler
+// latencies. On failure it returns the failing call site so the caller can
+// quarantine with context.
+func (t *trainer) profile(meta TemplateMeta) (core.TemplateStats, string, error) {
+	var latSum, ioSum float64
+	for r := 0; r < t.cfg.IsolatedRuns; r++ {
+		m, err := t.isolated(meta.ID, r)
+		if err != nil {
+			return core.TemplateStats{}, fmt.Sprintf("isolated/%d/%d", meta.ID, r),
+				fmt.Errorf("contender: isolated run of T%d: %w", meta.ID, err)
+		}
+		latSum += m.LatencySeconds
+		ioSum += m.IOSeconds
+	}
+	ts := core.TemplateStats{
+		ID:              meta.ID,
+		IsolatedLatency: latSum / float64(t.cfg.IsolatedRuns),
+		IOFraction:      ioSum / latSum,
+		WorkingSetBytes: meta.WorkingSetBytes,
+		PlanSteps:       meta.PlanSteps,
+		RecordsAccessed: meta.RecordsAccessed,
+		Scans:           make(map[string]bool, len(meta.FactScans)),
+		SpoilerLatency:  make(map[int]float64, len(t.cfg.MPLs)),
+	}
+	for _, f := range meta.FactScans {
+		ts.Scans[f] = true
+	}
+	for _, mpl := range t.cfg.MPLs {
+		v, err := t.spoiler(meta.ID, mpl)
+		if err != nil {
+			return core.TemplateStats{}, fmt.Sprintf("spoiler/%d/%d", meta.ID, mpl),
+				fmt.Errorf("contender: spoiler run of T%d at MPL %d: %w", meta.ID, mpl, err)
+		}
+		ts.SpoilerLatency[mpl] = v
+	}
+	return ts, "", nil
 }
 
 // System returns the simulator-backed reference implementation of the

@@ -1,9 +1,17 @@
 package contender
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strings"
 	"testing"
+	"time"
+
+	"contender/internal/sim"
+	"contender/internal/tpcds"
 )
 
 func TestTrainFromSimSystem(t *testing.T) {
@@ -64,45 +72,214 @@ func TestSimSystemErrors(t *testing.T) {
 	}
 }
 
-// faultySystem wraps the sim system and fails a chosen operation, to check
-// error propagation through the trainer.
-type faultySystem struct {
-	System
-	failIsolated bool
-	failMix      bool
-	shortMix     bool
+// ---------------------------------------------------------------------------
+// Resilience matrix: the trainer against FaultSystem's deterministic chaos.
+// ---------------------------------------------------------------------------
+
+// freshChaosSystem builds an independent simulator-backed System on a small
+// workload. Each training run gets its own engine so runs are comparable:
+// the substrate shares one RNG stream across measurements, and byte-identity
+// claims rest on every run issuing the same substrate call sequence.
+func freshChaosSystem(seed int64) System {
+	w := tpcds.NewWorkload().Subset([]int{2, 22, 25, 26, 61, 71})
+	return &simSystem{workload: w, engine: sim.NewEngine(sim.DefaultConfig().WithSeed(seed))}
 }
 
-func (f *faultySystem) RunIsolated(id int) (Measurement, error) {
-	if f.failIsolated {
-		return Measurement{}, errors.New("injected isolated failure")
-	}
-	return f.System.RunIsolated(id)
+func chaosTrainConfig() TrainConfig {
+	return TrainConfig{MPLs: []int{2, 3}, LHSRuns: 2, SteadySamples: 3, IsolatedRuns: 2, Seed: 9}
 }
 
-func (f *faultySystem) RunMix(mix []int, samples int) ([]float64, error) {
-	if f.failMix {
-		return nil, errors.New("injected mix failure")
-	}
-	if f.shortMix {
-		return []float64{1}, nil // wrong length
-	}
-	return f.System.RunMix(mix, samples)
+func noSleepRetry() *RetryPolicy {
+	p := DefaultRetryPolicy()
+	p.Sleep = func(time.Duration) {}
+	return &p
 }
 
-func TestTrainFromSystemFailureInjection(t *testing.T) {
-	wb, _ := testWorkbench(t)
-	base := wb.System()
-	cfg := TrainConfig{MPLs: []int{2}, Seed: 4}
+func predictorBytes(t *testing.T, p *Predictor) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
 
-	for name, sys := range map[string]System{
-		"isolated failure": &faultySystem{System: base, failIsolated: true},
-		"mix failure":      &faultySystem{System: base, failMix: true},
-		"short mix result": &faultySystem{System: base, shortMix: true},
+// TestTrainFromSystemChaosByteIdentical is the acceptance property at the
+// System boundary: transient and corrupt faults, rescued by retries, leave
+// the trained predictor byte-identical to a fault-free run — faulted calls
+// never reach the substrate, so its RNG stream is unperturbed.
+func TestTrainFromSystemChaosByteIdentical(t *testing.T) {
+	cleanPred, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := predictorBytes(t, cleanPred)
+
+	for name, fc := range map[string]FaultConfig{
+		"10% transient": {Seed: 11, TransientRate: 0.10, Sleep: func(time.Duration) {}},
+		"8% corrupt":    {Seed: 3, CorruptRate: 0.08, Sleep: func(time.Duration) {}},
 	} {
-		if _, err := TrainFromSystem(sys, cfg); err == nil {
-			t.Errorf("%s: expected error", name)
+		fs := NewFaultSystem(freshChaosSystem(5), fc)
+		cfg := chaosTrainConfig()
+		cfg.Retry = noSleepRetry()
+		res, err := TrainFromSystemContext(context.Background(), fs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
+		if fs.Stats().Injected() == 0 {
+			t.Fatalf("%s: injector never fired", name)
+		}
+		if res.Report.Retries == 0 {
+			t.Errorf("%s: retries must have rescued the injected faults", name)
+		}
+		if res.Report.Degraded() {
+			t.Errorf("%s: coverage must not degrade: %+v", name, res.Report)
+		}
+		if predictorBytes(t, res.Predictor) != clean {
+			t.Errorf("%s: predictor differs from the fault-free run", name)
+		}
+	}
+}
+
+// TestTrainFromSystemPermanentQuarantines: a template whose isolated run
+// fails on every attempt is quarantined; training completes on the rest and
+// the report carries the degradation.
+func TestTrainFromSystemPermanentQuarantines(t *testing.T) {
+	fs := NewFaultSystem(freshChaosSystem(5), FaultConfig{
+		Seed:           1,
+		PermanentSites: []string{"isolated/26"},
+		Sleep:          func(time.Duration) {},
+	})
+	cfg := chaosTrainConfig()
+	cfg.Retry = noSleepRetry()
+	res, err := TrainFromSystemContext(context.Background(), fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if !r.Degraded() {
+		t.Fatalf("report must be degraded: %+v", r)
+	}
+	if r.TrainedTemplates != 5 || r.TotalTemplates != 6 {
+		t.Fatalf("coverage %d/%d, want 5/6", r.TrainedTemplates, r.TotalTemplates)
+	}
+	if len(r.QuarantinedTemplates) != 1 || r.QuarantinedTemplates[0].Template != 26 {
+		t.Fatalf("quarantine records: %+v", r.QuarantinedTemplates)
+	}
+	if !strings.Contains(r.QuarantinedTemplates[0].Reason, "permanent") {
+		t.Errorf("quarantine reason %q does not mention the permanent failure", r.QuarantinedTemplates[0].Reason)
+	}
+	if r.DroppedMixes == 0 {
+		t.Fatal("mixes containing the quarantined template must be dropped")
+	}
+	// The quarantined template is absent; the survivors still predict.
+	if _, err := res.Predictor.PredictKnown(26, []int{2}); !errors.Is(err, ErrUnknownTemplate) {
+		t.Errorf("PredictKnown on quarantined template: %v, want ErrUnknownTemplate", err)
+	}
+	if _, err := res.Predictor.PredictKnown(2, []int{22}); err != nil {
+		t.Errorf("surviving template must predict: %v", err)
+	}
+}
+
+// TestTrainFromSystemNoRetryFailsFast preserves the legacy contract: with
+// no retry policy, the first failure aborts training.
+func TestTrainFromSystemNoRetryFailsFast(t *testing.T) {
+	fs := NewFaultSystem(freshChaosSystem(5), FaultConfig{
+		Seed:          2,
+		TransientRate: 1,
+		Sleep:         func(time.Duration) {},
+	})
+	_, err := TrainFromSystem(fs, chaosTrainConfig())
+	if err == nil {
+		t.Fatal("fail-fast mode must surface the first fault")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("err = %v, want the transient sentinel preserved", err)
+	}
+}
+
+// cancelAfterSystem cancels a context after n successful measurement calls,
+// simulating an operator hitting Ctrl-C mid-campaign.
+type cancelAfterSystem struct {
+	System
+	calls  int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterSystem) tick() {
+	if c.calls++; c.calls == c.after {
+		c.cancel()
+	}
+}
+
+func (c *cancelAfterSystem) ScanSeconds(table string) (float64, error) {
+	c.tick()
+	return c.System.ScanSeconds(table)
+}
+
+func (c *cancelAfterSystem) RunIsolated(id int) (Measurement, error) {
+	c.tick()
+	return c.System.RunIsolated(id)
+}
+
+func (c *cancelAfterSystem) RunSpoiler(id, mpl int) (Measurement, error) {
+	c.tick()
+	return c.System.RunSpoiler(id, mpl)
+}
+
+func (c *cancelAfterSystem) RunMix(mix []int, samples int) ([]float64, error) {
+	c.tick()
+	return c.System.RunMix(mix, samples)
+}
+
+// TestTrainFromSystemCheckpointResume interrupts a checkpointed campaign
+// mid-flight, refuses a resume under different flags, then resumes properly
+// and requires a predictor byte-identical to an uninterrupted run. The
+// resumed run reuses the same System instance — a real backend keeps its
+// state across the operator's retry, and the simulator models that with its
+// persistent RNG stream.
+func TestTrainFromSystemCheckpointResume(t *testing.T) {
+	cleanPred, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := predictorBytes(t, cleanPred)
+
+	path := t.TempDir() + "/train.ckpt"
+	inner := freshChaosSystem(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := chaosTrainConfig()
+	cfg.CheckpointPath = path
+	_, err = TrainFromSystemContext(ctx, &cancelAfterSystem{System: inner, after: 7, cancel: cancel}, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, serr := os.Stat(path); serr != nil {
+		t.Fatalf("checkpoint missing after interrupt: %v", serr)
+	}
+
+	// Different flags must be refused, not silently mixed in.
+	other := cfg
+	other.Seed = 10
+	if _, err := TrainFromSystemContext(context.Background(), inner, other); err == nil ||
+		!strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+
+	res, err := TrainFromSystemContext(context.Background(), inner, cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if res.Report.Resumed == 0 {
+		t.Error("resumed run replayed no measurements")
+	}
+	if predictorBytes(t, res.Predictor) != clean {
+		t.Error("resumed predictor differs from an uninterrupted run")
+	}
+	if _, serr := os.Stat(path); serr == nil {
+		t.Error("checkpoint must be removed after a completed campaign")
 	}
 }
 
