@@ -1,6 +1,7 @@
 package contender
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -458,3 +459,16 @@ func TestScheduleBatchMPLFallback(t *testing.T) {
 		t.Fatalf("fallback forecast %g vs measured %g (%.0f%% off)", span, measured, 100*rel)
 	}
 }
+
+// The deprecated pre-observability surface must keep compiling with its
+// original shape. Behavior of the shim is covered by TestTrainFromSimSystem
+// and TestDeprecatedShimEquivalence; this pin makes an accidental signature
+// change a compile error in this file.
+var _ func(System, TrainConfig) (*Predictor, error) = TrainPredictorFromSystem
+
+// And the redesigned path returns the consistent result shape on both the
+// plain and the context-first entry points.
+var (
+	_ func(System, TrainConfig, ...Option) (*TrainResult, error)                  = TrainFromSystem
+	_ func(context.Context, System, TrainConfig, ...Option) (*TrainResult, error) = TrainFromSystemContext
+)

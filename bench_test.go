@@ -20,6 +20,7 @@ import (
 	"contender/internal/core"
 	"contender/internal/experiments"
 	"contender/internal/lhs"
+	"contender/internal/obs"
 	"contender/internal/sim"
 	"contender/internal/stats"
 	"contender/internal/tpcds"
@@ -229,16 +230,19 @@ func BenchmarkAblationSharedScans(b *testing.B) {
 // TestEnvBuildDeterministic — so the sub-benchmarks differ only in
 // wall-clock time; the speedup saturates at GOMAXPROCS.
 func BenchmarkEnvBuild(b *testing.B) {
+	quickOpts := func(workers int) experiments.Options {
+		return experiments.Options{
+			MPLs:          []int{2, 3},
+			LHSRuns:       2,
+			SteadySamples: 3,
+			IsolatedRuns:  2,
+			Seed:          42,
+			Workers:       workers,
+		}
+	}
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			opts := experiments.Options{
-				MPLs:          []int{2, 3},
-				LHSRuns:       2,
-				SteadySamples: 3,
-				IsolatedRuns:  2,
-				Seed:          42,
-				Workers:       workers,
-			}
+			opts := quickOpts(workers)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.NewEnv(opts); err != nil {
@@ -247,6 +251,30 @@ func BenchmarkEnvBuild(b *testing.B) {
 			}
 		})
 	}
+	// Observer overhead on the same campaign: a recording observer (every
+	// event retained — the worst case) and the metrics aggregator (the
+	// production shape behind -metrics-addr). Budget: ≤10% over the
+	// unobserved workers=1 row.
+	b.Run("workers=1/recording", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := quickOpts(1)
+			opts.Observer = obs.NewRecording()
+			if _, err := experiments.NewEnv(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=1/metrics", func(b *testing.B) {
+		opts := quickOpts(1)
+		opts.Observer = obs.NewMetrics()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.NewEnv(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 var (
@@ -280,6 +308,24 @@ func trainedPredictor(b *testing.B) *Predictor {
 // prediction for an MPL-3 mix. Must report 0 allocs/op.
 func BenchmarkPredictKnown(b *testing.B) {
 	pred := trainedPredictor(b)
+	mix := []int{2, 22}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictKnown(71, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictKnownObserved is the same hot path with the metrics
+// observer attached: the span bookkeeping costs a few counter increments
+// and one histogram insert per call. The unobserved row above is the one
+// held at 0 allocs/op.
+func BenchmarkPredictKnownObserved(b *testing.B) {
+	pred := trainedPredictor(b)
+	pred.SetObserver(obs.NewMetrics())
+	defer pred.SetObserver(nil)
 	mix := []int{2, 22}
 	b.ReportAllocs()
 	b.ResetTimer()

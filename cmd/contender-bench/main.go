@@ -9,6 +9,7 @@
 //	contender-bench -perf            # micro-benchmarks → BENCH_*.json
 //	contender-bench -checkpoint bench.ckpt   # Ctrl-C-safe: rerunning resumes the campaign
 //	contender-bench -cpuprofile cpu.out -memprofile mem.out
+//	contender-bench -metrics-addr :9090  # live Prometheus /metrics + /debug/pprof while sampling
 //
 // -quick shrinks the sampling design (fewer LHS runs, fewer steady-state
 // samples) for a fast smoke pass. -workers bounds the sampling worker pool
@@ -28,25 +29,28 @@ import (
 	"strings"
 	"time"
 
+	"contender/internal/cliutil"
 	"contender/internal/experiments"
+	"contender/internal/obs"
 )
 
 func main() {
 	var (
-		expFlag    = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
-		mplsFlag   = flag.String("mpls", "2,3,4,5", "multiprogramming levels to sample")
-		lhsRuns    = flag.Int("lhs", 4, "disjoint LHS designs per MPL ≥ 3")
-		samples    = flag.Int("samples", 5, "steady-state samples per stream")
-		seed       = flag.Int64("seed", 42, "simulation and sampling seed")
-		quick      = flag.Bool("quick", false, "reduced sampling for a fast pass")
-		workers    = flag.Int("workers", 0, "sampling worker pool width (0 = GOMAXPROCS)")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
-		format     = flag.String("format", "table", "output format: table or json")
-		charts     = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
-		perf       = flag.Bool("perf", false, "run micro-benchmarks and write BENCH_envbuild.json / BENCH_predict.json")
-		checkpoint = flag.String("checkpoint", "", "checkpoint file for the sampling campaign; an interrupted run (Ctrl-C) resumes from it when rerun with the same flags")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		expFlag     = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+		mplsFlag    = flag.String("mpls", "2,3,4,5", "multiprogramming levels to sample")
+		lhsRuns     = flag.Int("lhs", 4, "disjoint LHS designs per MPL ≥ 3")
+		samples     = flag.Int("samples", 5, "steady-state samples per stream")
+		seed        = flag.Int64("seed", 42, "simulation and sampling seed")
+		quick       = flag.Bool("quick", false, "reduced sampling for a fast pass")
+		workers     = flag.Int("workers", 0, "sampling worker pool width (0 = GOMAXPROCS)")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		format      = flag.String("format", "table", "output format: table or json")
+		charts      = flag.Bool("charts", false, "also render each result as an ASCII bar chart")
+		perf        = flag.Bool("perf", false, "run micro-benchmarks and write BENCH_envbuild.json / BENCH_predict.json")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint file for the sampling campaign; an interrupted run (Ctrl-C) resumes from it when rerun with the same flags")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "json" {
@@ -72,6 +76,16 @@ func main() {
 		opts.LHSRuns = 2
 		opts.SteadySamples = 3
 		opts.IsolatedRuns = 2
+	}
+	if *metricsAddr != "" {
+		m := obs.NewMetrics()
+		opts.Observer = m
+		bound, stopMetrics, err := cliutil.ServeMetrics(*metricsAddr, m)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
 	}
 
 	// Ctrl-C cancels the sampling campaign; with -checkpoint the progress

@@ -10,6 +10,7 @@ import (
 
 	"contender"
 	"contender/internal/experiments"
+	"contender/internal/obs"
 	"contender/internal/resilience"
 )
 
@@ -124,6 +125,30 @@ func runPerf(opts experiments.Options) error {
 		})
 		envRep.Benchmarks = append(envRep.Benchmarks, record(bench.name, r))
 	}
+	// Observability overhead on the same campaign: the recording observer
+	// (every event retained — worst case) and the metrics aggregator that
+	// backs -metrics-addr. Acceptance budget: ≤10% over the unobserved
+	// workers=1 row.
+	for _, bench := range []struct {
+		name     string
+		observer func() obs.Observer
+	}{
+		{"EnvBuild/recording/workers=1", func() obs.Observer { return obs.NewRecording() }},
+		{"EnvBuild/metrics/workers=1", func() obs.Observer { return obs.NewMetrics() }},
+	} {
+		o := opts
+		o.Workers = 1
+		fmt.Fprintf(os.Stderr, "%s...\n", bench.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Observer = bench.observer()
+				if _, err := experiments.NewEnv(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		envRep.Benchmarks = append(envRep.Benchmarks, record(bench.name, r))
+	}
 	if err := writeReport("BENCH_envbuild.json", envRep); err != nil {
 		return err
 	}
@@ -174,6 +199,19 @@ func runPerf(opts experiments.Options) error {
 		}
 	})
 	predRep.Benchmarks = append(predRep.Benchmarks, record("CQI", r))
+
+	// The same hot path with the -metrics-addr observer attached: span
+	// bookkeeping adds a few atomic increments and a histogram insert.
+	pred.SetObserver(contender.NewMetrics())
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.PredictKnown(71, mix); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pred.SetObserver(nil)
+	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictKnown/observed", r))
 
 	return writeReport("BENCH_predict.json", predRep)
 }

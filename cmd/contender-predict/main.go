@@ -33,6 +33,7 @@ func main() {
 		load    = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
 		workers = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
 		ckpt    = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
+		maddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -42,10 +43,24 @@ func main() {
 	}
 	mpl := len(concurrent) + 1
 
+	var metrics *contender.Metrics
+	if *maddr != "" {
+		metrics = contender.NewMetrics()
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+	}
+
 	if *load != "" {
 		pred, err := contender.LoadPredictorFile(*load)
 		if err != nil {
 			fatal(err)
+		}
+		if metrics != nil {
+			pred.SetObserver(metrics)
 		}
 		estimate, err := pred.PredictKnown(*primary, concurrent)
 		if err != nil {
@@ -61,12 +76,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "training Contender (sampling mixes at MPLs up to %d)...\n", mpl)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	wb, err := contender.NewWorkbenchContext(ctx,
+	topts := []contender.Option{
 		contender.WithMPLs(cliutil.MPLsUpTo(mpl)...),
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
 		contender.WithCheckpoint(*ckpt),
-	)
+	}
+	if metrics != nil {
+		topts = append(topts, contender.WithObserver(metrics))
+	}
+	wb, err := contender.NewWorkbenchContext(ctx, topts...)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *ckpt != "" {
 			fmt.Fprintf(os.Stderr, "contender-predict: interrupted; training progress saved to %s — rerun with the same flags to resume\n", *ckpt)

@@ -27,6 +27,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the winning schedule's forecast timeline")
 		workers   = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
 		ckpt      = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
+		maddr     = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -38,15 +39,30 @@ func main() {
 		fatal(fmt.Errorf("empty batch"))
 	}
 
+	var metrics *contender.Metrics
+	if *maddr != "" {
+		metrics = contender.NewMetrics()
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+	}
+
 	fmt.Fprintln(os.Stderr, "training Contender...")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	wb, err := contender.NewWorkbenchContext(ctx,
+	topts := []contender.Option{
 		contender.WithMPLs(cliutil.MPLsUpTo(*mpl)...),
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
 		contender.WithCheckpoint(*ckpt),
-	)
+	}
+	if metrics != nil {
+		topts = append(topts, contender.WithObserver(metrics))
+	}
+	wb, err := contender.NewWorkbenchContext(ctx, topts...)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *ckpt != "" {
 			fmt.Fprintf(os.Stderr, "contender-sched: interrupted; training progress saved to %s — rerun with the same flags to resume\n", *ckpt)

@@ -14,6 +14,7 @@ package main
 
 import (
 	"contender/internal/cliutil"
+	"contender/internal/obs"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
 	"flag"
@@ -31,8 +32,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Bool("trace", false, "print the execution timeline of a -mix run")
 		workers  = flag.Int("workers", 0, "profiling worker pool width (0 = GOMAXPROCS)")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
+
+	var metrics obs.Observer // stays a nil interface unless -metrics-addr is set
+	if *maddr != "" {
+		m := obs.NewMetrics()
+		metrics = m
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, m)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+	}
 
 	w := tpcds.NewWorkload()
 	cfg := sim.DefaultConfig()
@@ -53,11 +67,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runMix(w, engine, ids, *trace)
+		runMix(w, engine, ids, *trace, metrics)
 		return
 	}
 
-	profileAll(w, cfg, *seed, *spoiler, *workers)
+	profileAll(w, cfg, *seed, *spoiler, *workers, metrics)
+}
+
+// fanoutTracer feeds one engine's trace stream to several tracers: the
+// -trace timeline recorder and the -metrics-addr bridge can coexist.
+type fanoutTracer []sim.Tracer
+
+func (f fanoutTracer) Event(ev sim.TraceEvent) {
+	for _, t := range f {
+		t.Event(ev)
+	}
 }
 
 // templateRow is one template's profile, filled in by a worker and printed
@@ -73,7 +97,7 @@ type templateRow struct {
 // profileAll measures every template on its own engine, seeded from
 // (seed, "template/<id>") exactly like the training-data collector, so the
 // printed numbers are identical at every worker count.
-func profileAll(w *tpcds.Workload, cfg sim.Config, seed int64, spoilerMPL, workers int) {
+func profileAll(w *tpcds.Workload, cfg sim.Config, seed int64, spoilerMPL, workers int, o obs.Observer) {
 	templates := w.Templates()
 	rows := make([]templateRow, len(templates))
 	if workers <= 0 {
@@ -97,6 +121,11 @@ func profileAll(w *tpcds.Workload, cfg sim.Config, seed int64, spoilerMPL, worke
 				row.tpl = templates[idx]
 				row.spec = w.MustSpec(row.tpl.ID)
 				eng := sim.NewEngine(cfg.WithSeed(sim.DeriveSeed(seed, fmt.Sprintf("template/%d", row.tpl.ID))))
+				if o != nil {
+					// One bridge per engine: the bridge keys its open-span
+					// table by stream ID, so engines must not share one.
+					eng.SetTracer(obs.NewSimTracer(o))
+				}
 				row.res, row.err = eng.RunIsolated(row.spec)
 				if row.err == nil && spoilerMPL > 1 {
 					var sp sim.Result
@@ -135,11 +164,18 @@ func profileAll(w *tpcds.Workload, cfg sim.Config, seed int64, spoilerMPL, worke
 	}
 }
 
-func runMix(w *tpcds.Workload, engine *sim.Engine, ids []int, trace bool) {
+func runMix(w *tpcds.Workload, engine *sim.Engine, ids []int, trace bool, o obs.Observer) {
 	var rec *sim.RecordingTracer
+	var tracers fanoutTracer
 	if trace {
 		rec = &sim.RecordingTracer{}
-		engine.SetTracer(rec)
+		tracers = append(tracers, rec)
+	}
+	if o != nil {
+		tracers = append(tracers, obs.NewSimTracer(o))
+	}
+	if len(tracers) > 0 {
+		engine.SetTracer(tracers)
 	}
 	specs := make([]sim.QuerySpec, len(ids))
 	for i, id := range ids {

@@ -40,9 +40,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"contender/internal/core"
 	"contender/internal/experiments"
+	"contender/internal/obs"
 	"contender/internal/qep"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
@@ -248,12 +250,30 @@ func (w *Workbench) Observations(mpl int) []Observation {
 }
 
 // Train fits Contender's reference QS models from the collected samples and
-// returns a ready Predictor.
+// returns a ready Predictor. A workbench built with WithObserver emits a
+// train.fit span around the fit and hands the observer to the predictor
+// for its serve.* spans.
 func (w *Workbench) Train() (*Predictor, error) {
-	p, err := core.Train(w.env.Know, w.env.AllObservations(), core.TrainOptions{DropOutliers: true})
+	o := w.env.Opts.Observer
+	observations := w.env.AllObservations()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
+	p, err := core.Train(w.env.Know, observations, core.TrainOptions{DropOutliers: true})
+	if o != nil {
+		obs.Emit(o, Event{
+			Kind:  obs.SpanEnd,
+			Span:  obs.SpanTrainFit,
+			Value: float64(len(observations)),
+			Dur:   time.Since(start),
+			Err:   obs.ErrLabel(err),
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("contender: training: %w", err)
 	}
+	p.SetObserver(o)
 	return &Predictor{inner: p, env: w.env}, nil
 }
 

@@ -3,6 +3,8 @@ package contender_test
 import (
 	"fmt"
 	"log"
+	"strings"
+	"time"
 
 	"contender"
 )
@@ -128,17 +130,97 @@ func ExampleTrainFromSystem() {
 	}
 	sys := wb.System() // implement contender.System for your own DBMS
 
-	pred, err := contender.TrainFromSystem(sys, contender.TrainConfig{MPLs: []int{2}})
+	res, err := contender.TrainFromSystem(sys, contender.TrainConfig{MPLs: []int{2}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	latency, err := pred.PredictKnown(26, []int{62})
+	latency, err := res.Predictor.PredictKnown(26, []int{62})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("trained through the interface:", latency > 0)
+	fmt.Println("full coverage:", res.Report.Coverage() == 1)
 	// Output:
 	// trained through the interface: true
+	// full coverage: true
+}
+
+// ExampleWithObserver installs a recording observer on the whole
+// pipeline: the sampling campaign, model fitting, and — inherited by
+// the trained predictor — serving calls. With a single worker the
+// recorded event order is fully deterministic.
+func ExampleWithObserver() {
+	rec := contender.NewRecordingObserver()
+	wb, err := contender.NewWorkbench(
+		contender.QuickSampling(),
+		contender.WithWorkers(1),
+		contender.WithObserver(rec),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pred.PredictKnown(71, []int{2}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("campaign span closed:", rec.CountSpan(contender.SpanTrainCampaign) == 2)
+	fmt.Println("every template profiled:", rec.CountSpan(contender.SpanTrainProfile) == 2*25)
+	fmt.Println("fit span emitted:", rec.CountSpan(contender.SpanTrainFit) == 1)
+	fmt.Println("serving span emitted:", rec.CountSpan(contender.SpanServePredictKnown) == 1)
+	// Output:
+	// campaign span closed: true
+	// every template profiled: true
+	// fit span emitted: true
+	// serving span emitted: true
+}
+
+// ExampleWorkbench_MetricsSnapshot aggregates the event stream into
+// counters and latency histograms and reads them in-process. The same
+// Metrics value implements http.Handler for Prometheus scraping (see
+// the -metrics-addr flag of the CLIs).
+func ExampleWorkbench_MetricsSnapshot() {
+	m := contender.NewMetrics()
+	wb, err := contender.NewWorkbench(contender.QuickSampling(), contender.WithObserver(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, ok := wb.MetricsSnapshot()
+	if !ok {
+		log.Fatal("no metrics observer installed")
+	}
+	campaigns := snap.Counter(`contender_spans_total{span="train.campaign"}`)
+	profileLat := snap.Histogram(`contender_span_duration_seconds{span="train.profile"}`)
+	fmt.Println("campaigns completed:", campaigns)
+	fmt.Println("profile durations recorded:", profileLat.Count == 25)
+	// Output:
+	// campaigns completed: 1
+	// profile durations recorded: true
+}
+
+// ExampleNewSlowLog wires a slow-operation log into training: any span
+// at least as slow as the threshold is printed. A zero-duration
+// threshold logs everything; production callers pick something like
+// 100*time.Millisecond.
+func ExampleNewSlowLog() {
+	var buf strings.Builder
+	slow := contender.NewSlowLog(&buf, time.Hour)
+	// Compose it with metrics: both observe the same campaign.
+	_, err := contender.NewWorkbench(
+		contender.QuickSampling(),
+		contender.WithObserver(contender.MultiObserver(slow, contender.NewMetrics())),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The simulated campaign finishes in well under an hour, so nothing
+	// crosses the (deliberately unreachable) threshold.
+	fmt.Println("slow operations:", strings.Count(buf.String(), "SLOW"))
+	// Output:
+	// slow operations: 0
 }
 
 // ExampleParsePlan shows the compact plan notation for ad-hoc templates.

@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"contender/internal/obs"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests may start several metrics servers in one
+// process.
+var publishOnce sync.Once
+
+// ServeMetrics starts the shared diagnostics endpoint behind the
+// -metrics-addr flag of every CLI. It listens on addr and serves
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/debug/vars    expvar JSON, including the contender_metrics tree
+//	/debug/pprof/  the standard pprof handlers
+//
+// The returned address is the bound listen address (useful with ":0"),
+// and the returned func shuts the listener down. The server runs on its
+// own goroutine and never blocks the campaign it observes.
+func ServeMetrics(addr string, m *obs.Metrics) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("contender_metrics", m.Registry().ExpvarFunc())
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	return ln.Addr().String(), func() { ln.Close() }, nil
+}

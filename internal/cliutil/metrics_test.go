@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"contender/internal/obs"
+)
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Event(obs.Event{Kind: obs.SpanBegin, Span: obs.SpanTrainCampaign})
+	m.Event(obs.Event{Kind: obs.SpanEnd, Span: obs.SpanTrainCampaign, Dur: time.Millisecond})
+
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, `contender_spans_total{span="train.campaign"} 1`) {
+		t.Errorf("/metrics missing the campaign counter:\n%s", body)
+	}
+
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "contender_metrics") {
+		t.Error("/debug/vars does not publish contender_metrics")
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"contender/internal/obs"
+)
 
 // Batch prediction: schedulers and admission controllers evaluate many
 // candidate mixes per decision (which queued query to dispatch next, which
@@ -21,13 +26,33 @@ func (b *PredictBuffer) Results() []float64 { return b.out }
 // same primary, appending into buf's storage. The returned slice aliases
 // the buffer and is valid until the next call. Mixes may have different
 // MPLs; each must have a trained reference model and continuum.
+// A batch emits a single serve.predict_batch span (Value = number of
+// mixes) rather than one serve.predict_known span per mix, so observer
+// overhead stays O(1) per scheduling decision.
 func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
+	if p.observer == nil {
+		return p.predictBatch(buf, primary, mixes)
+	}
+	start := time.Now()
+	out, err := p.predictBatch(buf, primary, mixes)
+	obs.Emit(p.observer, obs.Event{
+		Kind:     obs.SpanEnd,
+		Span:     obs.SpanServePredictBatch,
+		Template: primary,
+		Value:    float64(len(mixes)),
+		Dur:      time.Since(start),
+		Err:      obs.ErrLabel(err),
+	})
+	return out, err
+}
+
+func (p *Predictor) predictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
 	if buf == nil {
 		return nil, fmt.Errorf("core: PredictBatch needs a non-nil buffer")
 	}
 	out := buf.out[:0]
 	for i, mix := range mixes {
-		v, err := p.PredictKnown(primary, mix)
+		v, err := p.predictKnown(primary, mix)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch mix %d: %w", i, err)
 		}

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
+
+	"contender/internal/obs"
 )
 
 // This file assembles the full prediction pipeline of Figure 5: training
@@ -14,7 +17,18 @@ import (
 type Predictor struct {
 	Know *Knowledge
 	refs map[int]*ReferenceModels
+
+	// observer, when non-nil, receives a serve.* span for every
+	// prediction. The nil check happens before any clock read, so an
+	// uninstrumented predictor keeps its allocation-free hot path.
+	observer obs.Observer
 }
+
+// SetObserver installs (or, with nil, removes) the serving observer.
+func (p *Predictor) SetObserver(o obs.Observer) { p.observer = o }
+
+// Observer returns the installed serving observer (nil when none).
+func (p *Predictor) Observer() obs.Observer { return p.observer }
 
 // TrainOptions tunes reference-model training.
 type TrainOptions struct {
@@ -93,6 +107,24 @@ func sortInts(s []int) {
 // given mix: evaluate the mix's CQI, apply the template's QS model, and
 // scale the continuum point by the measured [l_min, l_max] range.
 func (p *Predictor) PredictKnown(primary int, concurrent []int) (float64, error) {
+	if p.observer == nil {
+		return p.predictKnown(primary, concurrent)
+	}
+	start := time.Now()
+	v, err := p.predictKnown(primary, concurrent)
+	obs.Emit(p.observer, obs.Event{
+		Kind:     obs.SpanEnd,
+		Span:     obs.SpanServePredictKnown,
+		Template: primary,
+		MPL:      len(concurrent) + 1,
+		Value:    v,
+		Dur:      time.Since(start),
+		Err:      obs.ErrLabel(err),
+	})
+	return v, err
+}
+
+func (p *Predictor) predictKnown(primary int, concurrent []int) (float64, error) {
 	if len(concurrent) == 0 {
 		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, primary)
 	}
@@ -133,6 +165,24 @@ type NewTemplateOptions struct {
 // opts.QS is set, and its spoiler latency is measured (t.SpoilerLatency)
 // unless opts.Spoiler is set.
 func (p *Predictor) PredictNew(t TemplateStats, concurrent []int, opts NewTemplateOptions) (float64, error) {
+	if p.observer == nil {
+		return p.predictNew(t, concurrent, opts)
+	}
+	start := time.Now()
+	v, err := p.predictNew(t, concurrent, opts)
+	obs.Emit(p.observer, obs.Event{
+		Kind:     obs.SpanEnd,
+		Span:     obs.SpanServePredictNew,
+		Template: t.ID,
+		MPL:      len(concurrent) + 1,
+		Value:    v,
+		Dur:      time.Since(start),
+		Err:      obs.ErrLabel(err),
+	})
+	return v, err
+}
+
+func (p *Predictor) predictNew(t TemplateStats, concurrent []int, opts NewTemplateOptions) (float64, error) {
 	if len(concurrent) == 0 {
 		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, t.ID)
 	}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"contender/internal/core"
 	"contender/internal/lhs"
+	"contender/internal/obs"
 	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
@@ -58,6 +60,17 @@ type Options struct {
 	// campaign collects byte-identical data. The file is removed when the
 	// campaign completes.
 	CheckpointPath string
+	// Observer, when set, receives a structured event stream for the whole
+	// campaign: a train.campaign span wrapping the build, a train.scan/
+	// train.profile/train.mix span per task, and train.retry/
+	// train.quarantine/train.checkpoint/train.resume points from the
+	// resilience machinery. Observation never changes what is collected —
+	// the observer is outside the determinism boundary (it does not enter
+	// the checkpoint fingerprint), and a panicking observer is isolated at
+	// the emit site. With Workers == 1 the event order itself is
+	// deterministic; wider pools emit a deterministic event multiset in
+	// scheduling order.
+	Observer obs.Observer
 	// onTaskDone, when set (in-package tests only), fires after every task
 	// resolves — completed or quarantined. It may be called concurrently
 	// from pool workers.
@@ -189,6 +202,7 @@ func NewEnvWith(w *tpcds.Workload, opts Options) (*Env, error) {
 // NewEnvWithContext profiles an explicit workload with cancellation.
 func NewEnvWithContext(ctx context.Context, w *tpcds.Workload, opts Options) (*Env, error) {
 	opts = opts.withDefaults()
+	opts.Retry = observedRetry(opts.Retry, opts.Observer)
 	cfg := sim.DefaultConfig()
 	if opts.Config != nil {
 		cfg = *opts.Config
@@ -202,12 +216,55 @@ func NewEnvWithContext(ctx context.Context, w *tpcds.Workload, opts Options) (*E
 		Samples:  make(map[int][]MixSample),
 		baseCfg:  cfg,
 	}
-	if err := env.collect(ctx); err != nil {
+	var start time.Time
+	if opts.Observer != nil {
+		start = time.Now()
+		obs.Emit(opts.Observer, obs.Event{Kind: obs.SpanBegin, Span: obs.SpanTrainCampaign})
+	}
+	err := env.collect(ctx)
+	if opts.Observer != nil {
+		obs.Emit(opts.Observer, obs.Event{
+			Kind:  obs.SpanEnd,
+			Span:  obs.SpanTrainCampaign,
+			Value: float64(env.Resilience.TrainedTemplates),
+			Dur:   time.Since(start),
+			Err:   obs.ErrLabel(err),
+		})
+	}
+	if err != nil {
 		return nil, err
 	}
 	env.buildObservationIndex()
 	return env, nil
 }
+
+// observedRetry chains a train.retry emission onto the policy's OnRetry
+// hook, copying the policy so the caller's value is never mutated. The
+// retry schedule itself (delays, jitter, attempt budget) is unchanged.
+func observedRetry(p *resilience.RetryPolicy, o obs.Observer) *resilience.RetryPolicy {
+	if p == nil || o == nil {
+		return p
+	}
+	rp := *p
+	prev := rp.OnRetry
+	rp.OnRetry = func(site string, retry int, delay time.Duration, err error) {
+		if prev != nil {
+			prev(site, retry, delay, err)
+		}
+		obs.Emit(o, obs.Event{
+			Kind:    obs.Point,
+			Span:    obs.PointTrainRetry,
+			Key:     site,
+			Attempt: retry,
+			Value:   delay.Seconds(),
+			Err:     obs.ErrLabel(err),
+		})
+	}
+	return &rp
+}
+
+// emit forwards an event to the configured observer (no-op without one).
+func (e *Env) emit(ev obs.Event) { obs.Emit(e.Opts.Observer, ev) }
 
 // FaultStats returns what the configured fault injector actually injected
 // (zero value without Opts.Faults).
@@ -272,6 +329,7 @@ func (e *Env) collect(ctx context.Context) error {
 		for _, f := range ck.state.Failed {
 			failedSet[f.Key] = true
 			e.Resilience.Quarantined = append(e.Resilience.Quarantined, f)
+			e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainQuarantine, Key: f.Key, Err: f.Reason})
 		}
 	}
 
@@ -286,6 +344,7 @@ func (e *Env) collect(ctx context.Context) error {
 			if v, ok := e.ckpt.state.Scans[key]; ok {
 				scans[i] = scanProfile{table: t.Name, seconds: v}
 				e.Resilience.Resumed++
+				e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainResume, Key: key})
 				continue
 			}
 		}
@@ -321,6 +380,7 @@ func (e *Env) collect(ctx context.Context) error {
 					spoilerSeconds:  entry.SpoilerSeconds,
 				}
 				e.Resilience.Resumed++
+				e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainResume, Key: key})
 				continue
 			}
 		}
@@ -360,6 +420,7 @@ func (e *Env) collect(ctx context.Context) error {
 				if entry, ok := e.ckpt.state.Mixes[key]; ok {
 					mixResults[mpl][i] = mixResult{sample: mixSampleFromEntry(entry), seconds: entry.Seconds}
 					e.Resilience.Resumed++
+					e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainResume, Key: key})
 					continue
 				}
 			}

@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
+	"time"
 
+	"contender/internal/obs"
 	"contender/internal/sim"
 )
 
@@ -93,6 +97,40 @@ func (e *Env) runOne(ctx context.Context, t envTask) (attempts int, err error) {
 	return e.Opts.Retry.Do(ctx, t.key, attempt)
 }
 
+// taskSpan maps a task key to its span taxonomy name.
+func taskSpan(key string) string {
+	switch {
+	case strings.HasPrefix(key, "scan/"):
+		return obs.SpanTrainScan
+	case strings.HasPrefix(key, "template/"):
+		return obs.SpanTrainProfile
+	default:
+		return obs.SpanTrainMix
+	}
+}
+
+// runOneObserved is runOne wrapped in the task's train.* span. The nil
+// check precedes the clock read, so unobserved campaigns pay nothing.
+func (e *Env) runOneObserved(ctx context.Context, t envTask) (int, error) {
+	o := e.Opts.Observer
+	if o == nil {
+		return e.runOne(ctx, t)
+	}
+	span := taskSpan(t.key)
+	obs.Emit(o, obs.Event{Kind: obs.SpanBegin, Span: span, Key: t.key})
+	start := time.Now()
+	attempts, err := e.runOne(ctx, t)
+	obs.Emit(o, obs.Event{
+		Kind:    obs.SpanEnd,
+		Span:    span,
+		Key:     t.key,
+		Attempt: attempts,
+		Dur:     time.Since(start),
+		Err:     obs.ErrLabel(err),
+	})
+	return attempts, err
+}
+
 // fatalTask reports whether a task error must abort the whole campaign:
 // cancellation and checkpoint-write failures always do; without a retry
 // policy every error does (legacy fail-fast mode). Everything else is
@@ -110,6 +148,7 @@ func (e *Env) finishTask(t envTask) error {
 		if err := t.done(); err != nil {
 			return fmt.Errorf("%w: %v", errTaskCheckpoint, err)
 		}
+		e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainCheckpoint, Key: t.key})
 	}
 	if e.Opts.onTaskDone != nil {
 		e.Opts.onTaskDone(t.key)
@@ -126,40 +165,36 @@ func (e *Env) quarantineTask(t envTask, cause error) error {
 		}); err != nil {
 			return fmt.Errorf("%w: %v", errTaskCheckpoint, err)
 		}
+		e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainCheckpoint, Key: t.key})
 	}
+	e.emit(obs.Event{Kind: obs.Point, Span: obs.PointTrainQuarantine, Key: t.key, Err: obs.ErrLabel(cause)})
 	if e.Opts.onTaskDone != nil {
 		e.Opts.onTaskDone(t.key)
 	}
 	return nil
 }
 
+// poolLabel tags collection goroutines in CPU/goroutine profiles, so a
+// pprof of a busy process attributes sampling work to the campaign pool
+// (`pprof -tagfocus contender_pool=env-collect`).
+const poolLabel = "contender_pool"
+
 // runTasks executes all tasks, min(Workers, len(tasks)) wide, honoring ctx
 // between tasks (and during retry backoff). Fatal errors win and drain the
 // pool without starting further work; non-fatal terminal failures are
-// returned as quarantined TaskFailures in task order.
+// returned as quarantined TaskFailures in task order. All task execution
+// — including the single-worker inline path — runs under pprof labels.
 func (e *Env) runTasks(ctx context.Context, tasks []envTask) ([]TaskFailure, error) {
 	workers := e.workers(len(tasks))
 	fails := make([]error, len(tasks))
 
 	if workers == 1 {
-		for i, t := range tasks {
-			attempts, err := e.runOne(ctx, t)
-			if attempts > 1 {
-				e.Resilience.Retries += attempts - 1
-			}
-			if err != nil {
-				if e.fatalTask(err) {
-					return nil, fmt.Errorf("experiments: task %s: %w", t.key, err)
-				}
-				if qerr := e.quarantineTask(t, err); qerr != nil {
-					return nil, fmt.Errorf("experiments: task %s: %w", t.key, qerr)
-				}
-				fails[i] = err
-				continue
-			}
-			if ferr := e.finishTask(t); ferr != nil {
-				return nil, fmt.Errorf("experiments: task %s: %w", t.key, ferr)
-			}
+		var serialErr error
+		pprof.Do(ctx, pprof.Labels(poolLabel, "env-collect"), func(ctx context.Context) {
+			serialErr = e.runSerial(ctx, tasks, fails)
+		})
+		if serialErr != nil {
+			return nil, serialErr
 		}
 		return compactFailures(tasks, fails), nil
 	}
@@ -186,35 +221,37 @@ func (e *Env) runTasks(ctx context.Context, tasks []envTask) ([]TaskFailure, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range ch {
-				if stopped() {
-					continue // drain: stop starting new work after a fatal error
-				}
-				t := tasks[i]
-				attempts, err := e.runOne(ctx, t)
-				if attempts > 1 {
-					mu.Lock()
-					e.Resilience.Retries += attempts - 1
-					mu.Unlock()
-				}
-				if err != nil {
-					if e.fatalTask(err) {
-						fatal(fmt.Errorf("experiments: task %s: %w", t.key, err))
+			pprof.Do(ctx, pprof.Labels(poolLabel, "env-collect"), func(ctx context.Context) {
+				for i := range ch {
+					if stopped() {
+						continue // drain: stop starting new work after a fatal error
+					}
+					t := tasks[i]
+					attempts, err := e.runOneObserved(ctx, t)
+					if attempts > 1 {
+						mu.Lock()
+						e.Resilience.Retries += attempts - 1
+						mu.Unlock()
+					}
+					if err != nil {
+						if e.fatalTask(err) {
+							fatal(fmt.Errorf("experiments: task %s: %w", t.key, err))
+							continue
+						}
+						if qerr := e.quarantineTask(t, err); qerr != nil {
+							fatal(fmt.Errorf("experiments: task %s: %w", t.key, qerr))
+							continue
+						}
+						mu.Lock()
+						fails[i] = err
+						mu.Unlock()
 						continue
 					}
-					if qerr := e.quarantineTask(t, err); qerr != nil {
-						fatal(fmt.Errorf("experiments: task %s: %w", t.key, qerr))
-						continue
+					if ferr := e.finishTask(t); ferr != nil {
+						fatal(fmt.Errorf("experiments: task %s: %w", t.key, ferr))
 					}
-					mu.Lock()
-					fails[i] = err
-					mu.Unlock()
-					continue
 				}
-				if ferr := e.finishTask(t); ferr != nil {
-					fatal(fmt.Errorf("experiments: task %s: %w", t.key, ferr))
-				}
-			}
+			})
 		}()
 	}
 	for i := range tasks {
@@ -226,6 +263,32 @@ func (e *Env) runTasks(ctx context.Context, tasks []envTask) ([]TaskFailure, err
 		return nil, fatalErr
 	}
 	return compactFailures(tasks, fails), nil
+}
+
+// runSerial is the single-worker task loop, inline on the caller's
+// goroutine. Its event order is fully deterministic — the property the
+// golden observer test locks down.
+func (e *Env) runSerial(ctx context.Context, tasks []envTask, fails []error) error {
+	for i, t := range tasks {
+		attempts, err := e.runOneObserved(ctx, t)
+		if attempts > 1 {
+			e.Resilience.Retries += attempts - 1
+		}
+		if err != nil {
+			if e.fatalTask(err) {
+				return fmt.Errorf("experiments: task %s: %w", t.key, err)
+			}
+			if qerr := e.quarantineTask(t, err); qerr != nil {
+				return fmt.Errorf("experiments: task %s: %w", t.key, qerr)
+			}
+			fails[i] = err
+			continue
+		}
+		if ferr := e.finishTask(t); ferr != nil {
+			return fmt.Errorf("experiments: task %s: %w", t.key, ferr)
+		}
+	}
+	return nil
 }
 
 // compactFailures converts the per-slot error array into TaskFailures in

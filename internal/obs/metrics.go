@@ -1,0 +1,557 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the fixed histogram bounds (seconds) used
+// for every span-duration histogram: exponential from 100µs to ~100s,
+// wide enough for both sub-millisecond serving calls and multi-second
+// simulated campaign phases.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// atomicFloat64 is a float64 with atomic Add/Set built on CAS over the
+// IEEE-754 bits.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat64) Store(v float64) {
+	f.bits.Store(math.Float64bits(v))
+}
+func (f *atomicFloat64) Add(delta float64) float64 {
+	for {
+		old := f.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored to
+// keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a floating-point metric that can move both ways.
+type Gauge struct{ v atomicFloat64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative-style buckets.
+// All methods are lock-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf after
+	counts []atomic.Uint64
+	sum    atomicFloat64
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// snapshot returns cumulative bucket counts aligned with bounds plus a
+// final +Inf bucket.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]Bucket, len(h.bounds)+1),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{Le: le, Count: cum}
+	}
+	return s
+}
+
+// Bucket is one cumulative histogram bucket: Count observations ≤ Le.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the containing bucket. Rough, but good enough for dashboards.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	prevCum, prevLe := uint64(0), 0.0
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.Le, 1) {
+				return prevLe
+			}
+			width := float64(b.Count - prevCum)
+			if width == 0 {
+				return b.Le
+			}
+			return prevLe + (b.Le-prevLe)*(rank-float64(prevCum))/width
+		}
+		prevCum, prevLe = b.Count, b.Le
+	}
+	return prevLe
+}
+
+// Snapshot is a consistent-enough copy of a Registry's state. Map keys
+// are the exposition identities: `name` for unlabeled metrics and
+// `name{label="value"}` for labeled ones.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value (0 when absent), e.g.
+// snap.Counter(`contender_spans_total{span="train.mix"}`).
+func (s Snapshot) Counter(key string) int64 { return s.Counters[key] }
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(key string) float64 { return s.Gauges[key] }
+
+// Histogram returns the named histogram snapshot (zero when absent).
+func (s Snapshot) Histogram(key string) HistogramSnapshot { return s.Histograms[key] }
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+// family is one named metric with at most one label dimension; series
+// maps label values ("" for the unlabeled singleton) to live metrics.
+type family struct {
+	name   string
+	help   string
+	label  string // "" means unlabeled singleton
+	typ    metricType
+	bounds []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]any
+}
+
+func (f *family) get(labelValue string) any {
+	f.mu.RLock()
+	m, ok := f.series[labelValue]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[labelValue]; ok {
+		return m
+	}
+	var m2 any
+	switch f.typ {
+	case typeCounter:
+		m2 = &Counter{}
+	case typeGauge:
+		m2 = &Gauge{}
+	case typeHistogram:
+		m2 = newHistogram(f.bounds)
+	}
+	f.series[labelValue] = m2
+	return m2
+}
+
+// key renders the exposition identity for a label value.
+func (f *family) key(labelValue string) string {
+	if f.label == "" {
+		return f.name
+	}
+	return f.name + "{" + f.label + "=" + strconv.Quote(labelValue) + "}"
+}
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use; registering the same name twice returns the existing
+// family (a type mismatch panics — it is a programming error).
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+func (r *Registry) family(name, help, label string, typ metricType, bounds []float64) *family {
+	r.mu.RLock()
+	f, ok := r.fams[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.fams[name]
+		if !ok {
+			f = &family{name: name, help: help, label: label, typ: typ, bounds: bounds, series: map[string]any{}}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || f.label != label {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different type or label", name))
+	}
+	return f
+}
+
+// Counter returns (registering on first use) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, "", typeCounter, nil).get("").(*Counter)
+}
+
+// Gauge returns the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, "", typeGauge, nil).get("").(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram name with the given bucket
+// bounds (DefaultLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return r.family(name, help, "", typeHistogram, bounds).get("").(*Histogram)
+}
+
+// CounterVec declares a counter family with a single label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family name.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.family(name, help, label, typeCounter, nil)}
+}
+
+// With returns the counter for one label value.
+func (v *CounterVec) With(labelValue string) *Counter { return v.f.get(labelValue).(*Counter) }
+
+// GaugeVec declares a gauge family with a single label dimension.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, label, typeGauge, nil)}
+}
+
+// With returns the gauge for one label value.
+func (v *GaugeVec) With(labelValue string) *Gauge { return v.f.get(labelValue).(*Gauge) }
+
+// HistogramVec declares a histogram family with a single label dimension.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family name
+// (DefaultLatencyBuckets when bounds is nil).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &HistogramVec{r.family(name, help, label, typeHistogram, bounds)}
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(labelValue string) *Histogram { return v.f.get(labelValue).(*Histogram) }
+
+// sortedFamilies returns families in name order (stable exposition).
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []string {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot copies every live series. Counters, gauges, and histograms
+// are read atomically per series (not transactionally across series).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, lv := range f.sortedSeries() {
+			key := f.key(lv)
+			switch m := f.get(lv).(type) {
+			case *Counter:
+				snap.Counters[key] = m.Value()
+			case *Gauge:
+				snap.Gauges[key] = m.Value()
+			case *Histogram:
+				snap.Histograms[key] = m.snapshot()
+			}
+		}
+	}
+	return snap
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (v0.0.4), deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		typ := "counter"
+		switch f.typ {
+		case typeGauge:
+			typ = "gauge"
+		case typeHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ); err != nil {
+			return err
+		}
+		for _, lv := range f.sortedSeries() {
+			label := ""
+			if f.label != "" {
+				label = "{" + f.label + "=" + strconv.Quote(lv) + "}"
+			}
+			switch m := f.get(lv).(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, label, m.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, label, formatFloat(m.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				if err := writePromHistogram(w, f, lv, m.snapshot()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, f *family, lv string, s HistogramSnapshot) error {
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.Le, 1) {
+			le = formatFloat(b.Le)
+		}
+		var labels string
+		if f.label != "" {
+			labels = "{" + f.label + "=" + strconv.Quote(lv) + ",le=" + strconv.Quote(le) + "}"
+		} else {
+			labels = "{le=" + strconv.Quote(le) + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labels, b.Count); err != nil {
+			return err
+		}
+	}
+	var suffix string
+	if f.label != "" {
+		suffix = "{" + f.label + "=" + strconv.Quote(lv) + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		f.name, suffix, formatFloat(s.Sum), f.name, suffix, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ExpvarFunc adapts the registry to expvar: publish it once with
+// expvar.Publish(name, registry.ExpvarFunc()).
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// ServeHTTP exposes the registry in Prometheus text format, making a
+// *Registry mountable directly on an http.ServeMux.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// Metrics is the canonical Observer that folds the event stream into a
+// Registry:
+//
+//	contender_spans_total{span=...}            completed spans
+//	contender_span_errors_total{span=...}      spans that ended in error
+//	contender_span_duration_seconds{span=...}  latency histogram per span
+//	contender_inflight_spans{span=...}         begun-but-unfinished spans
+//	contender_events_total{event=...}          point events by name
+//	contender_retries_total                    convenience totals for the
+//	contender_quarantines_total                resilience machinery
+//	contender_checkpoint_writes_total
+//	contender_resumed_total
+type Metrics struct {
+	reg *Registry
+
+	spans    *CounterVec
+	spanErrs *CounterVec
+	spanDur  *HistogramVec
+	inflight *GaugeVec
+	events   *CounterVec
+
+	retries     *Counter
+	quarantines *Counter
+	checkpoints *Counter
+	resumes     *Counter
+
+	mu   sync.RWMutex
+	open map[string]*atomic.Int64 // span -> begun-minus-ended, floored at 0
+}
+
+// NewMetrics returns a Metrics observer over a fresh Registry.
+func NewMetrics() *Metrics {
+	reg := NewRegistry()
+	return &Metrics{
+		reg:         reg,
+		spans:       reg.CounterVec("contender_spans_total", "Completed spans by taxonomy name.", "span"),
+		spanErrs:    reg.CounterVec("contender_span_errors_total", "Spans that ended in error, by taxonomy name.", "span"),
+		spanDur:     reg.HistogramVec("contender_span_duration_seconds", "Span latency by taxonomy name.", "span", nil),
+		inflight:    reg.GaugeVec("contender_inflight_spans", "Spans begun but not yet finished, by taxonomy name.", "span"),
+		events:      reg.CounterVec("contender_events_total", "Point events by taxonomy name.", "event"),
+		retries:     reg.Counter("contender_retries_total", "Retryable measurement failures that backed off and retried."),
+		quarantines: reg.Counter("contender_quarantines_total", "Measurement sites quarantined after exhausting retries."),
+		checkpoints: reg.Counter("contender_checkpoint_writes_total", "Measurements flushed to the write-through checkpoint."),
+		resumes:     reg.Counter("contender_resumed_total", "Measurements replayed from a checkpoint instead of re-run."),
+		open:        map[string]*atomic.Int64{},
+	}
+}
+
+func (m *Metrics) openCount(span string) *atomic.Int64 {
+	m.mu.RLock()
+	c, ok := m.open[span]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.open[span]; ok {
+		return c
+	}
+	c = &atomic.Int64{}
+	m.open[span] = c
+	return c
+}
+
+// Event folds one event into the registry.
+func (m *Metrics) Event(ev Event) {
+	switch ev.Kind {
+	case SpanBegin:
+		c := m.openCount(ev.Span)
+		m.inflight.With(ev.Span).Set(float64(c.Add(1)))
+	case SpanEnd:
+		// Serving spans emit End without Begin; only decrement what was
+		// actually begun so the inflight gauge never goes negative.
+		c := m.openCount(ev.Span)
+		for {
+			cur := c.Load()
+			if cur <= 0 {
+				break
+			}
+			if c.CompareAndSwap(cur, cur-1) {
+				m.inflight.With(ev.Span).Set(float64(cur - 1))
+				break
+			}
+		}
+		m.spans.With(ev.Span).Inc()
+		if ev.Err != "" {
+			m.spanErrs.With(ev.Span).Inc()
+		}
+		m.spanDur.With(ev.Span).Observe(ev.Dur.Seconds())
+	case Point:
+		m.events.With(ev.Span).Inc()
+		switch ev.Span {
+		case PointTrainRetry:
+			m.retries.Inc()
+		case PointTrainQuarantine:
+			m.quarantines.Inc()
+		case PointTrainCheckpoint:
+			m.checkpoints.Inc()
+		case PointTrainResume:
+			m.resumes.Inc()
+		}
+	}
+}
+
+// Registry exposes the underlying registry (for mounting extra series
+// or custom exposition).
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Snapshot copies the current metric state.
+func (m *Metrics) Snapshot() Snapshot { return m.reg.Snapshot() }
+
+// WritePrometheus renders the metrics in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// ServeHTTP makes *Metrics an http.Handler serving Prometheus text.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) { m.reg.ServeHTTP(w, r) }

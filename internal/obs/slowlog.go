@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog is an Observer that writes a line for every span that
+// finishes slower than a configurable threshold — the classic
+// slow-query log, generalized to every instrumented operation. A
+// threshold of zero logs every span end (useful in tests); point
+// events and span begins are never logged.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	clock     func() time.Time // test seam; nil means time.Now
+}
+
+// NewSlowLog returns a slow-operation log writing to w. Spans with
+// Dur >= threshold are logged; threshold <= 0 logs all span ends.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// SetClock overrides the timestamp source (tests only).
+func (s *SlowLog) SetClock(clock func() time.Time) { s.clock = clock }
+
+// Threshold returns the configured threshold.
+func (s *SlowLog) Threshold() time.Duration { return s.threshold }
+
+// Event logs span ends at or above the threshold.
+func (s *SlowLog) Event(ev Event) {
+	if ev.Kind != SpanEnd || ev.Dur < s.threshold {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now
+	if s.clock != nil {
+		now = s.clock
+	}
+	fmt.Fprintf(s.w, "%s SLOW %s", now().Format(time.RFC3339), ev.Span)
+	if ev.Key != "" {
+		fmt.Fprintf(s.w, " key=%s", ev.Key)
+	}
+	if ev.Attempt > 1 {
+		fmt.Fprintf(s.w, " attempts=%d", ev.Attempt)
+	}
+	fmt.Fprintf(s.w, " took=%s", ev.Dur)
+	if ev.Err != "" {
+		fmt.Fprintf(s.w, " err=%q", ev.Err)
+	}
+	fmt.Fprintln(s.w)
+}

@@ -104,6 +104,13 @@ type RetryPolicy struct {
 	// Sleep replaces the delay implementation; nil uses a context-aware
 	// timer wait. Tests and simulations install a no-op.
 	Sleep func(time.Duration)
+	// OnRetry, when non-nil, is invoked before each backoff wait with the
+	// call site, the 1-based retry ordinal, the computed delay, and the
+	// error that triggered the retry. It exists so observability layers can
+	// count retries and backoff time without this package importing them;
+	// it must not panic and must be safe for concurrent use when the
+	// policy is shared across goroutines.
+	OnRetry func(site string, retry int, delay time.Duration, err error)
 }
 
 // Default returns the default retry schedule: 4 attempts, 50ms base delay
@@ -187,7 +194,11 @@ func (p RetryPolicy) Do(ctx context.Context, site string, fn func() error) (atte
 		if !Retryable(err) || attempt >= p.MaxAttempts {
 			return attempt, fmt.Errorf("%s: attempt %d/%d: %w", site, attempt, p.MaxAttempts, err)
 		}
-		if werr := p.wait(ctx, p.Delay(site, attempt)); werr != nil {
+		delay := p.Delay(site, attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(site, attempt, delay, err)
+		}
+		if werr := p.wait(ctx, delay); werr != nil {
 			return attempt, werr
 		}
 	}

@@ -305,3 +305,63 @@ func BenchmarkInjectorDecide(b *testing.B) {
 		in.Decide("bench/site")
 	}
 }
+
+// TestOnRetryHook: the observability hook fires once per backoff with
+// the site, retry ordinal, scheduled delay, and the failing error — and
+// never fires on the final (successful or exhausted) attempt.
+func TestOnRetryHook(t *testing.T) {
+	type call struct {
+		site  string
+		retry int
+		delay time.Duration
+		err   error
+	}
+	var calls []call
+	p := noSleep(Default())
+	p.OnRetry = func(site string, retry int, delay time.Duration, err error) {
+		calls = append(calls, call{site, retry, delay, err})
+	}
+	fails := 2
+	cause := Transient(errors.New("flaky"))
+	attempts, err := p.Do(context.Background(), "site/x", func() error {
+		if fails > 0 {
+			fails--
+			return cause
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2 (one per backoff)", len(calls))
+	}
+	for i, c := range calls {
+		if c.site != "site/x" || c.retry != i+1 || !errors.Is(c.err, cause) {
+			t.Errorf("call %d: %+v", i, c)
+		}
+		if c.delay != p.Delay("site/x", i+1) {
+			t.Errorf("call %d: delay %v diverges from the schedule's %v", i, c.delay, p.Delay("site/x", i+1))
+		}
+	}
+
+	// The hook must not fire when the first attempt succeeds.
+	calls = nil
+	if _, err := p.Do(context.Background(), "ok", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 0 {
+		t.Fatalf("OnRetry fired %d times on success, want 0", len(calls))
+	}
+
+	// A non-retryable error never reaches the hook either.
+	calls = nil
+	if _, err := p.Do(context.Background(), "perm", func() error {
+		return Permanent(errors.New("gone"))
+	}); err == nil {
+		t.Fatal("permanent error must surface")
+	}
+	if len(calls) != 0 {
+		t.Fatalf("OnRetry fired %d times on a permanent failure, want 0", len(calls))
+	}
+}

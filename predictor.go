@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"contender/internal/core"
 	"contender/internal/experiments"
+	"contender/internal/obs"
 )
 
 // Predictor is a trained Contender instance: reference QS models for every
@@ -18,6 +20,17 @@ type Predictor struct {
 
 // MPLs returns the multiprogramming levels the predictor was trained for.
 func (p *Predictor) MPLs() []int { return p.inner.MPLs() }
+
+// SetObserver installs (or, with nil, removes) the observer that
+// receives this predictor's serve.* spans. Predictors trained with
+// WithObserver or TrainConfig.Observer inherit the training observer
+// automatically; SetObserver exists for predictors loaded from a
+// snapshot and for swapping observers at runtime. Without an observer
+// the serving hot path performs no clock reads and no allocations.
+func (p *Predictor) SetObserver(o Observer) { p.inner.SetObserver(o) }
+
+// Observer returns the predictor's serving observer (nil when none).
+func (p *Predictor) Observer() Observer { return p.inner.Observer() }
 
 // PredictKnown estimates the steady-state latency of a known template
 // executing concurrently with the given templates (the mix's MPL is
@@ -33,7 +46,21 @@ func (p *Predictor) PredictKnown(template int, concurrent []int) (float64, error
 // competing with it for the I/O bus (Eq. 5 of the paper). The primary must
 // be a known template; use CQIForStats for ad-hoc primaries.
 func (p *Predictor) CQI(primary int, concurrent []int) float64 {
-	return p.inner.Know.CQI(primary, concurrent)
+	o := p.inner.Observer()
+	if o == nil {
+		return p.inner.Know.CQI(primary, concurrent)
+	}
+	start := time.Now()
+	r := p.inner.Know.CQI(primary, concurrent)
+	obs.Emit(o, Event{
+		Kind:     obs.SpanEnd,
+		Span:     obs.SpanServeCQI,
+		Template: primary,
+		MPL:      len(concurrent) + 1,
+		Value:    r,
+		Dur:      time.Since(start),
+	})
+	return r
 }
 
 // CQIForStats computes the mix's CQI for an ad-hoc primary described by

@@ -86,15 +86,18 @@ func absInt(v int) int {
 
 // ScheduleBatch orders a batch with the given policy and returns the
 // admission order, the per-job forecast, and the predicted makespan.
+// With an observer installed on the predictor, each call emits a
+// sched.policy span (Key = policy name) and a sched.forecast span.
 func (p *Predictor) ScheduleBatch(batch []int, mpl int, policy SchedulePolicy) ([]int, []JobForecast, float64, error) {
 	if len(batch) == 0 {
 		return nil, nil, 0, fmt.Errorf("contender: empty batch")
 	}
-	order, err := policy.Order(batch, mpl, p.batchLatency)
+	o := p.inner.Observer()
+	order, err := sched.Observed(policy, o).Order(batch, mpl, p.batchLatency)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	jobs, span, err := sched.Forecast(order, mpl, p.batchLatency)
+	jobs, span, err := sched.ObservedForecast(o, order, mpl, p.batchLatency)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -104,7 +107,7 @@ func (p *Predictor) ScheduleBatch(batch []int, mpl int, policy SchedulePolicy) (
 // ForecastBatch predicts the completion timeline of a fixed admission
 // order at the given MPL without reordering.
 func (p *Predictor) ForecastBatch(order []int, mpl int) ([]JobForecast, float64, error) {
-	return sched.Forecast(order, mpl, p.batchLatency)
+	return sched.ObservedForecast(p.inner.Observer(), order, mpl, p.batchLatency)
 }
 
 // RunBatch executes an admission order on the simulated host at the given

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"contender/internal/core"
+	"contender/internal/experiments"
 	"contender/internal/lhs"
+	"contender/internal/obs"
 	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
@@ -69,6 +72,25 @@ type System interface {
 
 // TrainConfig controls TrainFromSystem's sampling design. The zero value
 // uses the paper's protocol at MPLs 2–3 with fail-fast error handling.
+//
+// TrainConfig and the Workbench's functional options configure the same
+// underlying surface (internal/experiments.Options); both TrainFromSystem
+// and TrainFromSystemContext additionally accept Option values, applied on
+// top of the struct. The mapping is one-to-one:
+//
+//	WithMPLs          ↔ TrainConfig.MPLs
+//	WithSeed          ↔ TrainConfig.Seed
+//	WithLHSRuns       ↔ TrainConfig.LHSRuns
+//	WithSteadySamples ↔ TrainConfig.SteadySamples
+//	WithRetry         ↔ TrainConfig.Retry
+//	WithCheckpoint    ↔ TrainConfig.CheckpointPath
+//	WithFaults        ↔ TrainConfig.Faults
+//	WithObserver      ↔ TrainConfig.Observer
+//
+// WithHost and WithWorkers configure the bundled simulator host and its
+// sampling pool; they have no meaning against an external System (which
+// owns its host and serializes its own measurements) and are ignored on
+// this path.
 type TrainConfig struct {
 	// MPLs to sample and train for (default 2, 3).
 	MPLs []int
@@ -94,6 +116,60 @@ type TrainConfig struct {
 	// predictor byte-identical to an uninterrupted one. The file is removed
 	// when training completes.
 	CheckpointPath string
+	// Faults, when set, wraps the System in NewFaultSystem with this
+	// configuration before training — deterministic chaos for validating a
+	// retry policy against a real integration. The injected-fault tally is
+	// reported in TrainReport.FaultStats.
+	Faults *FaultConfig
+	// Observer, when set, receives the campaign's structured event stream:
+	// a train.campaign span around the whole run, train.scan/
+	// train.profile/train.isolated/train.spoiler/train.mix spans per
+	// measurement, a train.fit span around model fitting, and train.retry/
+	// train.quarantine/train.checkpoint/train.resume points from the
+	// resilience machinery. Observation never changes what is measured, and
+	// a panicking observer is isolated at the emit site. The trained
+	// predictor inherits the observer for its serve.* spans.
+	Observer Observer
+}
+
+// envOptions maps the System-path config onto the shared collection
+// options surface, so Workbench Option funcs can edit it.
+func (c TrainConfig) envOptions() experiments.Options {
+	return experiments.Options{
+		MPLs:           c.MPLs,
+		LHSRuns:        c.LHSRuns,
+		SteadySamples:  c.SteadySamples,
+		IsolatedRuns:   c.IsolatedRuns,
+		Seed:           c.Seed,
+		Retry:          c.Retry,
+		Faults:         c.Faults,
+		CheckpointPath: c.CheckpointPath,
+		Observer:       c.Observer,
+	}
+}
+
+// apply folds Workbench-style options into the config by round-tripping
+// through the shared options surface. Host- and pool-related options
+// (WithHost, WithWorkers) do not apply to external systems and are
+// dropped.
+func (c TrainConfig) apply(options []Option) TrainConfig {
+	if len(options) == 0 {
+		return c
+	}
+	cf := config{opts: c.envOptions()}
+	for _, o := range options {
+		o(&cf)
+	}
+	c.MPLs = cf.opts.MPLs
+	c.LHSRuns = cf.opts.LHSRuns
+	c.SteadySamples = cf.opts.SteadySamples
+	c.IsolatedRuns = cf.opts.IsolatedRuns
+	c.Seed = cf.opts.Seed
+	c.Retry = cf.opts.Retry
+	c.Faults = cf.opts.Faults
+	c.CheckpointPath = cf.opts.CheckpointPath
+	c.Observer = cf.opts.Observer
+	return c
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -150,6 +226,9 @@ type TrainReport struct {
 	// Resumed is the number of measurements replayed from the checkpoint
 	// instead of re-measured.
 	Resumed int `json:"resumed_measurements"`
+	// FaultStats tallies what TrainConfig.Faults/WithFaults injected; nil
+	// when no fault injection was configured.
+	FaultStats *FaultStats `json:"fault_stats,omitempty"`
 }
 
 // Degraded reports whether the campaign lost any coverage.
@@ -175,9 +254,25 @@ type TrainResult struct {
 // arbitrary measurement backend: profile every template in isolation and
 // under the spoiler, measure per-table scan times, sample concurrent mixes
 // (exhaustive pairs at MPL 2, LHS designs above), and fit the reference QS
-// models. See TrainFromSystemContext for cancellation and the campaign
+// models. It is a thin wrapper over TrainFromSystemContext and returns the
+// same result shape: the trained predictor plus the campaign report.
+// Workbench-style options (WithRetry, WithCheckpoint, WithFaults,
+// WithObserver, …) are applied on top of cfg; see TrainConfig for the
+// mapping.
+//
+// Before the observability release this function returned a bare
+// *Predictor; TrainPredictorFromSystem preserves that signature.
+func TrainFromSystem(sys System, cfg TrainConfig, options ...Option) (*TrainResult, error) {
+	return TrainFromSystemContext(context.Background(), sys, cfg, options...)
+}
+
+// TrainPredictorFromSystem is the pre-observability TrainFromSystem: it
+// trains with cfg and returns only the predictor, discarding the campaign
 // report.
-func TrainFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
+//
+// Deprecated: use TrainFromSystem, which returns the predictor together
+// with its TrainReport.
+func TrainPredictorFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
 	res, err := TrainFromSystemContext(context.Background(), sys, cfg)
 	if err != nil {
 		return nil, err
@@ -185,14 +280,48 @@ func TrainFromSystem(sys System, cfg TrainConfig) (*Predictor, error) {
 	return res.Predictor, nil
 }
 
-// TrainFromSystemContext is TrainFromSystem with cancellation and a
-// campaign report. The context is honored between measurements (and during
-// retry backoff); cancelling returns ctx.Err() with all completed work
-// already persisted when cfg.CheckpointPath is set, so the campaign can be
-// resumed. With cfg.Retry set, failures are retried and then quarantined
-// rather than aborting; the report describes the degradation.
-func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*TrainResult, error) {
-	cfg = cfg.withDefaults()
+// TrainFromSystemContext is TrainFromSystem with cancellation. The context
+// is honored between measurements (and during retry backoff); cancelling
+// returns ctx.Err() with all completed work already persisted when
+// cfg.CheckpointPath is set, so the campaign can be resumed. With
+// cfg.Retry set, failures are retried and then quarantined rather than
+// aborting; the report describes the degradation.
+func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig, options ...Option) (*TrainResult, error) {
+	cfg = cfg.apply(options).withDefaults()
+	cfg.Retry = observedRetryPolicy(cfg.Retry, cfg.Observer)
+	var faultSys *FaultSystem
+	if cfg.Faults != nil {
+		faultSys = NewFaultSystem(sys, *cfg.Faults)
+		sys = faultSys
+	}
+	o := cfg.Observer
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+		obs.Emit(o, Event{Kind: obs.SpanBegin, Span: obs.SpanTrainCampaign})
+	}
+	res, err := trainFromSystem(ctx, sys, cfg)
+	if o != nil {
+		end := Event{Kind: obs.SpanEnd, Span: obs.SpanTrainCampaign, Dur: time.Since(start), Err: obs.ErrLabel(err)}
+		if res != nil {
+			end.Value = float64(res.Report.TrainedTemplates)
+		}
+		obs.Emit(o, end)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if faultSys != nil {
+		stats := faultSys.Stats()
+		res.Report.FaultStats = &stats
+	}
+	res.Predictor.SetObserver(o)
+	return res, nil
+}
+
+// trainFromSystem is the campaign body, once config, fault wrapping, and
+// the campaign span are in place.
+func trainFromSystem(ctx context.Context, sys System, cfg TrainConfig) (*TrainResult, error) {
 	templates := sys.Templates()
 	if len(templates) < 2 {
 		return nil, fmt.Errorf("contender: need at least 2 templates, have %d", len(templates))
@@ -200,7 +329,7 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*
 	tables := sys.FactTables()
 
 	t := &trainer{
-		ctx: ctx, sys: sys, cfg: cfg,
+		ctx: ctx, sys: sys, cfg: cfg, o: cfg.Observer,
 		badTemplates: map[int]bool{}, badTables: map[string]bool{},
 	}
 	t.report.TotalTemplates = len(templates)
@@ -220,6 +349,7 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*
 				t.badTemplates[q.Template] = true
 				t.report.QuarantinedTemplates = append(t.report.QuarantinedTemplates, q)
 			}
+			t.emitPoint(obs.PointTrainQuarantine, q.Site)
 		}
 	}
 
@@ -251,7 +381,7 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*
 		if t.badTemplates[meta.ID] {
 			continue
 		}
-		ts, site, err := t.profile(meta)
+		ts, site, err := t.profileObserved(meta)
 		if err != nil {
 			if t.fatal(err) {
 				return nil, err
@@ -303,7 +433,20 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig) (*
 		}
 	}
 
+	var fitStart time.Time
+	if t.o != nil {
+		fitStart = time.Now()
+	}
 	inner, err := core.Train(know, observations, core.TrainOptions{DropOutliers: true})
+	if t.o != nil {
+		obs.Emit(t.o, Event{
+			Kind:  obs.SpanEnd,
+			Span:  obs.SpanTrainFit,
+			Value: float64(len(observations)),
+			Dur:   time.Since(fitStart),
+			Err:   obs.ErrLabel(err),
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("contender: training from system: %w", err)
 	}
@@ -325,9 +468,18 @@ type trainer struct {
 	cfg    TrainConfig
 	ckpt   *trainCheckpoint
 	report TrainReport
+	o      obs.Observer
 
 	badTemplates map[int]bool
 	badTables    map[string]bool
+}
+
+// emitPoint emits an instantaneous event when an observer is installed.
+func (t *trainer) emitPoint(span, key string) {
+	if t.o == nil {
+		return
+	}
+	obs.Emit(t.o, Event{Kind: obs.Point, Span: span, Key: key})
 }
 
 // fatal reports whether err must abort the campaign: cancellation and
@@ -341,29 +493,50 @@ func (t *trainer) fatal(err error) bool {
 }
 
 // measure runs one measurement under the retry policy (or once, in legacy
-// mode) and accounts for the attempts spent.
-func (t *trainer) measure(site string, fn func() error) error {
+// mode), accounts for the attempts spent, and wraps the whole thing in the
+// given span when an observer is installed.
+func (t *trainer) measure(span, site string, fn func() error) error {
+	if t.o == nil {
+		_, err := t.measureAttempts(site, fn)
+		return err
+	}
+	obs.Emit(t.o, Event{Kind: obs.SpanBegin, Span: span, Key: site})
+	start := time.Now()
+	attempts, err := t.measureAttempts(site, fn)
+	obs.Emit(t.o, Event{
+		Kind:    obs.SpanEnd,
+		Span:    span,
+		Key:     site,
+		Attempt: attempts,
+		Dur:     time.Since(start),
+		Err:     obs.ErrLabel(err),
+	})
+	return err
+}
+
+func (t *trainer) measureAttempts(site string, fn func() error) (int, error) {
 	if t.cfg.Retry == nil {
 		if err := t.ctx.Err(); err != nil {
-			return err
+			return 0, err
 		}
-		return fn()
+		return 1, fn()
 	}
 	attempts, err := t.cfg.Retry.Do(t.ctx, site, fn)
 	if attempts > 1 {
 		t.report.Retries += attempts - 1
 	}
-	return err
+	return attempts, err
 }
 
-// persist flushes the checkpoint after a completed measurement.
-func (t *trainer) persist() error {
+// persist flushes the checkpoint after a completed measurement at site.
+func (t *trainer) persist(site string) error {
 	if t.ckpt == nil {
 		return nil
 	}
 	if err := t.ckpt.flush(); err != nil {
 		return fmt.Errorf("%w: %w", errCheckpointWrite, err)
 	}
+	t.emitPoint(obs.PointTrainCheckpoint, site)
 	return nil
 }
 
@@ -371,9 +544,10 @@ func (t *trainer) quarantineTable(table, site string, err error) error {
 	rec := QuarantineRecord{Table: table, Site: site, Reason: err.Error()}
 	t.report.QuarantinedTables = append(t.report.QuarantinedTables, rec)
 	t.badTables[table] = true
+	t.emitPoint(obs.PointTrainQuarantine, site)
 	if t.ckpt != nil {
 		t.ckpt.state.Quarantined = append(t.ckpt.state.Quarantined, rec)
-		return t.persist()
+		return t.persist(site)
 	}
 	return nil
 }
@@ -382,9 +556,10 @@ func (t *trainer) quarantineTemplate(id int, site string, err error) error {
 	rec := QuarantineRecord{Template: id, Site: site, Reason: err.Error()}
 	t.report.QuarantinedTemplates = append(t.report.QuarantinedTemplates, rec)
 	t.badTemplates[id] = true
+	t.emitPoint(obs.PointTrainQuarantine, site)
 	if t.ckpt != nil {
 		t.ckpt.state.Quarantined = append(t.ckpt.state.Quarantined, rec)
-		return t.persist()
+		return t.persist(site)
 	}
 	return nil
 }
@@ -395,11 +570,12 @@ func (t *trainer) scanSeconds(table string) (float64, error) {
 	if t.ckpt != nil {
 		if v, ok := t.ckpt.state.Scans[site]; ok {
 			t.report.Resumed++
+			t.emitPoint(obs.PointTrainResume, site)
 			return v, nil
 		}
 	}
 	var out float64
-	err := t.measure(site, func() error {
+	err := t.measure(obs.SpanTrainScan, site, func() error {
 		v, err := t.sys.ScanSeconds(table)
 		if err != nil {
 			return err
@@ -415,7 +591,7 @@ func (t *trainer) scanSeconds(table string) (float64, error) {
 	}
 	if t.ckpt != nil {
 		t.ckpt.state.Scans[site] = out
-		if err := t.persist(); err != nil {
+		if err := t.persist(site); err != nil {
 			return 0, err
 		}
 	}
@@ -440,11 +616,12 @@ func (t *trainer) isolated(id, run int) (Measurement, error) {
 	if t.ckpt != nil {
 		if m, ok := t.ckpt.state.Isolated[site]; ok {
 			t.report.Resumed++
+			t.emitPoint(obs.PointTrainResume, site)
 			return m, nil
 		}
 	}
 	var out Measurement
-	err := t.measure(site, func() error {
+	err := t.measure(obs.SpanTrainIsolated, site, func() error {
 		m, err := t.sys.RunIsolated(id)
 		if err != nil {
 			return err
@@ -460,7 +637,7 @@ func (t *trainer) isolated(id, run int) (Measurement, error) {
 	}
 	if t.ckpt != nil {
 		t.ckpt.state.Isolated[site] = out
-		if err := t.persist(); err != nil {
+		if err := t.persist(site); err != nil {
 			return Measurement{}, err
 		}
 	}
@@ -473,11 +650,12 @@ func (t *trainer) spoiler(id, mpl int) (float64, error) {
 	if t.ckpt != nil {
 		if v, ok := t.ckpt.state.Spoilers[site]; ok {
 			t.report.Resumed++
+			t.emitPoint(obs.PointTrainResume, site)
 			return v, nil
 		}
 	}
 	var out float64
-	err := t.measure(site, func() error {
+	err := t.measure(obs.SpanTrainSpoiler, site, func() error {
 		m, err := t.sys.RunSpoiler(id, mpl)
 		if err != nil {
 			return err
@@ -493,7 +671,7 @@ func (t *trainer) spoiler(id, mpl int) (float64, error) {
 	}
 	if t.ckpt != nil {
 		t.ckpt.state.Spoilers[site] = out
-		if err := t.persist(); err != nil {
+		if err := t.persist(site); err != nil {
 			return 0, err
 		}
 	}
@@ -506,11 +684,12 @@ func (t *trainer) mix(mpl, index int, idMix []int) ([]float64, error) {
 	if t.ckpt != nil {
 		if lats, ok := t.ckpt.state.Mixes[site]; ok {
 			t.report.Resumed++
+			t.emitPoint(obs.PointTrainResume, site)
 			return lats, nil
 		}
 	}
 	var out []float64
-	err := t.measure(site, func() error {
+	err := t.measure(obs.SpanTrainMix, site, func() error {
 		lats, err := t.sys.RunMix(idMix, t.cfg.SteadySamples)
 		if err != nil {
 			return err
@@ -531,11 +710,32 @@ func (t *trainer) mix(mpl, index int, idMix []int) ([]float64, error) {
 	}
 	if t.ckpt != nil {
 		t.ckpt.state.Mixes[site] = out
-		if err := t.persist(); err != nil {
+		if err := t.persist(site); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// profileObserved wraps profile in a train.profile span covering the
+// template's whole isolated+spoiler measurement block.
+func (t *trainer) profileObserved(meta TemplateMeta) (core.TemplateStats, string, error) {
+	if t.o == nil {
+		return t.profile(meta)
+	}
+	key := fmt.Sprintf("template/%d", meta.ID)
+	obs.Emit(t.o, Event{Kind: obs.SpanBegin, Span: obs.SpanTrainProfile, Key: key, Template: meta.ID})
+	start := time.Now()
+	ts, site, err := t.profile(meta)
+	obs.Emit(t.o, Event{
+		Kind:     obs.SpanEnd,
+		Span:     obs.SpanTrainProfile,
+		Key:      key,
+		Template: meta.ID,
+		Dur:      time.Since(start),
+		Err:      obs.ErrLabel(err),
+	})
+	return ts, site, err
 }
 
 // profile collects one template's isolated statistics and spoiler

@@ -27,7 +27,9 @@ func TestTrainFromSimSystem(t *testing.T) {
 		t.Fatal("fact tables missing")
 	}
 
-	pred, err := TrainFromSystem(sys, TrainConfig{MPLs: []int{2}, Seed: 9})
+	// Train through the deprecated shim: it must keep returning a bare,
+	// fully functional *Predictor.
+	pred, err := TrainPredictorFromSystem(sys, TrainConfig{MPLs: []int{2}, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +111,11 @@ func predictorBytes(t *testing.T, p *Predictor) string {
 // the trained predictor byte-identical to a fault-free run — faulted calls
 // never reach the substrate, so its RNG stream is unperturbed.
 func TestTrainFromSystemChaosByteIdentical(t *testing.T) {
-	cleanPred, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
+	cleanRes, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean := predictorBytes(t, cleanPred)
+	clean := predictorBytes(t, cleanRes.Predictor)
 
 	for name, fc := range map[string]FaultConfig{
 		"10% transient": {Seed: 11, TransientRate: 0.10, Sleep: func(time.Duration) {}},
@@ -240,11 +242,11 @@ func (c *cancelAfterSystem) RunMix(mix []int, samples int) ([]float64, error) {
 // state across the operator's retry, and the simulator models that with its
 // persistent RNG stream.
 func TestTrainFromSystemCheckpointResume(t *testing.T) {
-	cleanPred, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
+	cleanRes, err := TrainFromSystem(freshChaosSystem(5), chaosTrainConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean := predictorBytes(t, cleanPred)
+	clean := predictorBytes(t, cleanRes.Predictor)
 
 	path := t.TempDir() + "/train.ckpt"
 	inner := freshChaosSystem(5)
