@@ -1,0 +1,120 @@
+// Command contender-vet runs Contender's invariant analyzers over the
+// module. It works two ways:
+//
+//	contender-vet ./...                     # standalone, from the module root
+//	go vet -vettool=$(which contender-vet) ./...
+//
+// The suite enforces the invariants the reproduction rests on:
+//
+//	nodeterminism  deterministic collection packages stay seed-driven
+//	hotpathalloc   //contender:hotpath functions stay allocation-free
+//	obsemit        Observer.Event goes through the panic-isolating obs.Emit
+//	errtaxonomy    transient/permanent/corrupt error classification
+//	ctxplumb       exported ctx-accepting functions plumb ctx through
+//
+// Suppress a diagnostic with a reasoned allowlist directive:
+//
+//	//contender:allow nodeterminism -- span durations never reach artifacts
+//
+// Exit status: 0 clean, 1 usage/load failure, 2 diagnostics reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"contender/internal/analysis"
+	"contender/internal/analysis/ctxplumb"
+	"contender/internal/analysis/errtaxonomy"
+	"contender/internal/analysis/hotpathalloc"
+	"contender/internal/analysis/nodeterminism"
+	"contender/internal/analysis/obsemit"
+)
+
+// Suite is the full analyzer set, in diagnostic-priority order.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		hotpathalloc.Analyzer,
+		obsemit.Analyzer,
+		errtaxonomy.Analyzer,
+		ctxplumb.Analyzer,
+	}
+}
+
+func main() {
+	analyzers := suite()
+
+	// The go command probes the vettool before passing the real config:
+	// -V=full asks for a version stamp, -flags for a JSON description of
+	// supported analyzer flags (none). Answer both without touching the
+	// real flag set.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			analysis.PrintVersion(os.Stdout, analyzers)
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("contender-vet", flag.ExitOnError)
+	dir := fs.String("C", ".", "module directory to analyze from")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: contender-vet [-C dir] [-only names] [packages]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which contender-vet) ./...\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "contender-vet: -only %q matches no analyzer\n", *only)
+			os.Exit(1)
+		}
+		analyzers = filtered
+	}
+
+	args := fs.Args()
+	if analysis.IsVetConfig(args) {
+		// go vet -vettool protocol: one package per invocation, config
+		// file as the sole argument.
+		os.Exit(analysis.UnitcheckMain(os.Stderr, analyzers, args[0]))
+	}
+
+	count, err := analysis.Main(os.Stdout, *dir, analyzers, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "contender-vet: %v\n", err)
+		os.Exit(1)
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "contender-vet: %d diagnostic(s)\n", count)
+		os.Exit(2)
+	}
+}

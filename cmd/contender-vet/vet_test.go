@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles contender-vet once per test binary into a temp dir.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "contender-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building contender-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module with deliberately injected
+// invariant violations in a scoped package.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+var injectedModule = map[string]string{
+	"go.mod": "module fake\n\ngo 1.22\n",
+	"internal/sim/sim.go": `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() float64 { return rand.Float64() }
+`,
+	"internal/experiments/exp.go": `package experiments
+
+import "fmt"
+
+func Leaf(n int) error { return fmt.Errorf("no samples at MPL %d", n) }
+`,
+}
+
+func TestInjectedViolationsFail(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, injectedModule)
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on injected violations, got err=%v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"nodeterminism: call to time.Now",
+		"math/rand.Float64 draws from a shared nondeterministic stream",
+		"errtaxonomy: fmt.Errorf without %w",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q; got:\n%s", want, out)
+		}
+	}
+	// Diagnostics must name the analyzer (the invariant) so CI failures
+	// are self-explanatory.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, "nodeterminism:") && !strings.Contains(line, "errtaxonomy:") {
+			t.Errorf("diagnostic line does not name its analyzer: %q", line)
+		}
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fake\n\ngo 1.22\n",
+		"internal/sim/sim.go": `package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //contender:allow nodeterminism -- injected: stamp feeds a log line only
+}
+`,
+	})
+	out, err := exec.Command(bin, "-C", dir, "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("want clean run with allow directive, got %v\n%s", err, out)
+	}
+}
+
+func TestMissingReasonIsNotSuppressible(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fake\n\ngo 1.22\n",
+		"internal/sim/sim.go": `package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //contender:allow nodeterminism
+}
+`,
+	})
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on reasonless directive, got err=%v\n%s", err, &stdout)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "directive: //contender:allow directive requires a reason") {
+		t.Errorf("missing malformed-directive diagnostic; got:\n%s", out)
+	}
+	if !strings.Contains(out, "nodeterminism: call to time.Now") {
+		t.Errorf("reasonless directive must not suppress the underlying diagnostic; got:\n%s", out)
+	}
+}
+
+func TestGoVetVettool(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, injectedModule)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("want go vet failure on injected violations, got success:\n%s", out)
+	}
+	for _, want := range []string{"time.Now", "fmt.Errorf without %w"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoVetVettoolCleanModule(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fake\n\ngo 1.22\n",
+		"internal/sim/sim.go": `package sim
+
+func Step(seed int64) int64 { return seed*6364136223846793005 + 1442695040888963407 }
+`,
+	})
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("want clean go vet run, got %v:\n%s", err, out)
+	}
+}

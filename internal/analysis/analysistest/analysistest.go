@@ -1,0 +1,231 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its diagnostics against `// want` comments, mirroring
+// x/tools/go/analysis/analysistest on the standard library only.
+//
+// Layout follows the x/tools convention: <dir>/src/<pkgpath>/*.go. A
+// line expecting diagnostics carries a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Every diagnostic on that line must match one pattern and every
+// pattern must be matched by one diagnostic; unmatched either way fails
+// the test. Imports between testdata packages resolve GOPATH-style
+// under <dir>/src; standard-library imports resolve through the
+// toolchain's export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"contender/internal/analysis"
+)
+
+// Run loads each named package from dir/src and applies the analyzer,
+// comparing diagnostics (including malformed-directive diagnostics)
+// against the packages' // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newLoader(dir)
+	pkg, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading %s: %v", a.Name, pkgPath, err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("%s: typechecking %s: %v", a.Name, pkgPath, pkg.TypeError)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// loader type-checks testdata packages, resolving inter-testdata
+// imports under root/src and everything else via the toolchain.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  types.Importer
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root: root,
+		fset: fset,
+		pkgs: map[string]*analysis.Package{},
+		std:  stdImporter(fset),
+	}
+}
+
+// stdImporter resolves standard-library imports from the toolchain's
+// export data (hermetic: no network, no module cache). `go list
+// -export std` output is cached per process by the go command itself.
+func stdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: locating export data for %q: %w", path, err)
+		}
+		file := strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Import implements types.Importer over the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, "src", path)); err == nil && st.IsDir() {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(pkgPath string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[pkgPath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, "src", pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	tpkg, terr := conf.Check(pkgPath, l.fset, files, info)
+	pkg := &analysis.Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		TypeError: terr,
+	}
+	l.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
+
+// wantRe extracts the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after "want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want comment near %q (patterns must be quoted)", pos, s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, s, err)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, s, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}

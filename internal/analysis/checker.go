@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RunAnalyzers applies every analyzer to the package, filters the
+// results through the package's //contender:allow directives, and
+// returns the surviving diagnostics (malformed-directive diagnostics
+// included) in positional order. Diagnostics located in _test.go files
+// are dropped: the invariants target production code, and test files
+// legitimately construct raw errors, observers, and clocks.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ds := parseDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	out = append(out, ds.Malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if ds.allows(a.Name, pos.Filename, pos.Line) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	kept := out[:0]
+	for _, d := range out {
+		if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	SortDiagnostics(pkg.Fset, kept)
+	return kept, nil
+}
+
+// Main is the standalone driver: load the packages matching patterns
+// under dir, run the suite, print "file:line:col: analyzer: message"
+// lines to w, and report how many diagnostics were printed. Packages
+// that fail to type-check are reported as diagnostics too, so a broken
+// tree cannot silently pass vet.
+func Main(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		if pkg.TypeError != nil {
+			fmt.Fprintf(w, "%s: typecheck: %v\n", pkg.PkgPath, pkg.TypeError)
+			count++
+			continue
+		}
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			count++
+		}
+	}
+	return count, nil
+}

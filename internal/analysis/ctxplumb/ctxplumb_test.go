@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/ctxplumb"
+)
+
+func TestCtxplumb(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxplumb.Analyzer, "c")
+}

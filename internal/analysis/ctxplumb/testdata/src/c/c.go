@@ -1,0 +1,53 @@
+// Package c is golden testdata for the ctxplumb analyzer.
+package c
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func Dropped(ctx context.Context) { // want `exported Dropped accepts a context.Context but drops it before its blocking calls`
+	time.Sleep(10 * time.Millisecond)
+}
+
+func Plumbed(ctx context.Context) error {
+	return work(ctx)
+}
+
+func dropped(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}
+
+func NoBlocking(ctx context.Context, x int) int {
+	return x * 2
+}
+
+func ChanRecv(ctx context.Context, ch chan int) int { // want `exported ChanRecv accepts a context.Context but drops it before its blocking calls`
+	return <-ch
+}
+
+func SelectWait(ctx context.Context, ch chan int) { // want `exported SelectWait accepts a context.Context but drops it before its blocking calls`
+	select {
+	case <-ch:
+	}
+}
+
+func Minted(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want `Minted has a context.Context parameter; use it instead of minting a fresh context here`
+}
+
+func MintedBackground(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want `MintedBackground has a context.Context parameter; use it instead of minting a fresh context here`
+}
+
+//contender:allow ctxplumb -- golden test: fire-and-forget logger, cancellation is the caller's job
+func Allowed(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,17 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata", errtaxonomy.Analyzer,
+		"a/internal/resilience",  // taxonomy roots: sentinels and classifiers exempt
+		"a/internal/experiments", // scoped: leafs, severed chains, == comparisons
+		"a/other",                // out of scope: no diagnostics
+		"a/rootpkg",              // scoped by file name: system.go only
+	)
+}

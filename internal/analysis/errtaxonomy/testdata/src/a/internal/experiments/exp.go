@@ -1,0 +1,54 @@
+// Package experiments is golden testdata for the training-pipeline
+// error-taxonomy rules.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"a/internal/resilience"
+)
+
+var errLocal = errors.New("local sentinel") // want `package-level sentinel errLocal is outside the taxonomy`
+
+var errClassified = resilience.Permanent(errors.New("bad campaign config"))
+
+func Leaf(mpl int) error {
+	return fmt.Errorf("experiments: no samples at MPL %d", mpl) // want `fmt.Errorf without %w creates an error outside the transient/permanent/corrupt taxonomy`
+}
+
+func LeafNew() error {
+	return errors.New("boom") // want `errors.New creates an error outside the transient/permanent/corrupt taxonomy`
+}
+
+func Classified() error {
+	return resilience.Permanent(fmt.Errorf("only %d templates survived", 1))
+}
+
+func Wrapped(err error, mpl int) error {
+	return fmt.Errorf("experiments: MPL %d: %w", mpl, err)
+}
+
+func Severed(err error) error {
+	return fmt.Errorf("experiments: sampling failed: %v", err) // want `fmt.Errorf is passed an error but has no %w verb`
+}
+
+func Compare(err error) bool {
+	return err == resilience.ErrTransient // want `comparing errors with == misses wrapped chains; use errors.Is`
+}
+
+func CompareNeq(err error) bool {
+	return err != resilience.ErrPermanent // want `comparing errors with != misses wrapped chains; use errors.Is`
+}
+
+func CompareNil(err error) bool {
+	return err == nil
+}
+
+func CompareIs(err error) bool {
+	return errors.Is(err, resilience.ErrTransient)
+}
+
+func Allowed() error {
+	return errors.New("tooling-only error") //contender:allow errtaxonomy -- golden test: never crosses the retry loop
+}

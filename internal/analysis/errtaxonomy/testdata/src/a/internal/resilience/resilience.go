@@ -1,0 +1,29 @@
+// Package resilience is golden testdata modeling the taxonomy package:
+// the root sentinels and classifiers live here and are exempt.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrTransient = errors.New("transient measurement failure")
+	ErrPermanent = errors.New("permanent measurement failure")
+	ErrCorrupt   = errors.New("corrupt measurement")
+)
+
+// Transient wraps err as a retryable failure.
+func Transient(err error) error { return fmt.Errorf("%w: %w", ErrTransient, err) }
+
+// Permanent wraps err as a non-retryable failure.
+func Permanent(err error) error { return fmt.Errorf("%w: %w", ErrPermanent, err) }
+
+// Corrupt wraps err as a corrupt-measurement failure.
+func Corrupt(err error) error { return fmt.Errorf("%w: %w", ErrCorrupt, err) }
+
+// Inject builds a classified leaf: the fmt.Errorf is excused because a
+// classifier wraps it at the call site.
+func Inject(site string) error {
+	return Transient(fmt.Errorf("injected fault at %s", site))
+}

@@ -1,0 +1,10 @@
+// Package other is out of scope: leaf errors here are legal.
+package other
+
+import "fmt"
+
+func Leaf() error {
+	return fmt.Errorf("other: not a training-path error")
+}
+
+func Compare(a, b error) bool { return a == b }

@@ -1,0 +1,9 @@
+// helper.go sits next to system.go but is not a scoped file: leaf
+// errors here are legal.
+package rootpkg
+
+import "fmt"
+
+func HelperLeaf() error {
+	return fmt.Errorf("rootpkg: facade-only error")
+}

@@ -1,0 +1,12 @@
+// system.go models the trainer in the module root: scoped by file name
+// even though its package is otherwise out of scope.
+package rootpkg
+
+import "fmt"
+
+func TrainValidate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("contender: need at least 2 templates, have %d", n) // want `fmt.Errorf without %w creates an error outside the transient/permanent/corrupt taxonomy`
+	}
+	return nil
+}

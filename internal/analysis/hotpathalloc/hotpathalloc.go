@@ -1,0 +1,268 @@
+// Package hotpathalloc flags allocating constructs inside functions
+// marked //contender:hotpath. The serving path (PredictKnown,
+// PredictBatch, CQI, the cqiIndex helpers) carries a 0 allocs/op
+// contract enforced at runtime by the CI bench guard; this analyzer
+// moves the same contract to vet time, so an accidental fmt.Sprintf or
+// escaping closure fails the build instead of a nightly benchmark.
+//
+// Error exits are off the steady path: allocations inside an if-block
+// that terminates by returning a non-nil error are not flagged (the
+// bench guard measures the warmed, error-free path). Everything else —
+// fmt calls, append, make/new, slice/map literals, closures, string
+// concatenation/conversion, and concrete-to-interface boxing — is
+// reported and needs either a rewrite or a //contender:allow with a
+// reason.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"contender/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in functions marked //contender:hotpath (0 allocs/op serving contract)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// marked reports whether the function's doc comment carries the
+// //contender:hotpath marker.
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), analysis.HotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedFuncs returns the names of the //contender:hotpath functions
+// declared in the parsed files, as "Func" or "Recv.Method". The
+// marker-set test in internal/core uses it to keep the annotations and
+// the 0-allocs bench guard covering the same set.
+func MarkedFuncs(files []*ast.File) []string {
+	var out []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !marked(fd) {
+				continue
+			}
+			out = append(out, FuncDisplayName(fd))
+		}
+	}
+	return out
+}
+
+// FuncDisplayName renders a FuncDecl as "Func" or "Recv.Method".
+func FuncDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	cold := coldBlocks(pass, fd.Body)
+	name := FuncDisplayName(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if blk, ok := n.(*ast.BlockStmt); ok && cold[blk] {
+			return false // error exit: off the steady path
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s is hot-path: slice/map literal allocates", name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is hot-path: closure allocates (and its captures may escape)", name)
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "%s is hot-path: string concatenation allocates; use a preallocated buffer", name)
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is hot-path: spawning a goroutine allocates", name)
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun] {
+		case types.Universe.Lookup("append"):
+			pass.Reportf(call.Pos(), "%s is hot-path: append may grow and allocate; reuse a preallocated buffer", name)
+			return
+		case types.Universe.Lookup("make"), types.Universe.Lookup("new"):
+			pass.Reportf(call.Pos(), "%s is hot-path: %s allocates", name, fun.Name)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "%s is hot-path: fmt.%s allocates", name, fn.Name())
+			return
+		}
+	}
+	// string([]byte) / []byte(string) conversions copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if isString(tv.Type) || isByteSlice(tv.Type) {
+			if len(call.Args) == 1 {
+				if atv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && atv.Value == nil &&
+					(isString(atv.Type) || isByteSlice(atv.Type)) && !types.Identical(atv.Type, tv.Type) {
+					pass.Reportf(call.Pos(), "%s is hot-path: string/[]byte conversion copies", name)
+				}
+			}
+		}
+		return // a conversion, not a call: no boxing check
+	}
+	checkBoxing(pass, name, call)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkBoxing flags arguments whose concrete value converts implicitly
+// to an interface parameter: the conversion may heap-allocate the
+// boxed copy.
+func checkBoxing(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			paramType = sig.Params().At(sig.Params().Len() - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			paramType = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if types.IsInterface(atv.Type) || isNil(atv) || atv.Value != nil {
+			continue
+		}
+		// Pointers box without copying the pointee and small pointer-shaped
+		// values stay cheap, but the interface header may still escape;
+		// flag only non-pointer concretes to keep noise down.
+		if _, isPtr := atv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is hot-path: passing concrete %s as interface %s boxes (allocates)", name, atv.Type, paramType)
+	}
+}
+
+func isNil(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// coldBlocks returns the if/else blocks that terminate by returning a
+// non-nil error: allocations there are error-exit costs, not
+// steady-path costs.
+func coldBlocks(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.BlockStmt]bool {
+	cold := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if returnsError(pass, ifs.Body) {
+			cold[ifs.Body] = true
+		}
+		if blk, ok := ifs.Else.(*ast.BlockStmt); ok && returnsError(pass, blk) {
+			cold[blk] = true
+		}
+		return true
+	})
+	return cold
+}
+
+// returnsError reports whether the block's last statement is a return
+// whose final result is a non-nil error expression.
+func returnsError(pass *analysis.Pass, blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	ret, ok := blk.List[len(blk.List)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	tv, ok := pass.TypesInfo.Types[last]
+	if !ok || tv.Type == nil || isNil(tv) {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Identical(t, errorType)
+}

@@ -1,0 +1,79 @@
+// Package hot is golden testdata for the hotpathalloc analyzer.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buf models a caller-provided reusable buffer.
+type Buf struct{ out []float64 }
+
+func sinkAny(v any) {}
+
+func sinkIface(err error) {}
+
+type small struct{ a, b int }
+
+// Marked carries the hot-path contract; every allocating construct in
+// its warm path must be reported.
+//
+//contender:hotpath
+func Marked(b *Buf, xs []float64, name string) (float64, error) {
+	if len(xs) == 0 {
+		// Cold error exit: allocations here are not steady-path costs.
+		return 0, fmt.Errorf("hot: empty input for %s", name)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	b.out = append(b.out, sum)  // want `append may grow and allocate`
+	s := fmt.Sprintf("%g", sum) // want `fmt.Sprintf allocates`
+	_ = s
+	tmp := make([]float64, 4) // want `make allocates`
+	_ = tmp
+	p := new(small) // want `new allocates`
+	_ = p
+	lit := []int{1, 2} // want `slice/map literal allocates`
+	_ = lit
+	mlit := map[string]int{} // want `slice/map literal allocates`
+	_ = mlit
+	f := func() float64 { return sum } // want `closure allocates`
+	sum += f()
+	joined := name + "!" // want `string concatenation allocates`
+	_ = joined
+	bs := []byte(name) // want `string/\[\]byte conversion copies`
+	_ = bs
+	sinkAny(small{1, 2}) // want `passing concrete hot.small as interface .* boxes`
+	go func() {}()       // want `spawning a goroutine allocates` `closure allocates`
+	return sum, nil
+}
+
+//contender:hotpath
+func MarkedAllowed(b *Buf, v float64) {
+	b.out = append(b.out, v) //contender:allow hotpathalloc -- golden test: appends into the caller's reusable buffer
+}
+
+//contender:hotpath
+func MarkedIfaceOK(err error) {
+	// Already-interface values and pointers do not box.
+	sinkIface(err)
+	sinkAny(&small{}) // pointer: interface header, no copy — not flagged
+}
+
+// Unmarked has no contract; the same constructs are legal.
+func Unmarked(xs []float64) string {
+	out := make([]float64, 0, len(xs))
+	out = append(out, xs...)
+	return fmt.Sprintf("%v", out)
+}
+
+//contender:hotpath
+func MarkedColdElse(v float64) (float64, error) {
+	if v >= 0 {
+		return v, nil
+	} else {
+		return 0, errors.New("hot: negative") // cold error exit: not flagged
+	}
+}

@@ -1,0 +1,15 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer,
+		"a/internal/sim", // scoped: every banned construct plus allow-directive forms
+		"b",              // out of scope: same constructs, no diagnostics
+	)
+}

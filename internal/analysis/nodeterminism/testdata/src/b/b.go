@@ -1,0 +1,12 @@
+// Package b is out of scope (its path names no collection package), so
+// nondeterminism here is legal and the analyzer must stay silent.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() time.Time { return time.Now() }
+
+func Draw() float64 { return rand.Float64() }

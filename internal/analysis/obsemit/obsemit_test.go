@@ -1,0 +1,15 @@
+package obsemit_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/obsemit"
+)
+
+func TestObsemit(t *testing.T) {
+	analysistest.Run(t, "testdata", obsemit.Analyzer,
+		"a/internal/obs", // the facade itself: raw Event calls are legal here
+		"a/use",          // consumers: raw calls flagged, Emit wrapper ok
+	)
+}

@@ -1,0 +1,26 @@
+// Package obs is golden testdata modeling the observability package
+// (its import path ends in internal/obs): raw Event delivery is legal
+// only here, inside the panic-isolating wrapper.
+package obs
+
+// Event is the value-type instrumentation record.
+type Event struct{ Span string }
+
+// Observer receives instrumentation events.
+type Observer interface{ Event(Event) }
+
+// Emit delivers ev to o, tolerating nil and panicking observers.
+func Emit(o Observer, ev Event) {
+	if o == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	o.Event(ev)
+}
+
+// Multi fans out to several observers.
+func Multi(observers []Observer, ev Event) {
+	for _, o := range observers {
+		o.Event(ev)
+	}
+}

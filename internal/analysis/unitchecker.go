@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol (the x/tools
+// "unitchecker" contract): the go command invokes the tool once per
+// package with a single argument, the path to a JSON config file, and
+// expects diagnostics on stderr plus a non-zero exit when any fire.
+// Facts are not used by this suite, so the .vetx output the go command
+// asks for is written empty.
+
+// vetConfig mirrors the fields of the go command's vet config file that
+// the suite consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetConfig reports whether the lone CLI argument looks like a go vet
+// config file rather than a package pattern.
+func IsVetConfig(args []string) bool {
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}
+
+// UnitcheckMain runs the suite under the go vet protocol and returns
+// the process exit code: 0 when clean, 2 when diagnostics fired.
+func UnitcheckMain(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
+	code, err := unitcheck(w, analyzers, cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "contender-vet: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func unitcheck(w io.Writer, analyzers []*Analyzer, cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The go command requires the vetx output file to exist even for
+	// fact-free tools.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return 1, err
+	}
+	if pkg.TypeError != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, pkg.TypeError)
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// PrintVersion answers the go command's `-V=full` probe. The go
+// command hashes the entire output line into its build cache key, so
+// the string needs to change when the tool's behavior does; it embeds
+// the analyzer names for that reason.
+func PrintVersion(w io.Writer, analyzers []*Analyzer) {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	fmt.Fprintf(w, "contender-vet version 1 buildID=%s\n", strings.Join(names, "+"))
+}
