@@ -127,14 +127,14 @@ func flexibleLatency(env *Env, models map[int]core.QSModel) func(primary int, co
 	return func(primary int, concurrent []int) (float64, error) {
 		t, ok := env.Know.Template(primary)
 		if !ok {
-			return 0, fmt.Errorf("experiments: unknown template %d", primary)
+			return 0, fmt.Errorf("experiments: %w: T%d", core.ErrUnknownTemplate, primary)
 		}
 		if len(concurrent) == 0 {
 			return t.IsolatedLatency, nil
 		}
 		qs, ok := models[primary]
 		if !ok {
-			return 0, fmt.Errorf("experiments: no QS model for T%d", primary)
+			return 0, fmt.Errorf("experiments: %w: no QS model for T%d", core.ErrUntrainedMPL, primary)
 		}
 		want := len(concurrent) + 1
 		nearest := mpls[0]
@@ -147,7 +147,7 @@ func flexibleLatency(env *Env, models map[int]core.QSModel) func(primary int, co
 		if !ok {
 			cont, ok = env.Know.ContinuumFor(primary, nearest)
 			if !ok {
-				return 0, fmt.Errorf("experiments: no continuum for T%d", primary)
+				return 0, fmt.Errorf("experiments: %w: no continuum for T%d", core.ErrUntrainedMPL, primary)
 			}
 		}
 		r := env.Know.CQI(primary, concurrent)

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"contender/internal/core"
+	"contender/internal/resilience"
 	"contender/internal/sched"
 	"contender/internal/sim"
 	"contender/internal/stats"
@@ -33,7 +35,7 @@ func ExtBatch(env *Env) (*Result, error) {
 		}
 	}
 	if len(batch) < 4 {
-		return nil, fmt.Errorf("experiments: workload too small for the batch experiment")
+		return nil, resilience.Permanent(fmt.Errorf("experiments: workload too small for the batch experiment"))
 	}
 
 	models, err := fitQSModels(env, mpl)
@@ -49,14 +51,14 @@ func ExtBatch(env *Env) (*Result, error) {
 		// scaled on the template's MPL-specific continuum.
 		qs, ok := models[primary]
 		if !ok {
-			return 0, fmt.Errorf("no QS model for T%d", primary)
+			return 0, fmt.Errorf("%w: no QS model for T%d", core.ErrUntrainedMPL, primary)
 		}
 		cont, ok := env.Know.ContinuumFor(primary, len(concurrent)+1)
 		if !ok {
 			// Fall back to the experiment MPL's continuum.
 			cont, ok = env.Know.ContinuumFor(primary, mpl)
 			if !ok {
-				return 0, fmt.Errorf("no continuum for T%d", primary)
+				return 0, fmt.Errorf("%w: no continuum for T%d", core.ErrUntrainedMPL, primary)
 			}
 		}
 		r := env.Know.CQI(primary, concurrent)

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"contender/internal/core"
+	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/tpcds"
 )
@@ -84,11 +85,11 @@ func loadEnvCheckpoint(path, fingerprint string) (*envCheckpoint, error) {
 		return nil, fmt.Errorf("experiments: corrupt checkpoint %s: %w", path, err)
 	}
 	if loaded.Version != envCheckpointVersion {
-		return nil, fmt.Errorf("experiments: checkpoint %s has version %d (want %d)", path, loaded.Version, envCheckpointVersion)
+		return nil, resilience.Permanent(fmt.Errorf("experiments: checkpoint %s has version %d (want %d)", path, loaded.Version, envCheckpointVersion))
 	}
 	if loaded.Fingerprint != fingerprint {
-		return nil, fmt.Errorf("experiments: checkpoint %s was taken under a different configuration or workload (fingerprint %s, current campaign %s) — delete it or restore the original options",
-			path, loaded.Fingerprint, fingerprint)
+		return nil, resilience.Permanent(fmt.Errorf("experiments: checkpoint %s was taken under a different configuration or workload (fingerprint %s, current campaign %s) — delete it or restore the original options",
+			path, loaded.Fingerprint, fingerprint))
 	}
 	if loaded.Scans == nil {
 		loaded.Scans = map[string]float64{}

@@ -111,7 +111,7 @@ func Table2(env *Env) (*Result, error) {
 func Fig7(env *Env) (*Result, error) {
 	const mpl = 4
 	if len(env.Samples[mpl]) == 0 {
-		return nil, fmt.Errorf("experiments: no samples at MPL %d", mpl)
+		return nil, fmt.Errorf("experiments: %w: no samples at MPL %d", core.ErrUntrainedMPL, mpl)
 	}
 	v := variants()[2] // CQI
 	errs := cqiTemplateErrors(env, v, mpl, 5)

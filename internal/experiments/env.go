@@ -491,8 +491,8 @@ func (e *Env) collect(ctx context.Context) error {
 	e.Resilience.TotalTemplates = len(templates)
 	e.Resilience.TrainedTemplates = trained
 	if trained < 2 {
-		return fmt.Errorf("experiments: only %d of %d templates survived sampling (need at least 2, %d tasks quarantined)",
-			trained, len(templates), len(e.Resilience.Quarantined))
+		return resilience.Permanent(fmt.Errorf("experiments: only %d of %d templates survived sampling (need at least 2, %d tasks quarantined)",
+			trained, len(templates), len(e.Resilience.Quarantined)))
 	}
 	for _, mpl := range e.Opts.MPLs {
 		for _, r := range mixResults[mpl] {

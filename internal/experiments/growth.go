@@ -5,6 +5,7 @@ import (
 
 	"contender/internal/core"
 	"contender/internal/lhs"
+	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/stats"
 	"contender/internal/tpcds"
@@ -154,7 +155,7 @@ func predictGrown(know *core.Knowledge, refs *core.ReferenceModels, knn *core.KN
 	}
 	cont := core.Continuum{Min: t.IsolatedLatency, Max: lmax}
 	if !cont.Valid() {
-		return 0, fmt.Errorf("experiments: degenerate grown continuum for T%d", primary)
+		return 0, resilience.Corruptf("experiments: degenerate grown continuum for T%d", primary)
 	}
 	r := know.CQIForStats(t, concurrent)
 	return cont.Latency(qs.Point(r)), nil

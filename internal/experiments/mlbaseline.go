@@ -7,6 +7,7 @@ import (
 	"contender/internal/core"
 	"contender/internal/ml"
 	"contender/internal/qep"
+	"contender/internal/resilience"
 	"contender/internal/stats"
 )
 
@@ -52,7 +53,7 @@ func Sec3Static(env *Env) (*Result, error) {
 	const mpl = 2
 	samples := env.Samples[mpl]
 	if len(samples) < 10 {
-		return nil, fmt.Errorf("experiments: need MPL-2 samples, have %d", len(samples))
+		return nil, fmt.Errorf("experiments: %w: need MPL-2 samples, have %d", core.ErrUntrainedMPL, len(samples))
 	}
 	space := qep.NewFeatureSpace(env.Workload.Plans())
 
@@ -141,7 +142,7 @@ func Fig3(env *Env) (*Result, error) {
 	const mpl = 2
 	subset := MLSubset(env)
 	if len(subset) < 3 {
-		return nil, fmt.Errorf("experiments: ML subset too small: %v", subset)
+		return nil, resilience.Permanent(fmt.Errorf("experiments: ML subset too small: %v", subset))
 	}
 	inSubset := make(map[int]bool)
 	for _, id := range subset {

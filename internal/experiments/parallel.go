@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"contender/internal/obs"
+	"contender/internal/resilience"
 	"contender/internal/sim"
 )
 
@@ -73,8 +74,8 @@ func (e *Env) workers(n int) int {
 
 // errTaskCheckpoint marks a failed checkpoint write — always fatal, even
 // under a retry policy, because continuing would break the resume
-// guarantee.
-var errTaskCheckpoint = errors.New("checkpoint write failed")
+// guarantee. Classified permanent so taxonomy-aware callers agree.
+var errTaskCheckpoint = resilience.Permanent(errors.New("checkpoint write failed"))
 
 // runOne executes one task: consult the fault injector (if configured),
 // then run the measurement, under the retry policy when one is set. Each

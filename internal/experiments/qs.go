@@ -24,7 +24,7 @@ func fitQSModels(env *Env, mpl int) (map[int]core.QSModel, error) {
 		out[id] = m
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("experiments: no QS models could be fitted at MPL %d", mpl)
+		return nil, fmt.Errorf("experiments: %w: no QS models could be fitted at MPL %d", core.ErrUntrainedMPL, mpl)
 	}
 	return out, nil
 }
@@ -36,7 +36,7 @@ func fitQSFor(env *Env, mpl, id int, obsIdx []int) (core.QSModel, error) {
 	obs := env.ObservationsFor(mpl, id)
 	cont, ok := env.Know.ContinuumFor(id, mpl)
 	if !ok {
-		return core.QSModel{}, fmt.Errorf("experiments: no continuum for T%d at MPL %d", id, mpl)
+		return core.QSModel{}, fmt.Errorf("experiments: %w: no continuum for T%d at MPL %d", core.ErrUntrainedMPL, id, mpl)
 	}
 	use := obs
 	if obsIdx != nil {
@@ -287,7 +287,7 @@ func fig8Unknown(env *Env, mpl int) (unkY, unkQS float64, err error) {
 		}
 	}
 	if len(errsY) == 0 {
-		return math.NaN(), math.NaN(), fmt.Errorf("experiments: no unknown-template predictions at MPL %d", mpl)
+		return math.NaN(), math.NaN(), fmt.Errorf("experiments: %w: no unknown-template predictions at MPL %d", core.ErrUntrainedMPL, mpl)
 	}
 	return stats.Mean(errsY), stats.Mean(errsQS), nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"contender/internal/resilience"
 	"contender/internal/sim"
 	"contender/internal/stats"
 )
@@ -56,7 +57,7 @@ func ExtNoise(env *Env) (*Result, error) {
 func ExtCrossMPL(env *Env) (*Result, error) {
 	mpls := env.sortedMPLs()
 	if len(mpls) < 2 {
-		return nil, fmt.Errorf("experiments: cross-MPL needs ≥2 sampled MPLs")
+		return nil, resilience.Permanent(fmt.Errorf("experiments: cross-MPL needs ≥2 sampled MPLs"))
 	}
 	models := make(map[int]map[int]struct {
 		Mu, B float64
