@@ -324,7 +324,7 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig, op
 func trainFromSystem(ctx context.Context, sys System, cfg TrainConfig) (*TrainResult, error) {
 	templates := sys.Templates()
 	if len(templates) < 2 {
-		return nil, fmt.Errorf("contender: need at least 2 templates, have %d", len(templates))
+		return nil, resilience.Permanent(fmt.Errorf("contender: need at least 2 templates, have %d", len(templates)))
 	}
 	tables := sys.FactTables()
 
@@ -395,8 +395,8 @@ func trainFromSystem(ctx context.Context, sys System, cfg TrainConfig) (*TrainRe
 	}
 	trained := len(templates) - len(t.badTemplates)
 	if trained < 2 {
-		return nil, fmt.Errorf("contender: only %d of %d templates survived sampling (need at least 2, %d quarantined)",
-			trained, len(templates), len(t.report.QuarantinedTemplates))
+		return nil, resilience.Permanent(fmt.Errorf("contender: only %d of %d templates survived sampling (need at least 2, %d quarantined)",
+			trained, len(templates), len(t.report.QuarantinedTemplates)))
 	}
 
 	var observations []core.Observation
@@ -459,7 +459,8 @@ func trainFromSystem(ctx context.Context, sys System, cfg TrainConfig) (*TrainRe
 
 // errCheckpointWrite marks a failed checkpoint flush — always fatal, even
 // in quarantine mode, because continuing would break the resume guarantee.
-var errCheckpointWrite = errors.New("checkpoint write failed")
+// Classified permanent so taxonomy-aware callers agree.
+var errCheckpointWrite = resilience.Permanent(errors.New("checkpoint write failed"))
 
 // trainer carries one campaign's state through TrainFromSystemContext.
 type trainer struct {
@@ -819,7 +820,7 @@ func (s *simSystem) FactTables() []string {
 func (s *simSystem) ScanSeconds(table string) (float64, error) {
 	t, ok := s.workload.Catalog.Table(table)
 	if !ok {
-		return 0, fmt.Errorf("unknown table %q", table)
+		return 0, resilience.Permanent(fmt.Errorf("unknown table %q", table))
 	}
 	return s.engine.MeasureScanTime(table, t.Bytes())
 }
@@ -827,7 +828,7 @@ func (s *simSystem) ScanSeconds(table string) (float64, error) {
 func (s *simSystem) RunIsolated(id int) (Measurement, error) {
 	spec, ok := s.workload.Spec(id)
 	if !ok {
-		return Measurement{}, fmt.Errorf("unknown template %d", id)
+		return Measurement{}, resilience.Permanent(fmt.Errorf("%w: T%d", core.ErrUnknownTemplate, id))
 	}
 	res, err := s.engine.RunIsolated(spec)
 	if err != nil {
@@ -839,7 +840,7 @@ func (s *simSystem) RunIsolated(id int) (Measurement, error) {
 func (s *simSystem) RunSpoiler(id, mpl int) (Measurement, error) {
 	spec, ok := s.workload.Spec(id)
 	if !ok {
-		return Measurement{}, fmt.Errorf("unknown template %d", id)
+		return Measurement{}, resilience.Permanent(fmt.Errorf("%w: T%d", core.ErrUnknownTemplate, id))
 	}
 	res, err := s.engine.RunWithSpoiler(spec, mpl)
 	if err != nil {
@@ -853,7 +854,7 @@ func (s *simSystem) RunMix(mix []int, samples int) ([]float64, error) {
 	for i, id := range mix {
 		spec, ok := s.workload.Spec(id)
 		if !ok {
-			return nil, fmt.Errorf("unknown template %d", id)
+			return nil, resilience.Permanent(fmt.Errorf("%w: T%d", core.ErrUnknownTemplate, id))
 		}
 		specs[i] = spec
 	}
