@@ -218,7 +218,7 @@ func NewEnvWithContext(ctx context.Context, w *tpcds.Workload, opts Options) (*E
 	}
 	var start time.Time
 	if opts.Observer != nil {
-		start = time.Now()
+		start = time.Now() //contender:allow nodeterminism -- campaign span duration feeds observability only, never a canonical artifact
 		obs.Emit(opts.Observer, obs.Event{Kind: obs.SpanBegin, Span: obs.SpanTrainCampaign})
 	}
 	err := env.collect(ctx)
@@ -227,7 +227,7 @@ func NewEnvWithContext(ctx context.Context, w *tpcds.Workload, opts Options) (*E
 			Kind:  obs.SpanEnd,
 			Span:  obs.SpanTrainCampaign,
 			Value: float64(env.Resilience.TrainedTemplates),
-			Dur:   time.Since(start),
+			Dur:   time.Since(start), //contender:allow nodeterminism -- campaign span duration feeds observability only, never a canonical artifact
 			Err:   obs.ErrLabel(err),
 		})
 	}

@@ -119,14 +119,14 @@ func (e *Env) runOneObserved(ctx context.Context, t envTask) (int, error) {
 	}
 	span := taskSpan(t.key)
 	obs.Emit(o, obs.Event{Kind: obs.SpanBegin, Span: span, Key: t.key})
-	start := time.Now()
+	start := time.Now() //contender:allow nodeterminism -- task span duration feeds observability only, never a canonical artifact
 	attempts, err := e.runOne(ctx, t)
 	obs.Emit(o, obs.Event{
 		Kind:    obs.SpanEnd,
 		Span:    span,
 		Key:     t.key,
 		Attempt: attempts,
-		Dur:     time.Since(start),
+		Dur:     time.Since(start), //contender:allow nodeterminism -- task span duration feeds observability only, never a canonical artifact
 		Err:     obs.ErrLabel(err),
 	})
 	return attempts, err
