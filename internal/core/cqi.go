@@ -10,6 +10,8 @@ package core
 // of the I/O bus it will spend competing directly with the primary.
 // Negative estimates are truncated to zero (queries whose I/O is entirely
 // covered by shared scans).
+//
+//contender:hotpath
 func concurrentIntensity(c *TemplateStats, omega, tau float64) float64 {
 	if c.IsolatedLatency <= 0 {
 		return 0
@@ -27,6 +29,8 @@ func concurrentIntensity(c *TemplateStats, omega, tau float64) float64 {
 // savings ω_c (Eq. 2) come from the precomputed pairwise table; the
 // non-primary sharing term τ_c (Eq. 3) is mix-dependent and computed per
 // call, still without allocating.
+//
+//contender:hotpath
 func (k *Knowledge) CQI(primary int, concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0
@@ -70,6 +74,8 @@ func (k *Knowledge) CQIForStats(primary TemplateStats, concurrent []int) float64
 
 // BaselineIO is the first Table 2 ablation: the mean isolated I/O fraction
 // of the concurrent queries, ignoring all interactions.
+//
+//contender:hotpath
 func (k *Knowledge) BaselineIO(concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0
@@ -84,6 +90,8 @@ func (k *Knowledge) BaselineIO(concurrent []int) float64 {
 
 // PositiveIO is the second Table 2 ablation: baseline I/O minus the shared
 // scans with the primary (ω) but ignoring sharing among non-primaries (τ).
+//
+//contender:hotpath
 func (k *Knowledge) PositiveIO(primary int, concurrent []int) float64 {
 	if len(concurrent) == 0 {
 		return 0

@@ -90,6 +90,8 @@ func (k *Knowledge) buildIndex() *cqiIndex {
 
 // mustPos resolves a template ID to its index slot, panicking like
 // MustTemplate on unknown IDs (a programming error in experiment wiring).
+//
+//contender:hotpath
 func (idx *cqiIndex) mustPos(id int) int {
 	p, ok := idx.pos[id]
 	if !ok {
@@ -101,6 +103,8 @@ func (idx *cqiIndex) mustPos(id int) int {
 // tau computes Eq. 3 for concurrent query c against the given primary scan
 // set: scan savings on tables the primary does not read, shared by h_f > 1
 // concurrent queries (each sharer saves (1 − 1/h_f)·s_f).
+//
+//contender:hotpath
 func (idx *cqiIndex) tau(primaryScans map[string]bool, c *resolvedTemplate, concurrent []int) float64 {
 	var tau float64
 	for _, sc := range c.scans {

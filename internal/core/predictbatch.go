@@ -29,6 +29,8 @@ func (b *PredictBuffer) Results() []float64 { return b.out }
 // A batch emits a single serve.predict_batch span (Value = number of
 // mixes) rather than one serve.predict_known span per mix, so observer
 // overhead stays O(1) per scheduling decision.
+//
+//contender:hotpath
 func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
 	if p.observer == nil {
 		return p.predictBatch(buf, primary, mixes)
@@ -46,6 +48,7 @@ func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int)
 	return out, err
 }
 
+//contender:hotpath
 func (p *Predictor) predictBatch(buf *PredictBuffer, primary int, mixes [][]int) ([]float64, error) {
 	if buf == nil {
 		return nil, fmt.Errorf("core: PredictBatch needs a non-nil buffer")
@@ -56,7 +59,7 @@ func (p *Predictor) predictBatch(buf *PredictBuffer, primary int, mixes [][]int)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch mix %d: %w", i, err)
 		}
-		out = append(out, v)
+		out = append(out, v) //contender:allow hotpathalloc -- appends into buf's reusable storage; steady state is allocation-free once warm
 	}
 	buf.out = out
 	return out, nil

@@ -94,6 +94,18 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 			}
 		}},
 	}
+	// Keep the case list in lockstep with servingGuardSet, which the
+	// hotpath marker test (hotpath_test.go) checks against the
+	// //contender:hotpath annotations.
+	if len(cases) != len(servingGuardSet) {
+		t.Fatalf("bench guard covers %d functions, servingGuardSet names %d; keep them in sync", len(cases), len(servingGuardSet))
+	}
+	for _, tc := range cases {
+		if !servingGuardSet[tc.name] {
+			t.Fatalf("bench guard case %q is missing from servingGuardSet; keep them in sync", tc.name)
+		}
+	}
+
 	for _, tc := range cases {
 		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
 			t.Errorf("%s: %g allocs/op, want 0", tc.name, allocs)

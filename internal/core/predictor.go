@@ -106,6 +106,8 @@ func sortInts(s []int) {
 // PredictKnown estimates the latency of a known (sampled) template in a
 // given mix: evaluate the mix's CQI, apply the template's QS model, and
 // scale the continuum point by the measured [l_min, l_max] range.
+//
+//contender:hotpath
 func (p *Predictor) PredictKnown(primary int, concurrent []int) (float64, error) {
 	if p.observer == nil {
 		return p.predictKnown(primary, concurrent)
@@ -124,6 +126,7 @@ func (p *Predictor) PredictKnown(primary int, concurrent []int) (float64, error)
 	return v, err
 }
 
+//contender:hotpath
 func (p *Predictor) predictKnown(primary int, concurrent []int) (float64, error) {
 	if len(concurrent) == 0 {
 		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, primary)
