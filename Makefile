@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race vet staticcheck bench-guard clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bin/contender-vet: FORCE
+	$(GO) build -o $@ ./cmd/contender-vet
+
+# Run the invariant suite both standalone and through go vet's vettool
+# protocol (the two paths exercise different loaders).
+vet: bin/contender-vet
+	$(GO) vet ./...
+	./bin/contender-vet ./...
+	$(GO) vet -vettool=./bin/contender-vet ./...
+
+# Requires the staticcheck binary (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest). Configuration
+# lives in staticcheck.conf.
+staticcheck:
+	staticcheck ./...
+
+bench-guard:
+	$(GO) test -run TestServingPathDoesNotAllocate -v ./internal/core/
+
+clean:
+	rm -rf bin
+
+FORCE:

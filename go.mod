@@ -1,3 +1,11 @@
 module contender
 
 go 1.22
+
+// No requirements on purpose: the module builds hermetically, offline.
+// The static-analysis suite (internal/analysis, cmd/contender-vet)
+// would normally pin golang.org/x/tools for go/analysis and
+// analysistest; it instead reimplements exactly that API subset
+// against the standard library, so the suite ports to the real
+// dependency by changing import paths if pinning ever becomes
+// possible. See DESIGN.md §9.
