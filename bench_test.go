@@ -336,6 +336,29 @@ func BenchmarkPredictKnownObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictKnownFeedback is the instrumented feedback path: the
+// same prediction as BenchmarkPredictKnown plus folding the observed
+// latency into the quality aggregator (rolling stats, error histogram,
+// drift detector). Warm trackers allocate nothing, so this row must
+// also report 0 allocs/op; the delta against BenchmarkPredictKnown is
+// the full cost of quality telemetry.
+func BenchmarkPredictKnownFeedback(b *testing.B) {
+	pred := trainedPredictor(b)
+	pred.SetQuality(NewQuality(DriftConfig{}))
+	defer pred.SetQuality(nil)
+	mix := []int{2, 22}
+	if _, err := pred.Feedback(71, mix, 100); err != nil { // warm the tracker
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.Feedback(71, mix, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPredictBatch amortizes the error path over a reusable buffer —
 // the shape a scheduler probing candidate mixes uses. 0 allocs/op.
 func BenchmarkPredictBatch(b *testing.B) {

@@ -50,7 +50,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "checkpoint file for the sampling campaign; an interrupted run (Ctrl-C) resumes from it when rerun with the same flags")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "json" {
@@ -80,12 +81,17 @@ func main() {
 	if *metricsAddr != "" {
 		m := obs.NewMetrics()
 		opts.Observer = m
-		bound, stopMetrics, err := cliutil.ServeMetrics(*metricsAddr, m)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*metricsAddr, m, nil)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
+	}
+	var rec *obs.Recording
+	if *traceOut != "" {
+		rec = obs.NewRecording()
+		opts.Observer = obs.Multi(opts.Observer, rec)
 	}
 
 	// Ctrl-C cancels the sampling campaign; with -checkpoint the progress
@@ -116,6 +122,17 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+	}
+	// Written before os.Exit — defers would not run past it.
+	if rec != nil {
+		if err := cliutil.WriteTraceFile(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "contender-bench:", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", rec.Len(), *traceOut)
+		}
 	}
 	os.Exit(code)
 }

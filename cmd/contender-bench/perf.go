@@ -213,5 +213,22 @@ func runPerf(opts experiments.Options) error {
 	pred.SetObserver(nil)
 	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictKnown/observed", r))
 
+	// The feedback path: the same prediction plus quality aggregation
+	// (rolling stats, error histogram, drift detector). Warm trackers
+	// allocate nothing, so this row also targets 0 allocs/op.
+	pred.SetQuality(contender.NewQuality(contender.DriftConfig{}))
+	if _, err := pred.Feedback(71, mix, 100); err != nil { // warm the tracker
+		return err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.Feedback(71, mix, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pred.SetQuality(nil)
+	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictKnown/feedback", r))
+
 	return writeReport("BENCH_predict.json", predRep)
 }

@@ -24,16 +24,17 @@ import (
 
 func main() {
 	var (
-		primary = flag.Int("primary", 71, "template whose latency to predict")
-		with    = flag.String("with", "2,22", "comma-separated concurrent template IDs")
-		adhoc   = flag.Bool("adhoc", false, "treat the primary as a never-sampled template (constant-time path)")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		planDSL = flag.String("plan", "", "ad-hoc plan in compact notation (implies -adhoc with a synthetic template); see contender.ParsePlan")
-		save    = flag.String("save", "", "after training, save the predictor snapshot to this file")
-		load    = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
-		workers = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
-		ckpt    = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
-		maddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		primary  = flag.Int("primary", 71, "template whose latency to predict")
+		with     = flag.String("with", "2,22", "comma-separated concurrent template IDs")
+		adhoc    = flag.Bool("adhoc", false, "treat the primary as a never-sampled template (constant-time path)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		planDSL  = flag.String("plan", "", "ad-hoc plan in compact notation (implies -adhoc with a synthetic template); see contender.ParsePlan")
+		save     = flag.String("save", "", "after training, save the predictor snapshot to this file")
+		load     = flag.String("load", "", "load a saved predictor instead of training (skips simulation ground truth)")
+		workers  = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		traceOut = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -43,25 +44,50 @@ func main() {
 	}
 	mpl := len(concurrent) + 1
 
+	// The quality aggregator receives Feedback for every prediction that
+	// has a simulated ground truth, so /quality and the final report line
+	// show live accuracy.
+	quality := contender.NewQuality(contender.DriftConfig{})
+
 	var metrics *contender.Metrics
+	var rec *contender.RecordingObserver
 	if *maddr != "" {
 		metrics = contender.NewMetrics()
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, quality)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
 	}
+	if *traceOut != "" {
+		rec = contender.NewRecordingObserver()
+		defer func() {
+			if err := cliutil.WriteTraceFile(*traceOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "contender-predict:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", rec.Len(), *traceOut)
+		}()
+	}
+	// Compose without typed-nil pointers: a nil *Metrics inside an
+	// Observer interface would defeat MultiObserver's nil filtering.
+	var parts []contender.Observer
+	if metrics != nil {
+		parts = append(parts, metrics)
+	}
+	if rec != nil {
+		parts = append(parts, rec)
+	}
+	observer := contender.MultiObserver(parts...)
 
 	if *load != "" {
 		pred, err := contender.LoadPredictorFile(*load)
 		if err != nil {
 			fatal(err)
 		}
-		if metrics != nil {
-			pred.SetObserver(metrics)
-		}
+		pred.SetObserver(observer)
+		pred.SetQuality(quality)
 		estimate, err := pred.PredictKnown(*primary, concurrent)
 		if err != nil {
 			fatal(err)
@@ -81,9 +107,10 @@ func main() {
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
 		contender.WithCheckpoint(*ckpt),
+		contender.WithQuality(quality),
 	}
-	if metrics != nil {
-		topts = append(topts, contender.WithObserver(metrics))
+	if observer != nil {
+		topts = append(topts, contender.WithObserver(observer))
 	}
 	wb, err := contender.NewWorkbenchContext(ctx, topts...)
 	if err != nil {
@@ -158,6 +185,13 @@ func main() {
 	if len(truth) > 0 {
 		fmt.Printf("simulated truth   : %9.1f s\n", truth[0])
 		fmt.Printf("relative error    : %9.1f %%\n", 100*abs(truth[0]-estimate)/truth[0])
+		if !*adhoc {
+			// Close the loop: feed the observed (simulated) latency back so
+			// the quality tracker sees the same error the line above prints.
+			if res, err := pred.Feedback(*primary, concurrent, truth[0]); err == nil {
+				fmt.Printf("quality state     : %9s (signed error %+.3f)\n", res.State, res.SignedError)
+			}
+		}
 	}
 }
 

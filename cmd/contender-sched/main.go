@@ -27,7 +27,8 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the winning schedule's forecast timeline")
 		workers   = flag.Int("workers", 0, "training worker pool width (0 = GOMAXPROCS)")
 		ckpt      = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
-		maddr     = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		maddr     = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		traceOut  = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -40,15 +41,36 @@ func main() {
 	}
 
 	var metrics *contender.Metrics
+	var rec *contender.RecordingObserver
 	if *maddr != "" {
 		metrics = contender.NewMetrics()
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, nil)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
 	}
+	if *traceOut != "" {
+		rec = contender.NewRecordingObserver()
+		defer func() {
+			if err := cliutil.WriteTraceFile(*traceOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "contender-sched:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", rec.Len(), *traceOut)
+		}()
+	}
+	// Compose without typed-nil pointers: a nil *Metrics inside an
+	// Observer interface would defeat MultiObserver's nil filtering.
+	var parts []contender.Observer
+	if metrics != nil {
+		parts = append(parts, metrics)
+	}
+	if rec != nil {
+		parts = append(parts, rec)
+	}
+	observer := contender.MultiObserver(parts...)
 
 	fmt.Fprintln(os.Stderr, "training Contender...")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -59,8 +81,8 @@ func main() {
 		contender.WithWorkers(*workers),
 		contender.WithCheckpoint(*ckpt),
 	}
-	if metrics != nil {
-		topts = append(topts, contender.WithObserver(metrics))
+	if observer != nil {
+		topts = append(topts, contender.WithObserver(observer))
 	}
 	wb, err := contender.NewWorkbenchContext(ctx, topts...)
 	if err != nil {

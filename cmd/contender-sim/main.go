@@ -32,7 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Bool("trace", false, "print the execution timeline of a -mix run")
 		workers  = flag.Int("workers", 0, "profiling worker pool width (0 = GOMAXPROCS)")
-		maddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
+		traceOut = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -40,12 +41,23 @@ func main() {
 	if *maddr != "" {
 		m := obs.NewMetrics()
 		metrics = m
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, m)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, m, nil)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
+	}
+	if *traceOut != "" {
+		rec := obs.NewRecording()
+		metrics = obs.Multi(metrics, rec) // bridged sim spans land in both
+		defer func() {
+			if err := cliutil.WriteTraceFile(*traceOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "contender-sim:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", rec.Len(), *traceOut)
+		}()
 	}
 
 	w := tpcds.NewWorkload()

@@ -117,6 +117,9 @@ type Option func(*config)
 
 type config struct {
 	opts experiments.Options
+	// quality is not part of experiments.Options: the sampling campaign
+	// never consults it — only predictors trained from the workbench do.
+	quality *obs.Quality
 }
 
 // WithMPLs sets the multiprogramming levels to sample (default 2–5).
@@ -192,7 +195,8 @@ func QuickSampling() Option {
 // Workbench owns a simulated host, the TPC-DS workload, and the training
 // data collected from it. It is the entry point of the public API.
 type Workbench struct {
-	env *experiments.Env
+	env     *experiments.Env
+	quality *obs.Quality
 }
 
 // NewWorkbench profiles the bundled 25-template TPC-DS workload on a
@@ -215,7 +219,7 @@ func NewWorkbenchContext(ctx context.Context, options ...Option) (*Workbench, er
 	if err != nil {
 		return nil, fmt.Errorf("contender: building workbench: %w", err)
 	}
-	return &Workbench{env: env}, nil
+	return &Workbench{env: env, quality: c.quality}, nil
 }
 
 // Resilience reports how the workbench's sampling campaign went: retries
@@ -274,6 +278,7 @@ func (w *Workbench) Train() (*Predictor, error) {
 		return nil, fmt.Errorf("contender: training: %w", err)
 	}
 	p.SetObserver(o)
+	p.SetQuality(w.quality)
 	return &Predictor{inner: p, env: w.env}, nil
 }
 

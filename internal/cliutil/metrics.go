@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 
 	"contender/internal/obs"
@@ -19,14 +20,18 @@ var publishOnce sync.Once
 // ServeMetrics starts the shared diagnostics endpoint behind the
 // -metrics-addr flag of every CLI. It listens on addr and serves
 //
-//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/metrics       Prometheus text exposition (version 0.0.4); when a
+//	               quality aggregator is given its families are appended
+//	/quality       prediction-quality JSON report (empty without one)
 //	/debug/vars    expvar JSON, including the contender_metrics tree
 //	/debug/pprof/  the standard pprof handlers
 //
-// The returned address is the bound listen address (useful with ":0"),
-// and the returned func shuts the listener down. The server runs on its
-// own goroutine and never blocks the campaign it observes.
-func ServeMetrics(addr string, m *obs.Metrics) (string, func(), error) {
+// q may be nil: /quality then serves an empty report, so dashboards can
+// scrape it unconditionally. The returned address is the bound listen
+// address (useful with ":0"), and the returned func shuts the listener
+// down. The server runs on its own goroutine and never blocks the
+// campaign it observes.
+func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listener: %w", err)
@@ -36,7 +41,15 @@ func ServeMetrics(addr string, m *obs.Metrics) (string, func(), error) {
 	})
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", m)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m.ServeHTTP(w, r)
+		if q != nil {
+			_ = q.WritePrometheus(w)
+		}
+	})
+	// q.ServeHTTP tolerates a nil receiver (Report is nil-safe), so the
+	// endpoint exists even when no quality aggregator is attached.
+	mux.Handle("/quality", http.HandlerFunc(q.ServeHTTP))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -47,4 +60,25 @@ func ServeMetrics(addr string, m *obs.Metrics) (string, func(), error) {
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
 	return ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// WriteTraceFile renders a recorded event stream to path as Chrome
+// trace-event JSON (the -trace-out flag of every CLI). A nil recording
+// or empty path is a no-op.
+func WriteTraceFile(path string, rec *obs.Recording) error {
+	if path == "" || rec == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace out: %w", err)
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace out: %w", err)
+	}
+	return nil
 }

@@ -15,7 +15,10 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	m.Event(obs.Event{Kind: obs.SpanBegin, Span: obs.SpanTrainCampaign})
 	m.Event(obs.Event{Kind: obs.SpanEnd, Span: obs.SpanTrainCampaign, Dur: time.Millisecond})
 
-	addr, stop, err := ServeMetrics("127.0.0.1:0", m)
+	q := obs.NewQuality(obs.DriftConfig{})
+	q.Observe(71, 0.2)
+
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +49,18 @@ func TestServeMetricsEndpoints(t *testing.T) {
 		t.Errorf("/metrics missing the campaign counter:\n%s", body)
 	}
 
+	if !strings.Contains(body, `contender_quality_feedback_total{template="71"} 1`) {
+		t.Errorf("/metrics missing the quality families:\n%s", body)
+	}
+
+	body, ctype = get("/quality")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/quality content type %q", ctype)
+	}
+	if !strings.Contains(body, `"template": 71`) || !strings.Contains(body, `"state": "healthy"`) {
+		t.Errorf("/quality missing the template report:\n%s", body)
+	}
+
 	body, _ = get("/debug/vars")
 	if !strings.Contains(body, "contender_metrics") {
 		t.Error("/debug/vars does not publish contender_metrics")
@@ -54,5 +69,30 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	body, _ = get("/debug/pprof/cmdline")
 	if len(body) == 0 {
 		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeMetricsNilQuality(t *testing.T) {
+	m := obs.NewMetrics()
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /quality without an aggregator: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), `"templates": []`) {
+		t.Errorf("/quality without an aggregator should report no templates:\n%s", body)
 	}
 }

@@ -17,4 +17,8 @@ var (
 	// ErrUntrainedMPL: the mix's multiprogramming level has no trained
 	// reference models (or the template has none at that MPL).
 	ErrUntrainedMPL = errors.New("untrained MPL")
+	// ErrBadObservation: an observed latency handed to Feedback is
+	// non-positive or non-finite — a relative error cannot be formed, so
+	// nothing is recorded.
+	ErrBadObservation = errors.New("bad observed latency")
 )

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"contender/internal/obs"
+)
+
+// Online prediction-quality feedback (closing the loop the paper leaves
+// open): Feedback pairs an observed latency with the prediction the
+// pipeline would serve for the same mix, streams the signed relative
+// error into an obs.Quality aggregator, and reports drift transitions.
+//
+// Feedback is opt-in and entirely off the uninstrumented serving path:
+// PredictKnown/PredictBatch never consult the quality tracker, and a
+// predictor without SetQuality/SetObserver pays nothing.
+
+// SetQuality installs (or, with nil, removes) the prediction-quality
+// aggregator that Feedback streams into.
+func (p *Predictor) SetQuality(q *obs.Quality) { p.quality = q }
+
+// Quality returns the installed quality aggregator (nil when none).
+func (p *Predictor) Quality() *obs.Quality { return p.quality }
+
+// QualityReport snapshots the installed quality aggregator. Without one
+// it returns an empty report, so callers need not nil-check.
+func (p *Predictor) QualityReport() obs.QualityReport { return p.quality.Report() }
+
+// FeedbackResult reports one feedback observation: the prediction that
+// was compared, the signed relative error, and the template's drift
+// state after folding the sample in.
+type FeedbackResult struct {
+	// Predicted is the latency the pipeline predicts for the mix.
+	Predicted float64
+	// Observed is the caller-supplied observed latency.
+	Observed float64
+	// SignedError is (Observed-Predicted)/Observed: positive when the
+	// predictor underestimates.
+	SignedError float64
+	// State/Previous are the template's drift states after/before the
+	// sample; Transitioned is true when they differ.
+	State        obs.DriftState
+	Previous     obs.DriftState
+	Transitioned bool
+}
+
+// Feedback pairs an observed latency for (primary, concurrent) with the
+// prediction the pipeline serves for that mix and folds the signed
+// relative error into the quality aggregator (when one is installed via
+// SetQuality). Prediction errors (unknown template, untrained MPL,
+// empty mix) and non-positive or non-finite observed latencies return
+// an error without recording anything.
+//
+// With a quality aggregator and an observer installed, every sample
+// emits a quality.feedback point and every drift transition a
+// quality.drift point. With neither installed the call only computes
+// the error. The warm path performs no heap allocations.
+//
+//contender:hotpath
+func (p *Predictor) Feedback(primary int, concurrent []int, observed float64) (FeedbackResult, error) {
+	if observed <= 0 || math.IsNaN(observed) || math.IsInf(observed, 0) {
+		return FeedbackResult{}, fmt.Errorf("core: %w: observed latency %g", ErrBadObservation, observed)
+	}
+	predicted, err := p.predictKnown(primary, concurrent)
+	if err != nil {
+		return FeedbackResult{}, err
+	}
+	signed := (observed - predicted) / observed
+	res := FeedbackResult{Predicted: predicted, Observed: observed, SignedError: signed}
+	if p.quality != nil {
+		d := p.quality.Observe(primary, signed)
+		res.State, res.Previous, res.Transitioned = d.State, d.Previous, d.Transitioned
+		if p.observer != nil && d.Transitioned {
+			obs.Emit(p.observer, obs.Event{
+				Kind:     obs.Point,
+				Span:     obs.PointQualityDrift,
+				Key:      obs.TransitionLabel(d.Previous, d.State),
+				Template: primary,
+				MPL:      len(concurrent) + 1,
+				Value:    d.WindowMRE,
+			})
+		}
+	}
+	if p.observer != nil {
+		obs.Emit(p.observer, obs.Event{
+			Kind:     obs.Point,
+			Span:     obs.PointQualityFeedback,
+			Template: primary,
+			MPL:      len(concurrent) + 1,
+			Value:    signed,
+		})
+	}
+	return res, nil
+}

@@ -23,6 +23,7 @@ var servingGuardSet = map[string]bool{
 	"BaselineIO":   true,
 	"PredictKnown": true,
 	"PredictBatch": true,
+	"Feedback":     true,
 }
 
 func TestHotpathMarkersMatchAllocGuard(t *testing.T) {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	obspkg "contender/internal/obs"
 )
 
 func TestPredictBatchMatchesPredictKnown(t *testing.T) {
@@ -75,6 +77,10 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 	if _, err := p.PredictBatch(&buf, 2, mixes); err != nil { // warm the buffer
 		t.Fatal(err)
 	}
+	p.SetQuality(obspkg.NewQuality(obspkg.DriftConfig{}))
+	if _, err := p.Feedback(2, mix, 1.5); err != nil { // warm the template tracker
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name string
@@ -90,6 +96,11 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 		}},
 		{"PredictBatch", func() {
 			if _, err := p.PredictBatch(&buf, 2, mixes); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Feedback", func() {
+			if _, err := p.Feedback(2, mix, 1.5); err != nil {
 				t.Fatal(err)
 			}
 		}},

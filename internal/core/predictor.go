@@ -22,6 +22,11 @@ type Predictor struct {
 	// prediction. The nil check happens before any clock read, so an
 	// uninstrumented predictor keeps its allocation-free hot path.
 	observer obs.Observer
+
+	// quality, when non-nil, aggregates Feedback samples into
+	// per-template accuracy statistics and drift states. Only Feedback
+	// consults it — the PredictKnown/PredictBatch hot path never does.
+	quality *obs.Quality
 }
 
 // SetObserver installs (or, with nil, removes) the serving observer.

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuality builds a small environment at the given worker count and runs
+// the ext-quality replay.
+func runQuality(t *testing.T, workers int) *Result {
+	t.Helper()
+	env, err := NewEnvWith(chaosWorkload(), chaosOptions(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtQuality(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExtQualityFlipsExactlyTheVictims injects the workload shift and checks
+// that the drift detector moves the victim templates out of healthy while
+// every other template stays healthy.
+func TestExtQualityFlipsExactlyTheVictims(t *testing.T) {
+	res := runQuality(t, 1)
+
+	if res.Metrics["victims"] != 2 {
+		t.Fatalf("victims = %v, want 2\n%s", res.Metrics["victims"], res.Render())
+	}
+	if got, want := res.Metrics["victims_flipped"], res.Metrics["victims"]; got != want {
+		t.Errorf("victims_flipped = %v, want %v\n%s", got, want, res.Render())
+	}
+	// Only victims may leave healthy.
+	if got, want := res.Metrics["healthy"], res.Metrics["templates"]-res.Metrics["victims"]; got != want {
+		t.Errorf("healthy = %v, want %v (non-victims must stay healthy)\n%s", got, want, res.Render())
+	}
+	// The sustained 1.8× shift should drive victims all the way to stale.
+	if res.Metrics["stale"] != res.Metrics["victims"] {
+		t.Errorf("stale = %v, want %v (victims should be stale after the sustained shift)\n%s",
+			res.Metrics["stale"], res.Metrics["victims"], res.Render())
+	}
+
+	for _, row := range res.Rows {
+		role, state := row[1], row[6]
+		if role == "victim" && state == "healthy" {
+			t.Errorf("victim %s still healthy:\n%s", row[0], res.Render())
+		}
+		if role != "victim" && state != "healthy" {
+			t.Errorf("non-victim %s drifted to %s:\n%s", row[0], state, res.Render())
+		}
+	}
+}
+
+// TestExtQualityGoldenAcrossWorkers renders the replay at several collection
+// worker counts and requires byte-identical output: the feedback stream is
+// serial and in canonical sample order, so parallel collection must not
+// change a single character.
+func TestExtQualityGoldenAcrossWorkers(t *testing.T) {
+	golden := runQuality(t, 1).Render()
+	if !strings.Contains(golden, "victim") {
+		t.Fatalf("golden render has no victim rows:\n%s", golden)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := runQuality(t, workers).Render(); got != golden {
+			t.Errorf("render differs at %d workers:\n--- workers=1\n%s\n--- workers=%d\n%s", workers, golden, workers, got)
+		}
+	}
+}

@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"ext-crossmpl", "Ablation — QS models across MPLs", ExtCrossMPL},
 		{"ext-noise", "Ablation — error vs. substrate noise", ExtNoise},
 		{"ext-chaos", "Extension §8 — resilient training under injected faults", ExtChaos},
+		{"ext-quality", "Extension §8 — online prediction quality and drift detection", ExtQuality},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -130,9 +131,16 @@ type HistogramSnapshot struct {
 
 // Quantile estimates the q-quantile (0..1) by linear interpolation
 // within the containing bucket. Rough, but good enough for dashboards.
+// Out-of-range q is clamped to [0, 1]; empty histograms and NaN q
+// return 0.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || len(s.Buckets) == 0 {
+	if s.Count == 0 || len(s.Buckets) == 0 || math.IsNaN(q) {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(s.Count)
 	prevCum, prevLe := uint64(0), 0.0
@@ -222,7 +230,36 @@ func (f *family) key(labelValue string) string {
 	if f.label == "" {
 		return f.name
 	}
-	return f.name + "{" + f.label + "=" + strconv.Quote(labelValue) + "}"
+	return f.name + "{" + f.label + "=" + promEscape(labelValue) + "}"
+}
+
+// promEscape renders a label value for the Prometheus text exposition
+// format: only backslash, double quote, and newline are escaped, and
+// everything else — including non-ASCII UTF-8 — passes through
+// verbatim. strconv.Quote is NOT format-compliant here: it escapes
+// non-printable and non-ASCII runes to \xNN/\uNNNN sequences, which
+// Prometheus would read as literal backslash-u text.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return `"` + v + `"`
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // Registry holds named metric families. All methods are safe for
@@ -375,7 +412,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, lv := range f.sortedSeries() {
 			label := ""
 			if f.label != "" {
-				label = "{" + f.label + "=" + strconv.Quote(lv) + "}"
+				label = "{" + f.label + "=" + promEscape(lv) + "}"
 			}
 			switch m := f.get(lv).(type) {
 			case *Counter:
@@ -404,9 +441,9 @@ func writePromHistogram(w io.Writer, f *family, lv string, s HistogramSnapshot) 
 		}
 		var labels string
 		if f.label != "" {
-			labels = "{" + f.label + "=" + strconv.Quote(lv) + ",le=" + strconv.Quote(le) + "}"
+			labels = "{" + f.label + "=" + promEscape(lv) + ",le=" + promEscape(le) + "}"
 		} else {
-			labels = "{le=" + strconv.Quote(le) + "}"
+			labels = "{le=" + promEscape(le) + "}"
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labels, b.Count); err != nil {
 			return err
@@ -414,7 +451,7 @@ func writePromHistogram(w io.Writer, f *family, lv string, s HistogramSnapshot) 
 	}
 	var suffix string
 	if f.label != "" {
-		suffix = "{" + f.label + "=" + strconv.Quote(lv) + "}"
+		suffix = "{" + f.label + "=" + promEscape(lv) + "}"
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
 		f.name, suffix, formatFloat(s.Sum), f.name, suffix, s.Count); err != nil {
@@ -450,6 +487,9 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 //	contender_quarantines_total                resilience machinery
 //	contender_checkpoint_writes_total
 //	contender_resumed_total
+//	contender_drift_transitions_total          quality.drift points (the
+//	                                           per-template breakdown
+//	                                           lives in *Quality)
 type Metrics struct {
 	reg *Registry
 
@@ -463,6 +503,7 @@ type Metrics struct {
 	quarantines *Counter
 	checkpoints *Counter
 	resumes     *Counter
+	drifts      *Counter
 
 	mu   sync.RWMutex
 	open map[string]*atomic.Int64 // span -> begun-minus-ended, floored at 0
@@ -482,6 +523,7 @@ func NewMetrics() *Metrics {
 		quarantines: reg.Counter("contender_quarantines_total", "Measurement sites quarantined after exhausting retries."),
 		checkpoints: reg.Counter("contender_checkpoint_writes_total", "Measurements flushed to the write-through checkpoint."),
 		resumes:     reg.Counter("contender_resumed_total", "Measurements replayed from a checkpoint instead of re-run."),
+		drifts:      reg.Counter("contender_drift_transitions_total", "Prediction-quality drift state transitions across all templates."),
 		open:        map[string]*atomic.Int64{},
 	}
 }
@@ -539,6 +581,8 @@ func (m *Metrics) Event(ev Event) {
 			m.checkpoints.Inc()
 		case PointTrainResume:
 			m.resumes.Inc()
+		case PointQualityDrift:
+			m.drifts.Inc()
 		}
 	}
 }

@@ -82,6 +82,14 @@ const (
 	// Simulator (bridged from sim.Tracer; durations are virtual time).
 	SpanSimQuery  = "sim.query"
 	PointSimStage = "sim.stage"
+
+	// Prediction-quality feedback (Predictor.Feedback). quality.feedback
+	// fires per observed latency with Value carrying the signed relative
+	// error; quality.drift fires when a template's drift state changes,
+	// with Key carrying the transition (e.g. "healthy>degraded") and
+	// Value the detector statistic at the moment it fired.
+	PointQualityFeedback = "quality.feedback"
+	PointQualityDrift    = "quality.drift"
 )
 
 // Event is the single record type flowing through an Observer. It is

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPromEscape: the Prometheus text format escapes exactly backslash,
+// double quote, and newline in label values — everything else,
+// including non-ASCII UTF-8, passes through verbatim (strconv.Quote
+// would corrupt it into \uNNNN sequences).
+func TestPromEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", `""`},
+		{"train.mix", `"train.mix"`},
+		{`path\to`, `"path\\to"`},
+		{`say "hi"`, `"say \"hi\""`},
+		{"line1\nline2", `"line1\nline2"`},
+		{"mixed\\\"\n", `"mixed\\\"\n"`},
+		{"日本語 η=0.5", `"日本語 η=0.5"`},   // UTF-8 verbatim
+		{"tab\there", "\"tab\there\""}, // tabs are legal in label values
+	}
+	for _, c := range cases {
+		if got := promEscape(c.in); got != c.want {
+			t.Errorf("promEscape(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPromEscapeInExposition: a label value with every escapable byte
+// survives a full WritePrometheus round trip in escaped form.
+func TestPromEscapeInExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "escaping regression", "key").With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{key="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %s:\n%s", want, b.String())
+	}
+	if strings.Count(b.String(), "\n") != 3 { // HELP, TYPE, one sample
+		t.Errorf("raw newline leaked into a label value:\n%q", b.String())
+	}
+}
+
+// TestQuantileEdgeCases: out-of-range and non-finite q never panic or
+// return garbage, on both empty and populated histograms.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := HistogramSnapshot{}
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 4} {
+		h.Observe(v)
+	}
+	populated := h.snapshot()
+
+	cases := []struct {
+		name string
+		snap HistogramSnapshot
+		q    float64
+		want func(float64) bool
+	}{
+		{"empty snapshot", empty, 0.5, func(v float64) bool { return v == 0 }},
+		{"empty q=NaN", empty, math.NaN(), func(v float64) bool { return v == 0 }},
+		{"populated q=NaN", populated, math.NaN(), func(v float64) bool { return v == 0 }},
+		{"q below range clamps to min", populated, -3, func(v float64) bool { return v >= 0 && v <= 1 }},
+		{"q above range clamps to max", populated, 7, func(v float64) bool { return v == 5 }},
+		{"q=0", populated, 0, func(v float64) bool { return v >= 0 && v <= 1 }},
+		{"q=1 is the last finite bound", populated, 1, func(v float64) bool { return v == 5 }},
+		{"median interpolates", populated, 0.5, func(v float64) bool { return v > 1 && v <= 2 }},
+		{"zero-count snapshot with buckets", HistogramSnapshot{Buckets: []Bucket{{Le: 1}}}, 0.9,
+			func(v float64) bool { return v == 0 }},
+	}
+	for _, c := range cases {
+		if got := c.snap.Quantile(c.q); !c.want(got) || math.IsNaN(got) {
+			t.Errorf("%s: Quantile(%v) = %v", c.name, c.q, got)
+		}
+	}
+}
+
+// TestSlowLogEdgeCases covers the boundary conditions of the threshold
+// comparison.
+func TestSlowLogEdgeCases(t *testing.T) {
+	fixed := func() time.Time { return time.Unix(0, 0).UTC() }
+
+	t.Run("zero duration at zero threshold logs", func(t *testing.T) {
+		var b strings.Builder
+		sl := NewSlowLog(&b, 0)
+		sl.SetClock(fixed)
+		sl.Event(Event{Kind: SpanEnd, Span: SpanServePredictKnown})
+		if !strings.Contains(b.String(), "SLOW "+SpanServePredictKnown) {
+			t.Errorf("zero-duration span not logged at threshold 0:\n%q", b.String())
+		}
+	})
+
+	t.Run("duration equal to threshold logs", func(t *testing.T) {
+		var b strings.Builder
+		sl := NewSlowLog(&b, time.Millisecond)
+		sl.SetClock(fixed)
+		sl.Event(Event{Kind: SpanEnd, Span: SpanTrainMix, Dur: time.Millisecond})
+		if !strings.Contains(b.String(), "took=1ms") {
+			t.Errorf("span exactly at the threshold not logged:\n%q", b.String())
+		}
+	})
+
+	t.Run("just under threshold is silent", func(t *testing.T) {
+		var b strings.Builder
+		sl := NewSlowLog(&b, time.Millisecond)
+		sl.SetClock(fixed)
+		sl.Event(Event{Kind: SpanEnd, Span: SpanTrainMix, Dur: time.Millisecond - time.Nanosecond})
+		if b.Len() != 0 {
+			t.Errorf("sub-threshold span logged:\n%q", b.String())
+		}
+	})
+
+	t.Run("begins and points never log", func(t *testing.T) {
+		var b strings.Builder
+		sl := NewSlowLog(&b, 0)
+		sl.SetClock(fixed)
+		sl.Event(Event{Kind: SpanBegin, Span: SpanTrainMix, Dur: time.Hour})
+		sl.Event(Event{Kind: Point, Span: PointQualityDrift, Dur: time.Hour})
+		if b.Len() != 0 {
+			t.Errorf("non-end events logged:\n%q", b.String())
+		}
+	})
+}
+
+// TestSlowLogConcurrent: concurrent emits interleave whole lines (run
+// under -race this also proves the mutex discipline).
+func TestSlowLogConcurrent(t *testing.T) {
+	var b syncBuilder
+	sl := NewSlowLog(&b, 0)
+	sl.SetClock(func() time.Time { return time.Unix(0, 0).UTC() })
+	done := make(chan struct{})
+	const goroutines, emits = 8, 50
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < emits; i++ {
+				sl.Event(Event{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: time.Microsecond})
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != goroutines*emits {
+		t.Fatalf("got %d lines, want %d", len(lines), goroutines*emits)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "SLOW "+SpanServePredictKnown) || !strings.Contains(line, "took=1µs") {
+			t.Errorf("torn log line: %q", line)
+		}
+	}
+}
+
+// syncBuilder is a goroutine-safe strings.Builder for the concurrency
+// test: SlowLog serializes writers, but the final read must also be
+// safely published.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"time"
+)
+
+// Chrome trace-event export: WriteTraceJSON renders a recorded event
+// stream to the trace-event JSON format understood by chrome://tracing,
+// Perfetto, and speedscope, so campaign and serving spans can be opened
+// in a flamegraph viewer.
+//
+// Two timelines coexist in one file:
+//
+//   - Simulator events (sim.* spans) carry virtual time in Event.Value
+//     (seconds); they are placed on pid 2 with one tid per simulator
+//     stream, at ts = Value µs-scaled. Begin/End pairs become nested
+//     "B"/"E" events.
+//   - Everything else is wall-clock instrumented but the event stream
+//     records only durations (absolute timestamps are deliberately
+//     excluded from the canonical log). These events are laid out on
+//     pid 1 as a synthetic serial timeline: a cursor advances by each
+//     span's duration, Begin/End pairs nest, and spans that emit only a
+//     SpanEnd (the serving calls) become "X" complete events. The
+//     result is not a literal wall-clock replay — concurrent workers
+//     are serialized — but it preserves durations, nesting, and order,
+//     which is what a flamegraph needs.
+//
+// Point events become "i" instants (thread scope).
+
+type traceArgs struct {
+	Key      string  `json:"key,omitempty"`
+	Template int     `json:"template,omitempty"`
+	MPL      int     `json:"mpl,omitempty"`
+	Attempt  int     `json:"attempt,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Err      string  `json:"err,omitempty"`
+}
+
+func (a traceArgs) empty() bool { return a == traceArgs{} }
+
+type traceEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Dur  float64    `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	S    string     `json:"s,omitempty"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+const (
+	tracePidWall = 1 // synthetic serialized wall-clock timeline
+	tracePidSim  = 2 // simulator virtual-time timeline (tid = stream)
+)
+
+func traceName(ev Event) string {
+	if ev.Key == "" {
+		return ev.Span
+	}
+	return ev.Span + " " + ev.Key
+}
+
+func newTraceArgs(ev Event) *traceArgs {
+	a := traceArgs{
+		Key:      ev.Key,
+		Template: ev.Template,
+		MPL:      ev.MPL,
+		Attempt:  ev.Attempt,
+		Value:    ev.Value,
+		Err:      ev.Err,
+	}
+	if a.empty() {
+		return nil
+	}
+	return &a
+}
+
+// WriteTraceJSON renders events (e.g. Recording.Events()) as Chrome
+// trace-event JSON. The output is deterministic for a deterministic
+// event stream: timestamps derive only from event order, durations, and
+// simulator virtual times — never from the wall clock.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	out := make([]traceEvent, 0, len(events))
+
+	// Synthetic wall timeline state: a µs cursor plus a stack of open
+	// Begin events for nesting.
+	type open struct {
+		ts   float64
+		span string
+	}
+	var cursor float64
+	var stack []open
+
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Span, "sim.") {
+			// Virtual-time timeline: Value is virtual seconds.
+			ts := ev.Value * 1e6
+			te := traceEvent{Name: ev.Span, Ts: ts, Pid: tracePidSim, Tid: ev.Stream, Args: newTraceArgs(ev)}
+			switch ev.Kind {
+			case SpanBegin:
+				te.Ph = "B" // Value is the virtual admission time
+			case SpanEnd:
+				te.Ph = "E" // Value is the virtual completion time
+			case Point:
+				te.Ph = "i"
+				te.S = "t"
+			}
+			out = append(out, te)
+			continue
+		}
+
+		durUS := float64(ev.Dur) / float64(time.Microsecond)
+		switch ev.Kind {
+		case SpanBegin:
+			out = append(out, traceEvent{Name: traceName(ev), Ph: "B", Ts: cursor, Pid: tracePidWall, Args: newTraceArgs(ev)})
+			stack = append(stack, open{ts: cursor, span: ev.Span})
+		case SpanEnd:
+			if n := len(stack); n > 0 && stack[n-1].span == ev.Span {
+				// Close the matching Begin: the end lands at begin+dur,
+				// or at the cursor if children already pushed past it.
+				end := stack[n-1].ts + durUS
+				if cursor > end {
+					end = cursor
+				}
+				stack = stack[:n-1]
+				out = append(out, traceEvent{Name: traceName(ev), Ph: "E", Ts: end, Pid: tracePidWall, Args: newTraceArgs(ev)})
+				cursor = end
+			} else {
+				// No Begin (serving-style spans): a complete event.
+				out = append(out, traceEvent{Name: traceName(ev), Ph: "X", Ts: cursor, Dur: durUS, Pid: tracePidWall, Args: newTraceArgs(ev)})
+				cursor += durUS
+			}
+		case Point:
+			out = append(out, traceEvent{Name: traceName(ev), Ph: "i", Ts: cursor, Pid: tracePidWall, S: "t", Args: newTraceArgs(ev)})
+		}
+	}
+
+	// Close any Begins left open (e.g. a truncated recording).
+	for i := len(stack) - 1; i >= 0; i-- {
+		out = append(out, traceEvent{Name: stack[i].span, Ph: "E", Ts: cursor, Pid: tracePidWall})
+	}
+
+	type traceFile struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// WriteTrace renders a Recording to Chrome trace-event JSON.
+func (r *Recording) WriteTrace(w io.Writer) error {
+	return WriteTraceJSON(w, r.Events())
+}

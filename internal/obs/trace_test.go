@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodedTrace mirrors the trace-event JSON for assertions.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		S    string  `json:"s"`
+		Args *struct {
+			Key      string  `json:"key"`
+			Template int     `json:"template"`
+			Value    float64 `json:"value"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decodeTrace(t *testing.T, events []Event) decodedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var d decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return d
+}
+
+// TestWriteTraceWallTimeline: Begin/End pairs nest on the synthetic
+// serial timeline, and End-only spans become "X" complete events that
+// advance the cursor.
+func TestWriteTraceWallTimeline(t *testing.T) {
+	events := []Event{
+		{Kind: SpanBegin, Span: SpanTrainCampaign},
+		{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: 200 * time.Microsecond, Template: 71},
+		{Kind: SpanEnd, Span: SpanTrainCampaign, Dur: time.Millisecond},
+	}
+	d := decodeTrace(t, events)
+	if d.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", d.DisplayTimeUnit)
+	}
+	if len(d.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(d.TraceEvents), d.TraceEvents)
+	}
+	b, x, e := d.TraceEvents[0], d.TraceEvents[1], d.TraceEvents[2]
+	if b.Ph != "B" || b.Ts != 0 || b.Pid != 1 {
+		t.Errorf("begin event: %+v", b)
+	}
+	if x.Ph != "X" || x.Ts != 0 || x.Dur != 200 || x.Args == nil || x.Args.Template != 71 {
+		t.Errorf("serving span should be a complete event at the cursor: %+v", x)
+	}
+	// The campaign ran 1ms but its child already pushed the cursor to
+	// 200µs; the end lands at begin+dur = 1000µs.
+	if e.Ph != "E" || e.Ts != 1000 {
+		t.Errorf("end event: %+v", e)
+	}
+}
+
+// TestWriteTraceCursorAdvances: consecutive End-only spans are laid out
+// back to back, preserving order and duration.
+func TestWriteTraceCursorAdvances(t *testing.T) {
+	events := []Event{
+		{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: 100 * time.Microsecond},
+		{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: 300 * time.Microsecond},
+		{Kind: Point, Span: PointQualityFeedback, Template: 2, Value: 0.12},
+	}
+	d := decodeTrace(t, events)
+	if d.TraceEvents[0].Ts != 0 || d.TraceEvents[1].Ts != 100 {
+		t.Errorf("X events not laid out serially: %+v", d.TraceEvents[:2])
+	}
+	pt := d.TraceEvents[2]
+	if pt.Ph != "i" || pt.S != "t" || pt.Ts != 400 {
+		t.Errorf("point event: %+v", pt)
+	}
+	if pt.Args == nil || pt.Args.Template != 2 || pt.Args.Value != 0.12 {
+		t.Errorf("point args: %+v", pt.Args)
+	}
+}
+
+// TestWriteTraceSimTimeline: sim.* events land on pid 2 with virtual
+// timestamps from Event.Value and one tid per stream.
+func TestWriteTraceSimTimeline(t *testing.T) {
+	events := []Event{
+		{Kind: SpanBegin, Span: "sim.query", Stream: 3, Value: 1.5},
+		{Kind: SpanEnd, Span: "sim.query", Stream: 3, Value: 4.25, Dur: 2750 * time.Millisecond},
+		{Kind: Point, Span: "sim.restart", Stream: 3, Value: 4.25},
+	}
+	d := decodeTrace(t, events)
+	b, e, i := d.TraceEvents[0], d.TraceEvents[1], d.TraceEvents[2]
+	if b.Ph != "B" || b.Pid != 2 || b.Tid != 3 || b.Ts != 1.5e6 {
+		t.Errorf("sim begin: %+v", b)
+	}
+	if e.Ph != "E" || e.Ts != 4.25e6 {
+		t.Errorf("sim end: %+v", e)
+	}
+	if i.Ph != "i" || i.S != "t" || i.Ts != 4.25e6 {
+		t.Errorf("sim instant: %+v", i)
+	}
+}
+
+// TestWriteTraceClosesTruncatedSpans: a recording cut off mid-span still
+// yields balanced B/E pairs so viewers accept the file.
+func TestWriteTraceClosesTruncatedSpans(t *testing.T) {
+	d := decodeTrace(t, []Event{
+		{Kind: SpanBegin, Span: SpanTrainCampaign},
+		{Kind: SpanBegin, Span: SpanTrainMix, Key: "2+22"},
+	})
+	if len(d.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 2 begins + 2 synthetic ends: %+v", len(d.TraceEvents), d.TraceEvents)
+	}
+	// Innermost span closes first.
+	if d.TraceEvents[2].Ph != "E" || d.TraceEvents[2].Name != SpanTrainMix {
+		t.Errorf("first synthetic end: %+v", d.TraceEvents[2])
+	}
+	if d.TraceEvents[3].Ph != "E" || d.TraceEvents[3].Name != SpanTrainCampaign {
+		t.Errorf("second synthetic end: %+v", d.TraceEvents[3])
+	}
+}
+
+// TestWriteTraceDeterministic: the same event stream renders to
+// identical bytes — the exporter derives every timestamp from the
+// events, never from the wall clock.
+func TestWriteTraceDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: SpanBegin, Span: SpanTrainCampaign},
+		{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: 42 * time.Microsecond},
+		{Kind: Point, Span: PointQualityDrift, Key: "healthy>degraded", Template: 2, Value: 0.4},
+		{Kind: SpanEnd, Span: SpanTrainCampaign, Dur: time.Second},
+	}
+	var a, b bytes.Buffer
+	if err := WriteTraceJSON(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event streams rendered differently")
+	}
+}
+
+func TestRecordingWriteTrace(t *testing.T) {
+	rec := NewRecording()
+	rec.Event(Event{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: time.Microsecond})
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents"`)) {
+		t.Errorf("unexpected trace output: %s", buf.String())
+	}
+}

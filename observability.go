@@ -75,6 +75,9 @@ const (
 
 	SpanSimQuery  = obs.SpanSimQuery
 	PointSimStage = obs.PointSimStage
+
+	PointQualityFeedback = obs.PointQualityFeedback
+	PointQualityDrift    = obs.PointQualityDrift
 )
 
 // Metrics is an Observer that folds the event stream into counters,

@@ -32,6 +32,31 @@ func (p *Predictor) SetObserver(o Observer) { p.inner.SetObserver(o) }
 // Observer returns the predictor's serving observer (nil when none).
 func (p *Predictor) Observer() Observer { return p.inner.Observer() }
 
+// SetQuality installs (or, with nil, removes) the prediction-quality
+// aggregator that Feedback streams into. Predictors trained with
+// WithQuality or TrainConfig.Quality inherit it automatically;
+// SetQuality exists for predictors loaded from a snapshot and for
+// swapping aggregators at runtime. The aggregation is entirely off the
+// uninstrumented serving path.
+func (p *Predictor) SetQuality(q *Quality) { p.inner.SetQuality(q) }
+
+// Quality returns the installed quality aggregator (nil when none).
+func (p *Predictor) Quality() *Quality { return p.inner.Quality() }
+
+// QualityReport snapshots the installed quality aggregator; an empty
+// report without one.
+func (p *Predictor) QualityReport() QualityReport { return p.inner.QualityReport() }
+
+// Feedback closes the prediction loop: it pairs an observed latency for
+// (template, concurrent) with the prediction the pipeline serves for
+// that mix, records the signed relative error in the quality aggregator
+// (when one is installed), and reports the template's drift state.
+// With an observer installed it also emits quality.feedback and
+// quality.drift points. The warm path performs no heap allocations.
+func (p *Predictor) Feedback(template int, concurrent []int, observedLatency float64) (FeedbackResult, error) {
+	return p.inner.Feedback(template, concurrent, observedLatency)
+}
+
 // PredictKnown estimates the steady-state latency of a known template
 // executing concurrently with the given templates (the mix's MPL is
 // len(concurrent)+1). The pipeline is the paper's: compute the mix's CQI,

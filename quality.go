@@ -1,0 +1,90 @@
+package contender
+
+import (
+	"io"
+
+	"contender/internal/core"
+	"contender/internal/obs"
+)
+
+// Prediction-quality facade: install a Quality aggregator with
+// WithQuality (Workbench path) or TrainConfig.Quality (System path) —
+// or directly with Predictor.SetQuality — then stream observed
+// latencies through Predictor.Feedback. The aggregator keeps
+// per-template relative-error statistics and a deterministic drift
+// detector; read it with Predictor.QualityReport or
+// Workbench.QualitySnapshot, scrape it from the CLIs' /quality
+// endpoint, or watch the quality.* metric families on /metrics.
+
+// Quality aggregates prediction-accuracy feedback per template:
+// counts, rolling mean relative error, error histograms with
+// quantiles, and a drift state machine (healthy → degraded → stale
+// with hysteresis). It implements http.Handler, serving its report as
+// JSON. Safe for concurrent use.
+type Quality = obs.Quality
+
+// QualityReport is a point-in-time summary of prediction quality
+// across all templates that received feedback.
+type QualityReport = obs.QualityReport
+
+// TemplateQuality is one template's accuracy summary in a
+// QualityReport.
+type TemplateQuality = obs.TemplateQuality
+
+// DriftState is a template's prediction-quality state.
+type DriftState = obs.DriftState
+
+// Drift states, in order of degradation.
+const (
+	// DriftHealthy: no drift detected; predictions are trustworthy.
+	DriftHealthy = obs.DriftHealthy
+	// DriftDegraded: the error distribution has shifted since training.
+	DriftDegraded = obs.DriftDegraded
+	// DriftStale: the error level stayed high — retrain the template.
+	DriftStale = obs.DriftStale
+)
+
+// DriftConfig tunes the drift detector (Page-Hinkley threshold,
+// stale/recovery error levels, window and dwell lengths). The zero
+// value selects the documented defaults.
+type DriftConfig = obs.DriftConfig
+
+// FeedbackResult reports one Predictor.Feedback observation.
+type FeedbackResult = core.FeedbackResult
+
+// ErrBadObservation: Feedback was handed a non-positive or non-finite
+// observed latency. Test with errors.Is.
+var ErrBadObservation = core.ErrBadObservation
+
+// NewQuality returns a quality aggregator with the given detector
+// configuration (zero value: defaults).
+func NewQuality(cfg DriftConfig) *Quality { return obs.NewQuality(cfg) }
+
+// WithQuality installs a prediction-quality aggregator on the
+// workbench: predictors returned by Train inherit it (like WithObserver
+// and serve.* spans), so their Feedback calls stream into q. Quality
+// aggregation is entirely off the uninstrumented serving path —
+// PredictKnown/PredictBatch never consult it.
+func WithQuality(q *Quality) Option {
+	return func(c *config) { c.quality = q }
+}
+
+// QualitySnapshot reports the prediction quality accumulated by the
+// workbench's aggregator. The second return is false when the
+// workbench was built without WithQuality.
+func (w *Workbench) QualitySnapshot() (QualityReport, bool) {
+	if w.quality == nil {
+		return QualityReport{Templates: []TemplateQuality{}}, false
+	}
+	return w.quality.Report(), true
+}
+
+// WriteTraceJSON renders a recorded event stream (e.g.
+// RecordingObserver.Events()) as Chrome trace-event JSON, openable in
+// chrome://tracing, Perfetto, or speedscope. The CLIs expose it behind
+// -trace-out. Output is deterministic for a deterministic event
+// stream: timestamps derive from event order, durations, and simulator
+// virtual times, never the wall clock.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	return obs.WriteTraceJSON(w, events)
+}

@@ -1,0 +1,115 @@
+package contender
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestQualityFeedbackLoop closes the loop on the workbench path:
+// WithQuality installs the aggregator, Train hands it to the predictor,
+// Feedback streams an observed latency through it, and both
+// QualitySnapshot and the observer event stream see the sample.
+func TestQualityFeedbackLoop(t *testing.T) {
+	q := NewQuality(DriftConfig{})
+	rec := NewRecordingObserver()
+	wb, err := NewWorkbench(quickObsOptions(WithObserver(rec), WithQuality(q))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Quality() != q {
+		t.Fatal("Train did not hand the workbench aggregator to the predictor")
+	}
+
+	mix := []int{26, 62}
+	truth, err := wb.Simulate(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pred.Feedback(mix[0], mix[1:], truth[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != truth[0] || res.Predicted <= 0 {
+		t.Fatalf("feedback result: %+v", res)
+	}
+	if math.IsNaN(res.SignedError) || res.State != DriftHealthy || res.Transitioned {
+		t.Fatalf("one accurate sample should leave the template healthy: %+v", res)
+	}
+
+	rep, ok := wb.QualitySnapshot()
+	if !ok {
+		t.Fatal("QualitySnapshot reported no aggregator despite WithQuality")
+	}
+	if rep.Samples != 1 || len(rep.Templates) != 1 || rep.Templates[0].Template != mix[0] {
+		t.Fatalf("snapshot: %+v", rep)
+	}
+	if got := pred.QualityReport(); got.Samples != 1 {
+		t.Fatalf("predictor report: %+v", got)
+	}
+
+	// The feedback point event rides the regular observer stream.
+	points := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == EventPoint && ev.Span == PointQualityFeedback {
+			points++
+			if ev.Template != mix[0] || ev.MPL != len(mix) {
+				t.Errorf("feedback event fields: %+v", ev)
+			}
+		}
+	}
+	if points != 1 {
+		t.Errorf("got %d quality.feedback points, want 1", points)
+	}
+}
+
+// TestQualitySnapshotWithoutAggregator: a workbench built without
+// WithQuality reports ok=false and an empty (non-nil) report.
+func TestQualitySnapshotWithoutAggregator(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	rep, ok := wb.QualitySnapshot()
+	if ok {
+		t.Fatal("QualitySnapshot ok=true without WithQuality")
+	}
+	if rep.Templates == nil || len(rep.Templates) != 0 {
+		t.Fatalf("empty snapshot: %+v", rep)
+	}
+}
+
+func TestFeedbackRejectsBadObservation(t *testing.T) {
+	_, pred := testWorkbench(t)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := pred.Feedback(26, []int{62}, bad); !errors.Is(err, ErrBadObservation) {
+			t.Errorf("Feedback(observed=%v) error = %v, want ErrBadObservation", bad, err)
+		}
+	}
+	// Rejected observations never reach the aggregator.
+	if rep := pred.QualityReport(); rep.Samples != 0 {
+		t.Errorf("rejected observations were aggregated: %+v", rep)
+	}
+}
+
+// TestTrainConfigQualityPlumbs: the System path installs the aggregator
+// via TrainConfig.Quality.
+func TestTrainConfigQualityPlumbs(t *testing.T) {
+	q := NewQuality(DriftConfig{})
+	cfg := chaosTrainConfig()
+	cfg.Quality = q
+	res, err := TrainFromSystem(freshChaosSystem(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predictor.Quality() != q {
+		t.Fatal("TrainFromSystem did not install TrainConfig.Quality")
+	}
+	if _, err := res.Predictor.Feedback(2, []int{22}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if rep := q.Report(); rep.Samples != 1 {
+		t.Fatalf("aggregator saw %d samples, want 1", rep.Samples)
+	}
+}

@@ -86,6 +86,7 @@ type System interface {
 //	WithCheckpoint    ↔ TrainConfig.CheckpointPath
 //	WithFaults        ↔ TrainConfig.Faults
 //	WithObserver      ↔ TrainConfig.Observer
+//	WithQuality       ↔ TrainConfig.Quality
 //
 // WithHost and WithWorkers configure the bundled simulator host and its
 // sampling pool; they have no meaning against an external System (which
@@ -130,6 +131,10 @@ type TrainConfig struct {
 	// a panicking observer is isolated at the emit site. The trained
 	// predictor inherits the observer for its serve.* spans.
 	Observer Observer
+	// Quality, when set, is inherited by the trained predictor so its
+	// Feedback calls stream per-template accuracy statistics and drift
+	// states into the aggregator. Training itself never consults it.
+	Quality *Quality
 }
 
 // envOptions maps the System-path config onto the shared collection
@@ -156,7 +161,7 @@ func (c TrainConfig) apply(options []Option) TrainConfig {
 	if len(options) == 0 {
 		return c
 	}
-	cf := config{opts: c.envOptions()}
+	cf := config{opts: c.envOptions(), quality: c.Quality}
 	for _, o := range options {
 		o(&cf)
 	}
@@ -169,6 +174,7 @@ func (c TrainConfig) apply(options []Option) TrainConfig {
 	c.Faults = cf.opts.Faults
 	c.CheckpointPath = cf.opts.CheckpointPath
 	c.Observer = cf.opts.Observer
+	c.Quality = cf.quality
 	return c
 }
 
@@ -316,6 +322,7 @@ func TrainFromSystemContext(ctx context.Context, sys System, cfg TrainConfig, op
 		res.Report.FaultStats = &stats
 	}
 	res.Predictor.SetObserver(o)
+	res.Predictor.SetQuality(cfg.Quality)
 	return res, nil
 }
 
