@@ -29,8 +29,31 @@ vet: bin/contender-vet
 staticcheck:
 	staticcheck ./...
 
+# Every serving benchmark row must report 0 allocs/op. Rows are matched
+# exactly (modulo the -GOMAXPROCS suffix) so one row's budget never
+# silently applies to another; the in-process complement is
+# TestServingPathDoesNotAllocate, the static one the hotpathalloc
+# analyzer.
+BENCH_GUARD_ROWS = \
+	BenchmarkPredictKnown \
+	BenchmarkPredictBatch/mixes=4 \
+	BenchmarkPredictBatch/mixes=16 \
+	BenchmarkPredictBatch/mixes=64 \
+	BenchmarkPredictKnownFeedback \
+	BenchmarkShardedPredict \
+	BenchmarkShardedObserve
+
 bench-guard:
 	$(GO) test -run TestServingPathDoesNotAllocate -v ./internal/core/
+	@out=$$($(GO) test -run XXX -bench 'BenchmarkPredictKnown$$|BenchmarkPredictBatch$$|BenchmarkPredictKnownFeedback$$|BenchmarkShardedPredict$$|BenchmarkShardedObserve$$' -benchtime 100x .); \
+	echo "$$out"; \
+	for b in $(BENCH_GUARD_ROWS); do \
+		allocs=$$(echo "$$out" | awk -v b="$$b" '$$1 ~ ("^" b "(-[0-9]+)?$$") && $$NF == "allocs/op" {print $$(NF-1)}'); \
+		if [ -z "$$allocs" ] || [ "$$allocs" != "0" ]; then \
+			echo "$$b reports $${allocs:-?} allocs/op; must be 0" >&2; \
+			exit 1; \
+		fi; \
+	done
 
 clean:
 	rm -rf bin

@@ -359,22 +359,129 @@ func BenchmarkPredictKnownFeedback(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictBatch amortizes the error path over a reusable buffer —
-// the shape a scheduler probing candidate mixes uses. 0 allocs/op.
+// benchMixes builds n candidate mixes (MPL 2–3) over the trained template
+// pool, deterministically, duplicates included — the shape a scheduler's
+// combinatorial candidate generator produces and the batch kernel's
+// dedup/sort stage exists for.
+func benchMixes(n int) [][]int {
+	pool := []int{2, 22, 26, 61, 62, 71}
+	mixes := make([][]int, n)
+	for i := range mixes {
+		a := pool[i%len(pool)]
+		if i%3 == 0 {
+			mixes[i] = []int{a}
+		} else {
+			mixes[i] = []int{a, pool[(i/2)%len(pool)]}
+		}
+	}
+	return mixes
+}
+
+// BenchmarkPredictBatch is the vectorized batch kernel over a reusable
+// buffer — the shape a scheduler probing candidate mixes uses. Every
+// sub-benchmark must report 0 allocs/op; the per-mix cost falling as the
+// batch grows is the dedup/partial-sum amortization at work.
 func BenchmarkPredictBatch(b *testing.B) {
 	pred := trainedPredictor(b)
-	mixes := [][]int{{2}, {2, 22}, {22, 62}, {26, 61}}
-	var buf PredictBuffer
-	if _, err := pred.PredictBatch(&buf, 71, mixes); err != nil {
+	for _, tc := range []struct {
+		name  string
+		mixes [][]int
+	}{
+		{"mixes=4", [][]int{{2}, {2, 22}, {22, 62}, {26, 61}}},
+		{"mixes=16", benchMixes(16)},
+		{"mixes=64", benchMixes(64)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var buf PredictBuffer
+			if _, err := pred.PredictBatch(&buf, 71, tc.mixes); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pred.PredictBatch(&buf, 71, tc.mixes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedPredict is one shard serving single predictions off the
+// shared snapshot: the per-core fast path of the sharded layer. Must
+// report 0 allocs/op.
+func BenchmarkShardedPredict(b *testing.B) {
+	pred := trainedPredictor(b)
+	s, err := NewSharded(pred, ShardOptions{Shards: 1})
+	if err != nil {
 		b.Fatal(err)
 	}
+	sh := s.Acquire()
+	mix := []int{2, 22}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pred.PredictBatch(&buf, 71, mixes); err != nil {
+		if _, err := sh.Predict(71, mix); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkShardedObserve is contention-free feedback ingestion: predict,
+// compute the signed error, push into the shard's ring. The periodic
+// DrainFeedback (every 512 samples, inside the timed loop) folds the ring
+// into the quality aggregator, so the row prices the full ingest+drain
+// pipeline. Must report 0 allocs/op.
+func BenchmarkShardedObserve(b *testing.B) {
+	pred := trainedPredictor(b)
+	pred.SetQuality(NewQuality(DriftConfig{}))
+	defer pred.SetQuality(nil)
+	s, err := NewSharded(pred, ShardOptions{Shards: 1, RingSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := s.Acquire()
+	mix := []int{2, 22}
+	for i := 0; i < 600; i++ { // warm the tracker and the drain scratch
+		if _, err := sh.Observe(71, mix, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.DrainFeedback()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.Observe(71, mix, 100); err != nil {
+			b.Fatal(err)
+		}
+		if i&511 == 511 {
+			s.DrainFeedback()
+		}
+	}
+	b.StopTimer()
+	s.DrainFeedback()
+}
+
+// BenchmarkShardedPredictParallel scales the snapshot across GOMAXPROCS
+// shards via RunParallel — the per-core throughput story the sweep driver
+// (contender-bench -sweep) measures as a full matrix.
+func BenchmarkShardedPredictParallel(b *testing.B) {
+	pred := trainedPredictor(b)
+	s, err := NewSharded(pred, ShardOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := []int{2, 22}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sh := s.Acquire()
+		for pb.Next() {
+			if _, err := sh.Predict(71, mix); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkCQI measures Eq. 5 for a 4-query mix against the precomputed

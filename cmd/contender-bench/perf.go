@@ -61,7 +61,12 @@ func hostReport(note string) benchReport {
 }
 
 func writeReport(path string, rep benchReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
+	return writeJSONFile(path, rep)
+}
+
+// writeJSONFile writes any report as indented JSON and logs the path.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -184,14 +189,24 @@ func runPerf(opts experiments.Options) error {
 	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictKnown", r))
 
 	var buf contender.PredictBuffer
-	r = testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := pred.PredictBatch(&buf, 71, batch); err != nil {
-				b.Fatal(err)
+	for _, bc := range []struct {
+		name  string
+		mixes [][]int
+	}{
+		{"PredictBatch/mixes=4", batch},
+		{"PredictBatch/mixes=16", sweepMixes(16)},
+		{"PredictBatch/mixes=64", sweepMixes(64)},
+	} {
+		mixes := bc.mixes
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pred.PredictBatch(&buf, 71, mixes); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	predRep.Benchmarks = append(predRep.Benchmarks, record("PredictBatch/mixes=4", r))
+		})
+		predRep.Benchmarks = append(predRep.Benchmarks, record(bc.name, r))
+	}
 
 	r = testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

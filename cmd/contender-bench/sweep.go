@@ -1,0 +1,245 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"contender"
+	"contender/internal/experiments"
+)
+
+// runSweep drives the sharded serving layer through a {GOMAXPROCS ×
+// shard-count × batch-size} matrix and writes BENCH_serve_sweep.json.
+// One trained predictor serves every cell; each cell runs its shard
+// count of serving workers, every worker hammering BatchPredict on its
+// own shard for a fixed op count, so the matrix is deterministic in
+// everything but wall-clock time. Each row records:
+//
+//   - predictions/sec (batch size × ops × shards / elapsed) and the
+//     speedup against the procs=1/shards=1 row of the same batch size;
+//   - allocs/op of a warm shard's BatchPredict (must be 0 — the CI smoke
+//     job rejects any non-zero row);
+//   - an FNV-1a checksum over the bit patterns of one canonical batch
+//     result. The checksum must be identical across every cell of a
+//     batch size — predictions must not depend on procs or shards — and
+//     the driver exits non-zero if any worker observes a different one.
+
+type sweepConfig struct {
+	procs   []int
+	shards  []int // empty: match the procs value of each cell
+	batches []int
+	ops     int
+	out     string
+}
+
+type sweepRow struct {
+	Name              string  `json:"name"`
+	Procs             int     `json:"procs"`
+	Shards            int     `json:"shards"`
+	Batch             int     `json:"batch"`
+	OpsPerShard       int     `json:"ops_per_shard"`
+	SecPerBatch       float64 `json:"sec_per_batch"`
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	Checksum          string  `json:"checksum"`
+	SpeedupVs1Proc    float64 `json:"speedup_vs_1proc,omitempty"`
+}
+
+type sweepReport struct {
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	NumCPU     int        `json:"num_cpu"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	GoVersion  string     `json:"go_version"`
+	Note       string     `json:"note,omitempty"`
+	Rows       []sweepRow `json:"rows"`
+}
+
+// sweepMixes builds n candidate mixes (MPL 2–3) over the trained
+// template pool, duplicates included — the same deterministic generator
+// as benchMixes in bench_test.go, so sweep rows and `go test -bench`
+// rows price the same work.
+func sweepMixes(n int) [][]int {
+	pool := []int{2, 22, 26, 61, 62, 71}
+	mixes := make([][]int, n)
+	for i := range mixes {
+		a := pool[i%len(pool)]
+		if i%3 == 0 {
+			mixes[i] = []int{a}
+		} else {
+			mixes[i] = []int{a, pool[(i/2)%len(pool)]}
+		}
+	}
+	return mixes
+}
+
+// sweepChecksum hashes the bit patterns of a batch result: any float
+// divergence between cells, however small, changes it.
+func sweepChecksum(res []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range res {
+		u := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+const sweepPrimary = 71
+
+func runSweep(opts experiments.Options, cfg sweepConfig) error {
+	if cfg.ops <= 0 {
+		return fmt.Errorf("-sweep-ops must be positive")
+	}
+	if len(cfg.procs) == 0 || len(cfg.batches) == 0 {
+		return fmt.Errorf("-sweep-procs and -sweep-batches must be non-empty")
+	}
+
+	fmt.Fprintln(os.Stderr, "training predictor for the serve sweep...")
+	wb, err := contender.NewWorkbench(
+		contender.QuickSampling(),
+		contender.WithSeed(opts.Seed),
+		contender.WithWorkers(opts.Workers),
+	)
+	if err != nil {
+		return err
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		return err
+	}
+	pred.Prime()
+
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	// Canonical results per batch size, computed once single-threaded;
+	// every cell must reproduce them bit for bit.
+	canonical := make(map[int]string, len(cfg.batches))
+	for _, bsz := range cfg.batches {
+		var buf contender.PredictBuffer
+		res, err := pred.PredictBatch(&buf, sweepPrimary, sweepMixes(bsz))
+		if err != nil {
+			return err
+		}
+		canonical[bsz] = sweepChecksum(res)
+	}
+
+	rep := sweepReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: origProcs,
+		GoVersion:  runtime.Version(),
+		Note: fmt.Sprintf(
+			"sharded BatchPredict matrix, %d ops/shard; checksums are FNV-1a over result bits and must match within a batch size; speedup_vs_1proc saturates at min(procs, num_cpu)",
+			cfg.ops),
+	}
+
+	baseline := make(map[int]float64, len(cfg.batches)) // batch → procs=1/shards=1 predictions/sec
+	for _, procs := range cfg.procs {
+		shardCounts := cfg.shards
+		if len(shardCounts) == 0 {
+			shardCounts = []int{procs}
+		}
+		for _, shards := range shardCounts {
+			for _, bsz := range cfg.batches {
+				row, err := sweepCell(pred, procs, shards, bsz, cfg.ops, canonical[bsz])
+				if err != nil {
+					return err
+				}
+				if procs == 1 && shards == 1 {
+					baseline[bsz] = row.PredictionsPerSec
+				}
+				if base, ok := baseline[bsz]; ok && base > 0 {
+					row.SpeedupVs1Proc = row.PredictionsPerSec / base
+				}
+				rep.Rows = append(rep.Rows, row)
+				fmt.Fprintf(os.Stderr, "%s: %.0f predictions/sec, %d allocs/op\n",
+					row.Name, row.PredictionsPerSec, row.AllocsPerOp)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(origProcs)
+
+	return writeJSONFile(cfg.out, rep)
+}
+
+// sweepCell measures one matrix cell: `shards` workers, each owning one
+// shard, each running `ops` BatchPredict calls at GOMAXPROCS=procs.
+func sweepCell(pred *contender.Predictor, procs, shards, batch, ops int, want string) (sweepRow, error) {
+	row := sweepRow{
+		Name:        fmt.Sprintf("ServeSweep/procs=%d/shards=%d/batch=%d", procs, shards, batch),
+		Procs:       procs,
+		Shards:      shards,
+		Batch:       batch,
+		OpsPerShard: ops,
+	}
+	mixes := sweepMixes(batch)
+	s, err := contender.NewSharded(pred, contender.ShardOptions{Shards: shards})
+	if err != nil {
+		return row, err
+	}
+
+	// Warm every shard (scratch sizing, serving-index build) and measure
+	// the steady-state allocation count on the first one before the timed
+	// section — AllocsPerRun pins GOMAXPROCS to 1, so it must not wrap
+	// the parallel phase.
+	handles := make([]*contender.Shard, shards)
+	for i := range handles {
+		handles[i] = s.Acquire()
+		if _, err := handles[i].BatchPredict(sweepPrimary, mixes); err != nil {
+			return row, err
+		}
+	}
+	row.AllocsPerOp = int64(testing.AllocsPerRun(50, func() {
+		if _, err := handles[0].BatchPredict(sweepPrimary, mixes); err != nil {
+			panic(err)
+		}
+	}))
+
+	runtime.GOMAXPROCS(procs)
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	start := time.Now()
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := handles[w]
+			var res []float64
+			for i := 0; i < ops; i++ {
+				r, err := sh.BatchPredict(sweepPrimary, mixes)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				res = r
+			}
+			if got := sweepChecksum(res); got != want {
+				errs[w] = fmt.Errorf("%s: shard %d checksum %s != canonical %s", row.Name, w, got, want)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	row.SecPerBatch = elapsed.Seconds() / float64(ops*shards)
+	row.PredictionsPerSec = float64(ops*shards*batch) / elapsed.Seconds()
+	row.Checksum = want
+	return row, nil
+}

@@ -3,13 +3,15 @@ package core
 // This file implements Section 4: the Concurrent Query Intensity metric and
 // its two ablations (Baseline I/O and Positive I/O), exactly following
 // Equations 2–5 and Table 1's notation. All three run against the
-// precomputed knowledge-base index (cqiindex.go) and allocate nothing on
-// the steady path.
+// precomputed flat knowledge-base index (cqiindex.go) — slot arithmetic
+// into contiguous slabs, no nested lookups — and allocate nothing on the
+// steady path. The arithmetic is ordered identically to the reference
+// implementation so results are bit-for-bit stable across refactors.
 
-// concurrentIntensity computes r_c (Eq. 4): the fraction of c's fair share
-// of the I/O bus it will spend competing directly with the primary.
-// Negative estimates are truncated to zero (queries whose I/O is entirely
-// covered by shared scans).
+// concurrentIntensity computes r_c (Eq. 4) from full template stats — the
+// cold-path variant used by CQIForStats and the operator model. Negative
+// estimates are truncated to zero (queries whose I/O is entirely covered
+// by shared scans).
 //
 //contender:hotpath
 func concurrentIntensity(c *TemplateStats, omega, tau float64) float64 {
@@ -23,10 +25,44 @@ func concurrentIntensity(c *TemplateStats, omega, tau float64) float64 {
 	return r
 }
 
+// intensitySlot is r_c (Eq. 4) on the flat index: ioSecs is the
+// precomputed IsolatedLatency·IOFraction product, so the expression
+// (ioSecs − ω − τ) / iso associates exactly like the stats-based form.
+//
+//contender:hotpath
+func (idx *cqiIndex) intensitySlot(ci int, omega, tau float64) float64 {
+	h := &idx.hot[ci]
+	if h.iso <= 0 {
+		return 0
+	}
+	r := (h.ioSecs - omega - tau) / h.iso
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// cqiSlot is the shared CQI kernel: mean competing intensity of the
+// concurrent templates against the primary in slot pi. ω comes from one
+// row of the pairwise slab; τ is mix-dependent (Eq. 3) and computed per
+// concurrent query without allocating.
+//
+//contender:hotpath
+func (idx *cqiIndex) cqiSlot(pi int, concurrent []int) float64 {
+	base := pi * idx.n
+	var sum float64
+	for _, id := range concurrent {
+		ci := idx.mustPos(id)
+		tau := idx.tauSlot(pi, ci, concurrent)
+		sum += idx.intensitySlot(ci, idx.omega[base+ci], tau)
+	}
+	return sum / float64(len(concurrent))
+}
+
 // CQI returns r_{t,m} (Eq. 5): the mean competing-I/O intensity of the
 // concurrent queries when `primary` executes with `concurrent` (template
 // IDs). It is the independent variable of every QS model. The shared-scan
-// savings ω_c (Eq. 2) come from the precomputed pairwise table; the
+// savings ω_c (Eq. 2) come from the precomputed pairwise slab; the
 // non-primary sharing term τ_c (Eq. 3) is mix-dependent and computed per
 // call, still without allocating.
 //
@@ -36,17 +72,7 @@ func (k *Knowledge) CQI(primary int, concurrent []int) float64 {
 		return 0
 	}
 	idx := k.index()
-	pi := idx.mustPos(primary)
-	primaryScans := idx.tmpl[pi].stats.Scans
-	var sum float64
-	for _, id := range concurrent {
-		ci := idx.mustPos(id)
-		c := &idx.tmpl[ci]
-		omega := idx.omega[pi][ci]
-		tau := idx.tau(primaryScans, c, concurrent)
-		sum += concurrentIntensity(&c.stats, omega, tau)
-	}
-	return sum / float64(len(concurrent))
+	return idx.cqiSlot(idx.mustPos(primary), concurrent)
 }
 
 // CQIForStats is CQI with an explicit primary — used when the primary is an
@@ -83,7 +109,7 @@ func (k *Knowledge) BaselineIO(concurrent []int) float64 {
 	idx := k.index()
 	var sum float64
 	for _, id := range concurrent {
-		sum += idx.tmpl[idx.mustPos(id)].stats.IOFraction
+		sum += idx.hot[idx.mustPos(id)].ioFrac
 	}
 	return sum / float64(len(concurrent))
 }
@@ -98,10 +124,11 @@ func (k *Knowledge) PositiveIO(primary int, concurrent []int) float64 {
 	}
 	idx := k.index()
 	pi := idx.mustPos(primary)
+	base := pi * idx.n
 	var sum float64
 	for _, id := range concurrent {
 		ci := idx.mustPos(id)
-		sum += concurrentIntensity(&idx.tmpl[ci].stats, idx.omega[pi][ci], 0)
+		sum += idx.intensitySlot(ci, idx.omega[base+ci], 0)
 	}
 	return sum / float64(len(concurrent))
 }

@@ -60,6 +60,44 @@ func TestCQIHandComputed(t *testing.T) {
 	}
 }
 
+// TestCQIFalseScanEntries pins the semantics of explicit false entries in
+// a Scans map, which the flat index encodes as "in the scan list, not in
+// the membership bitset": a false entry still contributes ω against a
+// primary that truly scans the table (the membership test is on the
+// primary's set), but never counts toward h_f and never marks the
+// template as a sharer.
+func TestCQIFalseScanEntries(t *testing.T) {
+	k := testKnowledge()
+	// T7 "scans" G only nominally (explicit false), T8 nominally reads F
+	// (false) and truly scans G.
+	k.AddTemplate(TemplateStats{
+		ID: 7, IsolatedLatency: 300, IOFraction: 1.0,
+		Scans: map[string]bool{"G": false}, SpoilerLatency: map[int]float64{},
+	})
+	k.AddTemplate(TemplateStats{
+		ID: 8, IsolatedLatency: 200, IOFraction: 1.0,
+		Scans: map[string]bool{"F": false, "G": true}, SpoilerLatency: map[int]float64{},
+	})
+
+	// Primary T1 (truly scans F) with {T3, T8}:
+	// r_3: ω=0; h_G counts T3 and T8 (both truly scan G) → τ_3 = 25 →
+	//      r_3 = (100·1.0 − 25)/100 = 0.75.
+	// r_8: ω = s_F = 100 — T8's F entry is false, but ω membership tests
+	//      the PRIMARY's set; τ_8 = 25 → r_8 = (200 − 100 − 25)/200 = 0.375.
+	got := k.CQI(1, []int{3, 8})
+	if !almostEq(got, (0.75+0.375)/2, 1e-12) {
+		t.Fatalf("CQI = %g, want %g", got, (0.75+0.375)/2)
+	}
+
+	// Adding T7 must not raise h_G (its G entry is false):
+	// r_7 = (300·1.0 − 0 − 25)/300 = 275/300; r_3 and r_8 unchanged.
+	got = k.CQI(1, []int{3, 7, 8})
+	want := (0.75 + 275.0/300.0 + 0.375) / 3
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("CQI = %g, want %g", got, want)
+	}
+}
+
 func TestCQITruncatesNegative(t *testing.T) {
 	k := testKnowledge()
 	// A template whose shared scans exceed its total I/O time: T5 scans F

@@ -24,6 +24,11 @@ var servingGuardSet = map[string]bool{
 	"PredictKnown": true,
 	"PredictBatch": true,
 	"Feedback":     true,
+	// Sharded serving handles (shard.go): per-shard prediction and
+	// ring-buffered feedback ingestion.
+	"Predict":      true,
+	"BatchPredict": true,
+	"Observe":      true,
 }
 
 func TestHotpathMarkersMatchAllocGuard(t *testing.T) {

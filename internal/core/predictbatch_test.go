@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	obspkg "contender/internal/obs"
@@ -44,6 +45,123 @@ func TestPredictBatchMatchesPredictKnown(t *testing.T) {
 	}
 }
 
+// TestPredictBufferReuseAcrossPrimaries reuses one buffer for different
+// primaries and after knowledge mutations: the slack cache is keyed by
+// (index snapshot, primary), so stale entries surviving either switch
+// would skew results. Every batch must stay bit-identical to per-mix
+// PredictKnown.
+func TestPredictBufferReuseAcrossPrimaries(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := [][]int{{2}, {1, 3}, {4, 5}, {1, 3}, {3, 1}}
+	var buf PredictBuffer
+	check := func(primary int) {
+		t.Helper()
+		got, err := p.PredictBatch(&buf, primary, mixes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, mix := range mixes {
+			want, err := p.PredictKnown(primary, mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Errorf("primary %d mix %v: batch %g != single %g", primary, mix, got[i], want)
+			}
+		}
+	}
+	check(2)
+	check(5) // different primary, same buffer: slack cache must reset
+	check(2) // and back
+	// A knowledge mutation invalidates the index; the buffer must detect
+	// the new snapshot and rebuild its scratch.
+	k.SetScanTime("F", 140)
+	check(2)
+	check(5)
+}
+
+// TestPredictBatchErrorRecovery drives every mid-batch error class
+// through a shared buffer and verifies the next successful batch is
+// uncorrupted and Results() never exposes partial output.
+func TestPredictBatchErrorRecovery(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := [][]int{{2}, {1, 3}, {4, 5}}
+	var buf PredictBuffer
+	fail := []struct {
+		name    string
+		primary int
+		mixes   [][]int
+		sent    error
+	}{
+		{"empty mix mid-batch", 1, [][]int{{2}, {}, {3}}, ErrEmptyMix},
+		{"untrained MPL mid-batch", 1, [][]int{{2}, {2, 3, 4}, {3}}, ErrUntrainedMPL},
+		{"unknown primary", 999, [][]int{{2}, {3}}, ErrUnknownTemplate},
+	}
+	for _, tc := range fail {
+		if _, err := p.PredictBatch(&buf, 1, good); err != nil {
+			t.Fatal(err)
+		}
+		_, err := p.PredictBatch(&buf, tc.primary, tc.mixes)
+		if !errors.Is(err, tc.sent) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.sent)
+		}
+		if res := buf.Results(); len(res) != 0 {
+			t.Errorf("%s: Results() holds %d entries after a failed batch, want 0", tc.name, len(res))
+		}
+		got, err := p.PredictBatch(&buf, 1, good)
+		if err != nil {
+			t.Fatalf("%s: batch after failure: %v", tc.name, err)
+		}
+		for i, mix := range good {
+			want, err := p.PredictKnown(1, mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Errorf("%s: post-failure mix %v: batch %g != single %g", tc.name, mix, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPredictBatchDuplicates checks the dedup stage: identical mixes get
+// identical (shared) results in input order, while permutations of one
+// set are computed independently — CQI sums in mix order, so they are
+// only equal if the float sums happen to agree.
+func TestPredictBatchDuplicates(t *testing.T) {
+	k, obs := predictorFixture(t)
+	p, err := Train(k, obs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := [][]int{{1, 3}, {4, 5}, {1, 3}, {3, 1}, {1, 3}, {2}}
+	var buf PredictBuffer
+	got, err := p.PredictBatch(&buf, 2, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mix := range mixes {
+		want, err := p.PredictKnown(2, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("mix %d %v: batch %g != single %g", i, mix, got[i], want)
+		}
+	}
+	if got[0] != got[2] || got[0] != got[4] {
+		t.Errorf("identical mixes disagree: %g %g %g", got[0], got[2], got[4])
+	}
+}
+
 func TestPredictBatchErrors(t *testing.T) {
 	k, obs := predictorFixture(t)
 	p, err := Train(k, obs, TrainOptions{})
@@ -81,6 +199,17 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 	if _, err := p.Feedback(2, mix, 1.5); err != nil { // warm the template tracker
 		t.Fatal(err)
 	}
+	sharded, err := NewSharded(p, ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := sharded.Acquire()
+	if _, err := sh.BatchPredict(2, mixes); err != nil { // warm the shard buffer
+		t.Fatal(err)
+	}
+	if _, err := sh.Observe(2, mix, 1.5); err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name string
@@ -101,6 +230,23 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 		}},
 		{"Feedback", func() {
 			if _, err := p.Feedback(2, mix, 1.5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Predict", func() {
+			if _, err := sh.Predict(2, mix); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"BatchPredict", func() {
+			if _, err := sh.BatchPredict(2, mixes); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Observe", func() {
+			// The ring eventually fills without a drain; the drop path
+			// must be allocation-free too, so no drain here on purpose.
+			if _, err := sh.Observe(2, mix, 1.5); err != nil {
 				t.Fatal(err)
 			}
 		}},

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"contender/internal/obs"
@@ -27,6 +29,13 @@ type Predictor struct {
 	// per-template accuracy statistics and drift states. Only Feedback
 	// consults it — the PredictKnown/PredictBatch hot path never does.
 	quality *obs.Quality
+
+	// serv caches the flat (template × MPL) serving index, keyed by the
+	// knowledge snapshot it was built from so knowledge mutations
+	// invalidate it transitively (serveindex.go). The zero value is
+	// ready: snapshot-loaded predictors build it on first use or Prime.
+	serv atomic.Pointer[servIndex]
+	smu  sync.Mutex
 }
 
 // SetObserver installs (or, with nil, removes) the serving observer.
@@ -133,27 +142,14 @@ func (p *Predictor) PredictKnown(primary int, concurrent []int) (float64, error)
 
 //contender:hotpath
 func (p *Predictor) predictKnown(primary int, concurrent []int) (float64, error) {
-	if len(concurrent) == 0 {
-		return 0, fmt.Errorf("core: %w: predicting template %d at MPL 1 (use the isolated latency)", ErrEmptyMix, primary)
+	idx := p.Know.index()
+	s := p.serving(idx)
+	cell, si, err := p.cellFor(s, idx, primary, len(concurrent))
+	if err != nil {
+		return 0, err
 	}
-	mpl := len(concurrent) + 1
-	refs, ok := p.refs[mpl]
-	if !ok {
-		return 0, fmt.Errorf("core: %w: no reference models at MPL %d", ErrUntrainedMPL, mpl)
-	}
-	qs, ok := refs.Model(primary)
-	if !ok {
-		if _, known := p.Know.Template(primary); !known {
-			return 0, fmt.Errorf("core: %w: template %d", ErrUnknownTemplate, primary)
-		}
-		return 0, fmt.Errorf("core: %w: no QS model for template %d at MPL %d", ErrUntrainedMPL, primary, mpl)
-	}
-	cont, ok := p.Know.ContinuumFor(primary, mpl)
-	if !ok {
-		return 0, fmt.Errorf("core: %w: no continuum for template %d at MPL %d", ErrUntrainedMPL, primary, mpl)
-	}
-	r := p.Know.CQI(primary, concurrent)
-	return cont.Latency(qs.Point(r)), nil
+	r := idx.cqiSlot(si, concurrent)
+	return cell.latency(r), nil
 }
 
 // NewTemplateOptions selects how the pipeline fills in the two unknowns of

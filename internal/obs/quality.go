@@ -270,6 +270,32 @@ func (q *Quality) Observe(template int, signedErr float64) DriftResult {
 	t := q.tracker(template)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return q.observeLocked(t, signedErr)
+}
+
+// ObserveRun folds a run of signed relative errors for one template under
+// a single tracker lock — the sharded feedback drain uses it to amortize
+// locking when a ring buffer holds consecutive samples for one template.
+// The sequence of states is exactly what per-sample Observe calls would
+// produce. It returns the result of the final sample (the current state
+// for an empty run) and the number of drift transitions in the run.
+func (q *Quality) ObserveRun(template int, signed []float64) (DriftResult, int) {
+	t := q.tracker(template)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res := DriftResult{State: t.state, Previous: t.state, Count: t.count}
+	transitions := 0
+	for _, s := range signed {
+		res = q.observeLocked(t, s)
+		if res.Transitioned {
+			transitions++
+		}
+	}
+	return res, transitions
+}
+
+// observeLocked is the Observe body; the caller holds t.mu.
+func (q *Quality) observeLocked(t *templateQuality, signedErr float64) DriftResult {
 	if math.IsNaN(signedErr) || math.IsInf(signedErr, 0) {
 		return DriftResult{State: t.state, Previous: t.state, Count: t.count}
 	}
