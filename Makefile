@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench-guard clean
+.PHONY: all build test race vet staticcheck bench-guard selfheal-golden clean
 
 all: build test vet
 
@@ -54,6 +54,14 @@ bench-guard:
 			exit 1; \
 		fi; \
 	done
+
+# The self-healing lifecycle replay must render byte-identically at any
+# collection worker count (mirrors the CI selfheal-golden job).
+selfheal-golden:
+	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-selfheal -workers 1 > /tmp/selfheal-w1.txt
+	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-selfheal -workers 4 > /tmp/selfheal-w4.txt
+	diff -u /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
+	rm -f /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
 
 clean:
 	rm -rf bin

@@ -35,6 +35,9 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 		traceOut = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+		storeDir = flag.String("store-dir", "", "versioned knowledge store directory: serve the current version when one exists, else train and publish the baseline; corruption is detected and falls back a version")
+		autoheal = flag.Bool("autoretrain", false, "run the self-healing lifecycle demo: drift the primary template, detect staleness, re-collect, canary, and promote a new store version (requires training; pairs with -store-dir)")
+		quick    = flag.Bool("quick", false, "reduced sampling for a fast training pass")
 	)
 	flag.Parse()
 
@@ -46,8 +49,35 @@ func main() {
 
 	// The quality aggregator receives Feedback for every prediction that
 	// has a simulated ground truth, so /quality and the final report line
-	// show live accuracy.
-	quality := contender.NewQuality(contender.DriftConfig{})
+	// show live accuracy. The self-heal demo uses a fast-flipping drift
+	// detector so a short feedback stream reaches the stale state.
+	qcfg := contender.DriftConfig{}
+	if *autoheal {
+		qcfg = contender.DriftConfig{MinSamples: 4, Delta: 0.05, Lambda: 1, StaleMRE: 0.3, RecoverMRE: 0.1, Window: 4}
+	}
+	quality := contender.NewQuality(qcfg)
+
+	// The versioned store is opened (and recovered) up front so its
+	// recovery report prints before anything serves from it.
+	var knowStore *contender.KnowledgeStore
+	if *storeDir != "" {
+		var err error
+		knowStore, err = contender.OpenStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		if rep := knowStore.Report(); rep.Recovered() {
+			if len(rep.RemovedTemp) > 0 {
+				fmt.Fprintf(os.Stderr, "store: swept %d crash-debris temp file(s)\n", len(rep.RemovedTemp))
+			}
+			if len(rep.CorruptVersions) > 0 {
+				fmt.Fprintf(os.Stderr, "store: dropped %d corrupt version(s)\n", len(rep.CorruptVersions))
+			}
+			if rep.FellBackTo != "" {
+				fmt.Fprintf(os.Stderr, "store: fell back to version %.8s\n", rep.FellBackTo)
+			}
+		}
+	}
 
 	var metrics *contender.Metrics
 	var rec *contender.RecordingObserver
@@ -99,16 +129,44 @@ func main() {
 		return
 	}
 
+	// With a populated store, serve the current version instead of
+	// retraining (unless the run is a self-heal demo, which needs the
+	// workbench to re-collect).
+	if knowStore != nil && !*autoheal {
+		if _, ok := knowStore.Current(); ok {
+			pred, v, err := knowStore.CurrentPredictor()
+			if err != nil {
+				fatal(err)
+			}
+			pred.SetObserver(observer)
+			pred.SetQuality(quality)
+			fmt.Fprintf(os.Stderr, "store: serving version v%d:%.8s (%s)\n", v.Seq, v.Fingerprint, v.Note)
+			estimate, err := pred.PredictKnown(*primary, concurrent)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("primary           : T%d (from store v%d)\n", *primary, v.Seq)
+			fmt.Printf("concurrent mix    : %v (MPL %d)\n", concurrent, mpl)
+			fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQI(*primary, concurrent))
+			fmt.Printf("predicted latency : %9.1f s\n", estimate)
+			return
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "training Contender (sampling mixes at MPLs up to %d)...\n", mpl)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	topts := []contender.Option{
+	topts := []contender.Option{}
+	if *quick {
+		topts = append(topts, contender.QuickSampling())
+	}
+	topts = append(topts,
 		contender.WithMPLs(cliutil.MPLsUpTo(mpl)...),
 		contender.WithSeed(*seed),
 		contender.WithWorkers(*workers),
 		contender.WithCheckpoint(*ckpt),
 		contender.WithQuality(quality),
-	}
+	)
 	if observer != nil {
 		topts = append(topts, contender.WithObserver(observer))
 	}
@@ -124,6 +182,21 @@ func main() {
 	pred, err := wb.Train()
 	if err != nil {
 		fatal(err)
+	}
+	if knowStore != nil && !*autoheal {
+		if _, ok := knowStore.Current(); !ok {
+			v, err := knowStore.Publish(pred, "baseline")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "store: published baseline version v%d:%.8s\n", v.Seq, v.Fingerprint)
+		}
+	}
+	if *autoheal {
+		if err := selfHeal(wb, pred, knowStore, *primary, concurrent); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *save != "" {
 		if err := pred.SaveFile(*save); err != nil {
@@ -193,6 +266,77 @@ func main() {
 			}
 		}
 	}
+}
+
+// selfHeal runs the lifecycle demo: the primary template's substrate
+// slows down 1.8×, the drift detector flips it to stale, and one
+// control-loop step re-collects just that template, wins the canary, and
+// promotes (publishing a new store version when a store is attached).
+func selfHeal(wb *contender.Workbench, pred *contender.Predictor, st *contender.KnowledgeStore, victim int, concurrent []int) error {
+	const shift = 1.8
+	sharded, err := contender.NewSharded(pred, contender.ShardOptions{Shards: 1})
+	if err != nil {
+		return err
+	}
+	lc, err := wb.Lifecycle(sharded, contender.LifecycleConfig{
+		Store: st,
+		World: func(id, mpl int, lat float64) float64 {
+			if id == victim {
+				return lat * shift
+			}
+			return lat
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		if v, ok := st.Current(); ok {
+			fmt.Fprintf(os.Stderr, "self-heal: baseline version v%d:%.8s\n", v.Seq, v.Fingerprint)
+		}
+	}
+
+	// Healthy feedback, then the sustained slowdown.
+	shard := sharded.Acquire()
+	base, err := pred.PredictKnown(victim, concurrent)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := shard.Observe(victim, concurrent, base); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := shard.Observe(victim, concurrent, base*shift); err != nil {
+			return err
+		}
+	}
+	sharded.DrainFeedback()
+	fmt.Fprintf(os.Stderr, "self-heal: drifted T%d by %.1fx over 40 observations\n", victim, shift)
+
+	rep, err := lc.Step(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("self-heal action  : %s (stale %v)\n", rep.Action, rep.Stale)
+	if rep.Action == contender.LifecyclePromoted {
+		fmt.Printf("canary MRE        : %9.1f %% -> %.1f %%\n", 100*rep.OldMRE, 100*rep.NewMRE)
+		if rep.Version.Seq != 0 {
+			fmt.Printf("published version : v%d:%.8s (%s)\n", rep.Version.Seq, rep.Version.Fingerprint, rep.Version.Note)
+		}
+	} else if rep.Err != "" {
+		fmt.Printf("detail            : %s\n", rep.Err)
+	}
+	if st != nil {
+		fmt.Printf("store versions    : %d\n", st.Len())
+	}
+	healed, err := sharded.Acquire().Predict(victim, concurrent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healed prediction : %9.1f s (was %.1f s before the drift)\n", healed, base)
+	return nil
 }
 
 func abs(v float64) float64 {

@@ -29,6 +29,7 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "checkpoint file for the training campaign; an interrupted run (Ctrl-C) resumes from it")
 		maddr     = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 		traceOut  = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+		storeDir  = flag.String("store-dir", "", "versioned knowledge store directory: schedule with the pinned current version when one exists, else publish the freshly trained model as the baseline")
 	)
 	flag.Parse()
 
@@ -96,6 +97,34 @@ func main() {
 	pred, err := wb.Train()
 	if err != nil {
 		fatal(err)
+	}
+
+	// With a store, schedule against the pinned current version (the
+	// workbench is still needed for simulated ground truth); publish the
+	// fresh model as the baseline when the store is empty.
+	if *storeDir != "" {
+		st, err := contender.OpenStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		if rep := st.Report(); rep.Recovered() {
+			fmt.Fprintf(os.Stderr, "store: recovered (swept %d temp, dropped %d corrupt)\n",
+				len(rep.RemovedTemp), len(rep.CorruptVersions))
+		}
+		if _, ok := st.Current(); ok {
+			stored, v, err := st.CurrentPredictor()
+			if err != nil {
+				fatal(err)
+			}
+			pred = stored
+			fmt.Fprintf(os.Stderr, "store: scheduling with version v%d:%.8s (%s)\n", v.Seq, v.Fingerprint, v.Note)
+		} else {
+			v, err := st.Publish(pred, "baseline")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "store: published baseline version v%d:%.8s\n", v.Seq, v.Fingerprint)
+		}
 	}
 
 	outcomes, err := contender.ComparePolicies(wb, pred, batch, *mpl)

@@ -120,6 +120,9 @@ type config struct {
 	// quality is not part of experiments.Options: the sampling campaign
 	// never consults it — only predictors trained from the workbench do.
 	quality *obs.Quality
+	// storeDir, when non-empty, roots a versioned knowledge store the
+	// workbench opens (and recovers) at build time.
+	storeDir string
 }
 
 // WithMPLs sets the multiprogramming levels to sample (default 2–5).
@@ -197,6 +200,7 @@ func QuickSampling() Option {
 type Workbench struct {
 	env     *experiments.Env
 	quality *obs.Quality
+	store   *KnowledgeStore
 }
 
 // NewWorkbench profiles the bundled 25-template TPC-DS workload on a
@@ -219,7 +223,13 @@ func NewWorkbenchContext(ctx context.Context, options ...Option) (*Workbench, er
 	if err != nil {
 		return nil, fmt.Errorf("contender: building workbench: %w", err)
 	}
-	return &Workbench{env: env, quality: c.quality}, nil
+	w := &Workbench{env: env, quality: c.quality}
+	if c.storeDir != "" {
+		if w.store, err = OpenStore(c.storeDir); err != nil {
+			return nil, fmt.Errorf("contender: opening store: %w", err)
+		}
+	}
+	return w, nil
 }
 
 // Resilience reports how the workbench's sampling campaign went: retries

@@ -1,6 +1,7 @@
 // Package errtaxonomy enforces the transient/permanent/corrupt error
 // taxonomy in the training pipeline (internal/resilience,
-// internal/experiments, and the system.go trainer). The retry and
+// internal/experiments, the internal/store + internal/lifecycle
+// self-healing layers, and the system.go trainer). The retry and
 // quarantine machinery branches on errors.Is, so every error must keep
 // its chain intact and every new error must be classified:
 //
@@ -30,6 +31,8 @@ import (
 var ScopedPackages = []string{
 	"internal/resilience",
 	"internal/experiments",
+	"internal/store",
+	"internal/lifecycle",
 }
 
 // ScopedRootFiles are file basenames checked in any other package (the

@@ -110,6 +110,11 @@ type Shard struct {
 	id     int
 	buf    PredictBuffer
 	ring   feedbackRing
+
+	// drainedDropped is the ring drop count already folded into the
+	// quality aggregator. Consumer-owned: only DrainFeedback (serialized
+	// by the parent's drainMu) touches it.
+	drainedDropped uint64
 }
 
 // ID returns the shard's index within its Sharded set.
@@ -299,6 +304,15 @@ func (s *Sharded) DrainFeedback() int {
 		default:
 			for sh.ring.pop(&smp) {
 				total++
+			}
+		}
+		// Fold the ring-overflow drops accumulated since the last drain
+		// into the aggregator, so lossy telemetry is visible (the
+		// quality.dropped family and the /quality payload).
+		if q != nil {
+			if d := sh.ring.dropped.Load(); d > sh.drainedDropped {
+				q.AddDropped(int64(d - sh.drainedDropped))
+				sh.drainedDropped = d
 			}
 		}
 	}

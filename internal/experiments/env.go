@@ -684,6 +684,9 @@ func (e *Env) AllObservations() []core.Observation {
 // TemplateIDs returns the workload's template IDs.
 func (e *Env) TemplateIDs() []int { return e.Workload.IDs() }
 
+// MPLs returns the sampled multiprogramming levels in ascending order.
+func (e *Env) MPLs() []int { return e.sortedMPLs() }
+
 // StageProfiles derives a template's per-operator isolated footprint — the
 // input of the operator-level model — from its resource profile and the
 // host configuration, the way EXPLAIN ANALYZE instrumentation would on a

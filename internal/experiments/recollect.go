@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"contender/internal/core"
+	"contender/internal/resilience"
+	"contender/internal/sim"
+)
+
+// Targeted re-collection: when the drift detector declares templates
+// stale, the lifecycle loop re-measures ONLY the tasks those templates
+// touch — their isolated+spoiler profiles and the steady-state mixes
+// containing them — instead of repeating the whole campaign. The re-run
+// reuses the campaign machinery end to end (private per-task engines,
+// retry/backoff, quarantine, write-through checkpoints), keyed by the
+// ORIGINAL task keys, so every slot a stale template does not touch is
+// re-measured to byte-identical values and the candidate predictor
+// differs from the serving one exactly where the drift is.
+//
+// The drifted substrate is modeled by a World function mapping each
+// re-measured latency of a target template to what the live system now
+// produces (e.g. 1.8× for the ext-quality victim slowdown). Identity
+// when nil: re-collection then reproduces the original training data.
+
+// RecollectConfig parameterizes a targeted re-collection.
+type RecollectConfig struct {
+	// Templates are the stale template IDs to re-measure. Required, and
+	// every ID must be in the environment's knowledge base.
+	Templates []int
+	// World maps a re-measured latency of a target template to the
+	// drifted substrate's value: World(template, mpl, latency), with
+	// mpl 1 for isolated runs. nil is the identity (no drift).
+	World func(template, mpl int, latency float64) float64
+	// Retry, when set, wraps every re-collection task in bounded
+	// backoff with quarantine semantics; any quarantined task fails the
+	// whole re-collection (a partial candidate must never be promoted).
+	Retry *resilience.RetryPolicy
+	// CheckpointPath, when non-empty, persists completed re-collection
+	// tasks (atomic write-then-rename) and resumes an interrupted
+	// re-collection exactly like a training campaign.
+	CheckpointPath string
+}
+
+// Recollect re-measures the targeted templates in the (possibly drifted)
+// world, merges the fresh measurements into a copy of the environment's
+// knowledge and observations, and refits. The environment itself is
+// never mutated — the returned candidate serves until the next retrain
+// replaces it, while the Env keeps describing the original campaign.
+func (e *Env) Recollect(ctx context.Context, cfg RecollectConfig) (*core.Predictor, error) {
+	if len(cfg.Templates) == 0 {
+		return nil, resilience.Permanent(fmt.Errorf("experiments: Recollect needs at least one template"))
+	}
+	if e.Resilience.Degraded() {
+		// The design-index ↔ sample-index correspondence below assumes
+		// the original campaign kept full coverage.
+		return nil, resilience.Permanent(fmt.Errorf("experiments: Recollect needs a fully covered campaign (quarantined %d tasks, dropped %d mixes)",
+			len(e.Resilience.Quarantined), e.Resilience.DroppedMixes))
+	}
+	targets := map[int]bool{}
+	ids := append([]int(nil), cfg.Templates...)
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, ok := e.Know.Template(id); !ok {
+			return nil, resilience.Permanent(fmt.Errorf("experiments: Recollect: template %d is not in the knowledge base", id))
+		}
+		targets[id] = true
+	}
+	world := cfg.World
+	if world == nil {
+		world = func(_, _ int, l float64) float64 { return l }
+	}
+
+	// A shallow sub-campaign: same workload, same base configuration,
+	// same observer — so per-task engine seeds derive exactly as in the
+	// original campaign — but its own retry policy and checkpoint, and
+	// no fault injection (the injector models collection-time chaos; the
+	// drifted world is modeled by World).
+	sub := &Env{Opts: e.Opts, Workload: e.Workload, Engine: e.Engine, baseCfg: e.baseCfg}
+	sub.Opts.Retry = observedRetry(cfg.Retry, e.Opts.Observer)
+	sub.Opts.Faults = nil
+	sub.Opts.CheckpointPath = cfg.CheckpointPath
+	sub.Opts.onTaskDone = nil
+
+	if cfg.CheckpointPath != "" {
+		fp := fmt.Sprintf("%s|recollect=%v", envFingerprint(sub.Opts, sub.baseCfg, sub.Workload), ids)
+		ck, err := loadEnvCheckpoint(cfg.CheckpointPath, fp)
+		if err != nil {
+			return nil, err
+		}
+		sub.ckpt = ck
+	}
+
+	// Task set: one profile task per target, plus every sampled mix that
+	// contains a target, under their ORIGINAL keys (the key alone seeds
+	// the engine, so untargeted slots reproduce byte-identically).
+	profiles := make(map[int]*templateProfile, len(ids))
+	type mixSlot struct {
+		mpl, idx int
+		sample   MixSample
+	}
+	var mixSlots []*mixSlot
+	var tasks []envTask
+
+	for _, id := range ids {
+		id := id
+		tpl, ok := e.Workload.Template(id)
+		if !ok {
+			return nil, resilience.Permanent(fmt.Errorf("experiments: Recollect: template %d is not in the workload", id))
+		}
+		key := fmt.Sprintf("template/%d", id)
+		slot := &templateProfile{}
+		profiles[id] = slot
+		if sub.ckpt != nil {
+			if entry, ok := sub.ckpt.state.Templates[key]; ok {
+				*slot = templateProfile{ts: entry.Stats.Stats(), isolatedSeconds: entry.IsolatedSeconds, spoilerSeconds: entry.SpoilerSeconds}
+				sub.Resilience.Resumed++
+				continue
+			}
+		}
+		task := envTask{
+			key: key,
+			run: func(eng *sim.Engine) error {
+				p, err := sub.profileTemplate(eng, tpl)
+				if err != nil {
+					return err
+				}
+				*slot = p
+				return nil
+			},
+		}
+		if sub.ckpt != nil {
+			task.done = func() error {
+				return sub.ckpt.record(func(s *envCheckpointState) {
+					s.Templates[key] = templateEntry{
+						Stats:           core.NewTemplateSnapshot(slot.ts),
+						IsolatedSeconds: slot.isolatedSeconds,
+						SpoilerSeconds:  slot.spoilerSeconds,
+					}
+				})
+			}
+		}
+		tasks = append(tasks, task)
+	}
+
+	designs := e.mixDesigns()
+	for _, mpl := range e.sortedMPLs() {
+		mpl := mpl
+		for i, mix := range designs[mpl] {
+			i, mix := i, mix
+			touched := false
+			for _, id := range mix {
+				if targets[id] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			key := fmt.Sprintf("mix/%d/%d", mpl, i)
+			slot := &mixSlot{mpl: mpl, idx: i}
+			mixSlots = append(mixSlots, slot)
+			if sub.ckpt != nil {
+				if entry, ok := sub.ckpt.state.Mixes[key]; ok {
+					slot.sample = mixSampleFromEntry(entry)
+					sub.Resilience.Resumed++
+					continue
+				}
+			}
+			task := envTask{
+				key: key,
+				run: func(eng *sim.Engine) error {
+					sample, _, err := sub.runMix(eng, mix)
+					if err != nil {
+						return err
+					}
+					slot.sample = sample
+					return nil
+				},
+			}
+			if sub.ckpt != nil {
+				task.done = func() error {
+					return sub.ckpt.record(func(s *envCheckpointState) {
+						entry := mixEntry{Mix: append([]int(nil), slot.sample.Mix...)}
+						for _, o := range slot.sample.Obs {
+							entry.Lats = append(entry.Lats, o.Latency)
+						}
+						s.Mixes[key] = entry
+					})
+				}
+			}
+			tasks = append(tasks, task)
+		}
+	}
+
+	failures, err := sub.runTasks(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	if len(failures) > 0 {
+		// A re-collection with holes cannot produce a promotable
+		// candidate: unlike the initial campaign there is no "degrade
+		// coverage" option, because the caller would hot-swap the result.
+		return nil, resilience.Permanent(fmt.Errorf("experiments: re-collection quarantined %d of %d tasks (first: %s: %s)",
+			len(failures), len(tasks), failures[0].Key, failures[0].Reason))
+	}
+	e.Resilience.Retries += sub.Resilience.Retries
+
+	// Rebuild knowledge: untargeted templates keep their original stats;
+	// targets get the fresh profile pushed through the drifted World.
+	ks := e.Know.Snapshot()
+	know := core.NewKnowledge()
+	scanTables := make([]string, 0, len(ks.ScanTimes))
+	for table := range ks.ScanTimes {
+		scanTables = append(scanTables, table)
+	}
+	sort.Strings(scanTables)
+	for _, table := range scanTables {
+		know.SetScanTime(table, ks.ScanTimes[table])
+	}
+	for _, ts := range ks.Templates {
+		if !targets[ts.ID] {
+			know.AddTemplate(ts.Stats())
+			continue
+		}
+		fresh := profiles[ts.ID].ts
+		fresh.IsolatedLatency = world(ts.ID, 1, fresh.IsolatedLatency)
+		spoilers := make(map[int]float64, len(fresh.SpoilerLatency))
+		for mpl, lat := range fresh.SpoilerLatency {
+			spoilers[mpl] = world(ts.ID, mpl, lat)
+		}
+		fresh.SpoilerLatency = spoilers
+		know.AddTemplate(fresh)
+	}
+
+	// Merge observations in canonical sample order: untouched mixes come
+	// from the original campaign; touched mixes from the re-measurement,
+	// with target-primary slots pushed through World.
+	remeasured := make(map[string]MixSample, len(mixSlots))
+	for _, s := range mixSlots {
+		remeasured[fmt.Sprintf("%d/%d", s.mpl, s.idx)] = s.sample
+	}
+	var allObs []core.Observation
+	for _, mpl := range e.sortedMPLs() {
+		for i, orig := range e.Samples[mpl] {
+			sample, ok := remeasured[fmt.Sprintf("%d/%d", mpl, i)]
+			if !ok {
+				allObs = append(allObs, orig.Obs...)
+				continue
+			}
+			for _, o := range sample.Obs {
+				if targets[o.Primary] {
+					o.Latency = world(o.Primary, mpl, o.Latency)
+				}
+				allObs = append(allObs, o)
+			}
+		}
+	}
+
+	cand, err := core.Train(know, allObs, core.TrainOptions{DropOutliers: true})
+	if err != nil {
+		return nil, err
+	}
+	if sub.ckpt != nil {
+		sub.ckpt.discard()
+	}
+	return cand, nil
+}

@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"ext-noise", "Ablation — error vs. substrate noise", ExtNoise},
 		{"ext-chaos", "Extension §8 — resilient training under injected faults", ExtChaos},
 		{"ext-quality", "Extension §8 — online prediction quality and drift detection", ExtQuality},
+		{"ext-selfheal", "Extension §8 — self-healing knowledge lifecycle", ExtSelfheal},
 	}
 }
 

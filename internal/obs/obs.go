@@ -90,6 +90,28 @@ const (
 	// Value the detector statistic at the moment it fired.
 	PointQualityFeedback = "quality.feedback"
 	PointQualityDrift    = "quality.drift"
+
+	// Knowledge lifecycle (internal/lifecycle). lifecycle.retrain spans
+	// a re-collection + refit; lifecycle.canary spans the holdout
+	// validation replay of a candidate, with Value carrying its holdout
+	// MRE. The point events mark control-loop decisions: lifecycle.stale
+	// fires per template entering targeted re-collection,
+	// lifecycle.promote when a candidate passes canary and hot-swaps in,
+	// lifecycle.rollback when it fails and the old model keeps serving,
+	// and lifecycle.degraded when a retrain attempt errors out (serving
+	// continues on the current model either way).
+	SpanLifecycleRetrain   = "lifecycle.retrain"
+	SpanLifecycleCanary    = "lifecycle.canary"
+	PointLifecycleStale    = "lifecycle.stale"
+	PointLifecyclePromote  = "lifecycle.promote"
+	PointLifecycleRollback = "lifecycle.rollback"
+	PointLifecycleDegraded = "lifecycle.degraded"
+
+	// Versioned knowledge store (internal/store). store.publish fires
+	// per published version with Key carrying the fingerprint;
+	// store.fallback when recovery demoted a corrupt current version.
+	PointStorePublish  = "store.publish"
+	PointStoreFallback = "store.fallback"
 )
 
 // Event is the single record type flowing through an Observer. It is

@@ -172,6 +172,7 @@ type Quality struct {
 	mre         *GaugeVec
 	state       *GaugeVec
 	transitions *CounterVec
+	dropped     *Counter
 
 	mu       sync.RWMutex
 	trackers map[int]*templateQuality
@@ -190,8 +191,29 @@ func NewQuality(cfg DriftConfig) *Quality {
 		mre:         reg.GaugeVec("contender_quality_mre", "Rolling mean relative error by template.", "template"),
 		state:       reg.GaugeVec("contender_quality_state", "Drift state by template: 0 healthy, 1 degraded, 2 stale.", "template"),
 		transitions: reg.CounterVec("contender_quality_transitions_total", "Drift state transitions by template.", "template"),
+		dropped:     reg.Counter("contender_quality_dropped_total", "Feedback samples dropped before aggregation (full shard rings)."),
 		trackers:    map[int]*templateQuality{},
 	}
+}
+
+// AddDropped records n feedback samples that were lost before reaching
+// the aggregator — the sharded serving layer folds its ring-overflow
+// drop counts in here at drain time, so lossy-by-design telemetry stays
+// visible to operators (contender_quality_dropped_total on /metrics,
+// "dropped" in the /quality payload).
+func (q *Quality) AddDropped(n int64) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.dropped.Add(n)
+}
+
+// Dropped returns the total feedback samples recorded as dropped.
+func (q *Quality) Dropped() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.dropped.Value()
 }
 
 // Config returns the effective detector configuration (defaults filled).
@@ -385,6 +407,41 @@ func (q *Quality) observeLocked(t *templateQuality, signedErr float64) DriftResu
 	}
 }
 
+// ResetTemplate rearms a template's tracker after its model was
+// replaced: the drift detector, trailing window, rolling error sums, and
+// state machine restart from healthy, so the new model is judged only on
+// its own feedback instead of inheriting the stale regime's statistics.
+// Monotonic counters (feedback and transition totals, histograms) are
+// preserved — they are cumulative telemetry, not model state. Resetting
+// an unknown template is a no-op.
+func (q *Quality) ResetTemplate(template int) {
+	if q == nil {
+		return
+	}
+	q.mu.RLock()
+	t, ok := q.trackers[template]
+	q.mu.RUnlock()
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count = 0
+	t.sumAbs = 0
+	t.last = 0
+	t.phN, t.phMean = 0, 0
+	t.phPos, t.phMin = 0, 0
+	t.phNeg, t.phMax = 0, 0
+	t.state = DriftHealthy
+	t.sinceTransition = 0
+	for i := range t.window {
+		t.window[i] = 0
+	}
+	t.wIdx, t.wFill, t.wSum = 0, 0, 0
+	t.mre.Set(0)
+	t.stateG.Set(float64(DriftHealthy))
+}
+
 // State returns a template's current drift state (healthy when the
 // template has never received feedback).
 func (q *Quality) State(template int) DriftState {
@@ -417,6 +474,7 @@ type TemplateQuality struct {
 // all templates that received feedback, sorted by template ID.
 type QualityReport struct {
 	Samples   int64             `json:"samples"`
+	Dropped   int64             `json:"dropped"`
 	Healthy   int               `json:"healthy"`
 	Degraded  int               `json:"degraded"`
 	Stale     int               `json:"stale"`
@@ -430,6 +488,7 @@ func (q *Quality) Report() QualityReport {
 	if q == nil {
 		return rep
 	}
+	rep.Dropped = q.dropped.Value()
 	q.mu.RLock()
 	trackers := make([]*templateQuality, 0, len(q.trackers))
 	for _, t := range q.trackers {

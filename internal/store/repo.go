@@ -1,0 +1,166 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Repository is the byte-level persistence layer under a Store: a flat
+// namespace of named blobs. The Store layers fingerprinting, checksums,
+// version history, and an in-memory cache on top; a Repository only has
+// to get four operations right. WriteAtomic must be all-or-nothing — a
+// crash mid-write may leave detectable debris (a *.tmp orphan) but never
+// a torn blob under the final name.
+type Repository interface {
+	// List returns every blob name, sorted, including any *.tmp debris
+	// left by a crashed WriteAtomic.
+	List() ([]string, error)
+	// Read returns a blob's bytes. A missing blob reports fs.ErrNotExist
+	// through errors.Is.
+	Read(name string) ([]byte, error)
+	// WriteAtomic publishes a blob all-or-nothing (write-then-rename on
+	// disk). Concurrent readers see either the old bytes or the new,
+	// never a mix.
+	WriteAtomic(name string, data []byte) error
+	// Remove deletes a blob; removing a missing blob is not an error.
+	Remove(name string) error
+}
+
+// tmpSuffix marks in-flight atomic writes. Open sweeps orphans with this
+// suffix: their presence means a writer died mid-publish, and by
+// construction nothing references them yet.
+const tmpSuffix = ".tmp"
+
+// DiskRepository stores blobs as files in one directory, publishing each
+// write through a temp file and an atomic rename.
+type DiskRepository struct {
+	dir string
+}
+
+// NewDiskRepository returns a repository rooted at dir, creating the
+// directory if needed.
+func NewDiskRepository(dir string) (*DiskRepository, error) {
+	if dir == "" {
+		return nil, resilientConfigErr("disk repository needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating repository dir: %w", err)
+	}
+	return &DiskRepository{dir: dir}, nil
+}
+
+// Dir returns the repository's root directory.
+func (r *DiskRepository) Dir() string { return r.dir }
+
+func (r *DiskRepository) List() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing repository: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (r *DiskRepository) Read(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(r.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", name, err)
+	}
+	return data, nil
+}
+
+func (r *DiskRepository) WriteAtomic(name string, data []byte) error {
+	tmp := filepath.Join(r.dir, name+tmpSuffix)
+	final := filepath.Join(r.dir, name)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: publishing %s: %w", name, err)
+	}
+	return nil
+}
+
+func (r *DiskRepository) Remove(name string) error {
+	err := os.Remove(filepath.Join(r.dir, name))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: removing %s: %w", name, err)
+	}
+	return nil
+}
+
+// MemRepository is an in-memory Repository: the same semantics as the
+// disk one with none of the I/O, for tests and deterministic experiment
+// replays. Safe for concurrent use.
+type MemRepository struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemRepository returns an empty in-memory repository.
+func NewMemRepository() *MemRepository {
+	return &MemRepository{blobs: map[string][]byte{}}
+}
+
+func (r *MemRepository) List() ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.blobs))
+	for name := range r.blobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (r *MemRepository) Read(name string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, ok := r.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("store: reading %s: %w", name, fs.ErrNotExist)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (r *MemRepository) WriteAtomic(name string, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.blobs[name] = cp
+	return nil
+}
+
+func (r *MemRepository) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.blobs, name)
+	return nil
+}
+
+// Put writes raw bytes under name without atomicity — the hook chaos
+// tests use to plant crash debris (*.tmp orphans) or corrupt a published
+// blob in place, exactly as a torn disk write would.
+func (r *MemRepository) Put(name string, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.blobs[name] = cp
+}

@@ -1,0 +1,102 @@
+package contender
+
+import (
+	"contender/internal/store"
+)
+
+// Versioned knowledge store facade: persist every trained model as an
+// immutable, content-fingerprinted version under one directory. Open it
+// with OpenStore (or wire it into a Workbench with WithStore so the
+// lifecycle loop persists promotions automatically). Writes are atomic
+// (write-then-rename) and every blob carries a full checksum: killing
+// the process mid-publish never leaves the store unreadable, and a
+// corrupted current version is detected on open and falls back to the
+// newest intact one — see KnowledgeStore.Report for what recovery did.
+
+// StoreVersion identifies one immutable version: a monotonically
+// increasing sequence number, the content fingerprint the blob is named
+// by, its full checksum, and a human note ("baseline", "retrain T2").
+type StoreVersion = store.Version
+
+// StoreReport describes what opening a store had to repair: temp-file
+// debris swept, corrupt versions dropped, and the version the store
+// fell back to when the current one was damaged.
+type StoreReport = store.OpenReport
+
+// Store error sentinels, testable with errors.Is.
+var (
+	// ErrNoVersions: the store has no published version yet.
+	ErrNoVersions = store.ErrNoVersions
+	// ErrUnknownVersion: the requested fingerprint is not in the store.
+	ErrUnknownVersion = store.ErrUnknownVersion
+)
+
+// KnowledgeStore is a versioned, crash-safe repository of predictor
+// snapshots. Safe for concurrent use.
+type KnowledgeStore struct {
+	inner *store.Store
+}
+
+// OpenStore opens (or initializes) a versioned store rooted at dir,
+// recovering from any crash debris or corruption it finds. Check
+// Report afterwards to see whether recovery had to act.
+func OpenStore(dir string) (*KnowledgeStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &KnowledgeStore{inner: s}, nil
+}
+
+// Publish persists the predictor's snapshot as a new version and makes
+// it current. Publishing identical content re-points to the existing
+// blob (versions are content-addressed), so re-publishing is cheap and
+// idempotent on disk.
+func (s *KnowledgeStore) Publish(p *Predictor, note string) (StoreVersion, error) {
+	return s.inner.Publish(p.inner.Snapshot(), note)
+}
+
+// Current returns the serving version, and false when nothing has been
+// published yet.
+func (s *KnowledgeStore) Current() (StoreVersion, bool) { return s.inner.Current() }
+
+// CurrentPredictor reconstructs a ready predictor from the current
+// version.
+func (s *KnowledgeStore) CurrentPredictor() (*Predictor, StoreVersion, error) {
+	p, v, err := s.inner.CurrentPredictor()
+	if err != nil {
+		return nil, v, err
+	}
+	return &Predictor{inner: p}, v, nil
+}
+
+// Versions lists the full history, oldest first.
+func (s *KnowledgeStore) Versions() []StoreVersion { return s.inner.Versions() }
+
+// Rollback re-points current to the newest earlier version with
+// different content and returns it.
+func (s *KnowledgeStore) Rollback() (StoreVersion, error) { return s.inner.Rollback() }
+
+// Report describes the recovery work the last open performed.
+func (s *KnowledgeStore) Report() StoreReport { return s.inner.Report() }
+
+// Len returns the number of versions in the history.
+func (s *KnowledgeStore) Len() int { return s.inner.Len() }
+
+// WithStore attaches a versioned knowledge store rooted at dir to the
+// workbench: Workbench.Store exposes it, and Workbench.Lifecycle
+// persists every promoted model into it (publishing the baseline first,
+// so rollback always has somewhere to land). The directory is created
+// and recovered at NewWorkbench time.
+func WithStore(dir string) Option {
+	return func(c *config) { c.storeDir = dir }
+}
+
+// Store returns the knowledge store attached with WithStore, and false
+// when the workbench was built without one.
+func (w *Workbench) Store() (*KnowledgeStore, bool) {
+	if w.store == nil {
+		return nil, false
+	}
+	return w.store, true
+}
