@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench-guard selfheal-golden clean
+.PHONY: all build test race vet staticcheck bench-guard selfheal-golden serve-smoke clean
 
 all: build test vet
 
@@ -62,6 +62,24 @@ selfheal-golden:
 	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-selfheal -workers 4 > /tmp/selfheal-w4.txt
 	diff -u /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
 	rm -f /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
+
+# The serving layer's end-to-end gate: drive both protocol fronts with
+# the deterministic load generator, require binary/HTTP payload parity
+# and a conservative throughput floor, and require the checksum to
+# reproduce across two runs (mirrors the CI serve-smoke job).
+serve-smoke:
+	$(GO) run ./cmd/contender-serve -quick -loadgen -loadgen-ops 500 \
+		-min-rate 100000 -bench-out /tmp/serve-smoke-1.json
+	$(GO) run ./cmd/contender-serve -quick -loadgen -loadgen-ops 500 \
+		-min-rate 100000 -bench-out /tmp/serve-smoke-2.json
+	@c1=$$(grep '"checksum"' /tmp/serve-smoke-1.json); \
+	c2=$$(grep '"checksum"' /tmp/serve-smoke-2.json); \
+	if [ "$$c1" != "$$c2" ]; then \
+		echo "serve-smoke: checksum not reproducible: $$c1 vs $$c2" >&2; \
+		exit 1; \
+	fi; \
+	echo "serve-smoke: reproducible $$c1"
+	rm -f /tmp/serve-smoke-1.json /tmp/serve-smoke-2.json
 
 clean:
 	rm -rf bin

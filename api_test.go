@@ -472,3 +472,13 @@ var (
 	_ func(System, TrainConfig, ...Option) (*TrainResult, error)                  = TrainFromSystem
 	_ func(context.Context, System, TrainConfig, ...Option) (*TrainResult, error) = TrainFromSystemContext
 )
+
+// The serving facade's unified option vocabulary: NewSharded and
+// NewServer share ServeOption, and the pre-facade struct constructor
+// survives as a deprecated shim with its original shape. A signature
+// change to any of the three is a compile error here.
+var (
+	_ func(*Predictor, ...ServeOption) (*Sharded, error) = NewSharded
+	_ func(*Predictor, ShardOptions) (*Sharded, error)   = NewShardedWithOptions
+	_ func(*Sharded, ...ServeOption) (*Server, error)    = NewServer
+)

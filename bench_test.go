@@ -412,7 +412,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 // report 0 allocs/op.
 func BenchmarkShardedPredict(b *testing.B) {
 	pred := trainedPredictor(b)
-	s, err := NewSharded(pred, ShardOptions{Shards: 1})
+	s, err := NewSharded(pred, WithShards(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func BenchmarkShardedObserve(b *testing.B) {
 	pred := trainedPredictor(b)
 	pred.SetQuality(NewQuality(DriftConfig{}))
 	defer pred.SetQuality(nil)
-	s, err := NewSharded(pred, ShardOptions{Shards: 1, RingSize: 1024})
+	s, err := NewSharded(pred, WithShards(1), WithFeedbackRing(1024))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -467,7 +467,7 @@ func BenchmarkShardedObserve(b *testing.B) {
 // (contender-bench -sweep) measures as a full matrix.
 func BenchmarkShardedPredictParallel(b *testing.B) {
 	pred := trainedPredictor(b)
-	s, err := NewSharded(pred, ShardOptions{})
+	s, err := NewSharded(pred)
 	if err != nil {
 		b.Fatal(err)
 	}

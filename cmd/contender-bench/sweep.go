@@ -185,7 +185,7 @@ func sweepCell(pred *contender.Predictor, procs, shards, batch, ops int, want st
 		OpsPerShard: ops,
 	}
 	mixes := sweepMixes(batch)
-	s, err := contender.NewSharded(pred, contender.ShardOptions{Shards: shards})
+	s, err := contender.NewSharded(pred, contender.WithShards(shards))
 	if err != nil {
 		return row, err
 	}

@@ -274,7 +274,7 @@ func main() {
 // promotes (publishing a new store version when a store is attached).
 func selfHeal(wb *contender.Workbench, pred *contender.Predictor, st *contender.KnowledgeStore, victim int, concurrent []int) error {
 	const shift = 1.8
-	sharded, err := contender.NewSharded(pred, contender.ShardOptions{Shards: 1})
+	sharded, err := contender.NewSharded(pred, contender.WithShards(1))
 	if err != nil {
 		return err
 	}

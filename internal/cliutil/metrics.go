@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"sync"
+	"time"
 
 	"contender/internal/obs"
 )
@@ -16,6 +18,19 @@ import (
 // duplicate name, and tests may start several metrics servers in one
 // process.
 var publishOnce sync.Once
+
+// ShutdownDrainTimeout bounds how long the stop function returned by
+// ServeMetrics waits for in-flight requests to finish before severing
+// their connections. Package-level so tests can shrink it.
+var ShutdownDrainTimeout = 5 * time.Second
+
+// Mount is an extra handler mounted on the diagnostics mux — the
+// serving layer mounts its /v1/* prediction endpoints beside /metrics
+// this way, so one -metrics-addr exposes both.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
 
 // ServeMetrics starts the shared diagnostics endpoint behind the
 // -metrics-addr flag of every CLI. It listens on addr and serves
@@ -27,11 +42,14 @@ var publishOnce sync.Once
 //	/debug/pprof/  the standard pprof handlers
 //
 // q may be nil: /quality then serves an empty report, so dashboards can
-// scrape it unconditionally. The returned address is the bound listen
-// address (useful with ":0"), and the returned func shuts the listener
-// down. The server runs on its own goroutine and never blocks the
-// campaign it observes.
-func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality) (string, func(), error) {
+// scrape it unconditionally. Extra mounts (e.g. the serving layer's
+// /v1/* endpoints) are added to the same mux. The returned address is
+// the bound listen address (useful with ":0"), and the returned func
+// shuts the server down gracefully: it stops accepting, waits up to
+// ShutdownDrainTimeout for in-flight requests to drain, then severs
+// what remains. The server runs on its own goroutine and never blocks
+// the campaign it observes.
+func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality, mounts ...Mount) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listener: %w", err)
@@ -56,10 +74,23 @@ func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality) (string, func(), 
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, mt := range mounts {
+		mux.Handle(mt.Pattern, mt.Handler)
+	}
 
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
-	return ln.Addr().String(), func() { ln.Close() }, nil
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownDrainTimeout)
+		defer cancel()
+		// Shutdown closes the listener, lets in-flight requests finish,
+		// and returns ctx.Err() at the drain deadline; Close then severs
+		// whatever is still open so stop() always terminates the server.
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 // WriteTraceFile renders a recorded event stream to path as Chrome

@@ -72,6 +72,82 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeMetricsGracefulShutdown pins that stop() drains an in-flight
+// request (the slow handler finishes and its client reads a complete
+// response) instead of severing it, and that the listener stops
+// accepting immediately.
+func TestServeMetricsGracefulShutdown(t *testing.T) {
+	m := obs.NewMetrics()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		_, _ = io.WriteString(w, "drained-ok")
+	})
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil, Mount{Pattern: "/slow", Handler: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-entered
+
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		close(stopped)
+	}()
+	// stop() must wait for the in-flight request, not return early.
+	select {
+	case <-stopped:
+		t.Fatal("stop() returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// New connections are refused once shutdown began.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after stop() began")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight request severed: %v", r.err)
+		}
+		if r.body != "drained-ok" {
+			t.Fatalf("in-flight response truncated: %q", r.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() never returned after drain")
+	}
+}
+
 func TestServeMetricsNilQuality(t *testing.T) {
 	m := obs.NewMetrics()
 	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil)

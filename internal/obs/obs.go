@@ -75,6 +75,20 @@ const (
 	SpanServePredictNew   = "serve.predict_new"
 	SpanServeCQI          = "serve.cqi"
 
+	// Network serving layer (internal/serve). serve.request spans one
+	// wire request on either protocol, with Key carrying the operation
+	// ("predict", "predict_batch", "feedback") and Value the number of
+	// predictions it produced. The point events mark the control
+	// decisions around the data path: serve.overload fires when
+	// admission control rejects a request (token bucket empty or the
+	// in-flight cap reached), serve.conn per accepted binary connection,
+	// and serve.drain per feedback-drain tick with Value carrying the
+	// number of samples folded.
+	SpanServeRequest   = "serve.request"
+	PointServeOverload = "serve.overload"
+	PointServeConn     = "serve.conn"
+	PointServeDrain    = "serve.drain"
+
 	// Scheduler.
 	SpanSchedPolicy   = "sched.policy"   // one policy Order() evaluation
 	SpanSchedForecast = "sched.forecast" // one queue-latency forecast

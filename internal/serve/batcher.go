@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"contender/internal/core"
+)
+
+// Deadline-bounded request coalescing. Single-prediction requests
+// arriving from many connections within one batch window are merged
+// into PredictBatch calls — the vectorized kernel amortizes CQI
+// recomputation across mixes, so coalescing N concurrent singles costs
+// far less than N PredictKnown round trips through a shard. Because the
+// batch kernel is bit-identical to per-mix PredictKnown, coalescing is
+// invisible in the results: only latency and throughput change.
+//
+// The batcher owns one shard for its lifetime (it is a serving worker
+// like any other) and drains its queue in arrival order. A batch closes
+// when (a) maxCoalesce requests are pending, (b) the window deadline
+// since the batch's first request expires, or (c) the queue goes
+// momentarily idle — an idle queue means waiting longer buys nothing.
+// Window zero keeps (a) and (c): pure burst coalescing with no timer.
+
+// pending is one coalesced prediction request.
+type pending struct {
+	primary int
+	mix     []int
+	result  float64
+	err     error
+	done    chan *pending
+}
+
+var pendingPool = sync.Pool{New: func() any { return &pending{done: make(chan *pending, 1)} }}
+
+// batcher coalesces predict requests onto one shard.
+type batcher struct {
+	shard       *core.Shard
+	window      time.Duration
+	maxCoalesce int
+
+	queue chan *pending
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	// onBatch, when set, observes each executed batch's size (metrics).
+	onBatch func(n int)
+}
+
+func newBatcher(shard *core.Shard, window time.Duration, maxCoalesce int) *batcher {
+	if maxCoalesce <= 0 {
+		maxCoalesce = 256
+	}
+	b := &batcher{
+		shard:       shard,
+		window:      window,
+		maxCoalesce: maxCoalesce,
+		queue:       make(chan *pending, 4*maxCoalesce),
+		stop:        make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// predict routes one prediction through the coalescer and blocks until
+// its batch executes. mix must not be mutated until predict returns.
+func (b *batcher) predict(primary int, mix []int) (float64, error) {
+	p := pendingPool.Get().(*pending)
+	p.primary, p.mix = primary, mix
+	select {
+	case b.queue <- p:
+	case <-b.stop:
+		pendingPool.Put(p)
+		return 0, ErrOverloaded
+	}
+	<-p.done
+	res, err := p.result, p.err
+	p.mix = nil
+	pendingPool.Put(p)
+	return res, err
+}
+
+// close stops the batcher after flushing queued requests.
+func (b *batcher) close() {
+	close(b.stop)
+	b.wg.Wait()
+}
+
+func (b *batcher) run() {
+	defer b.wg.Done()
+	batch := make([]*pending, 0, b.maxCoalesce)
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	for {
+		batch = batch[:0]
+		// Block for the batch's first request.
+		select {
+		case p := <-b.queue:
+			batch = append(batch, p)
+		case <-b.stop:
+			b.flushQueue()
+			return
+		}
+		if b.window > 0 {
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+			} else {
+				timer.Reset(b.window)
+			}
+			timeout = timer.C
+		}
+	fill:
+		for len(batch) < b.maxCoalesce {
+			select {
+			case p := <-b.queue:
+				batch = append(batch, p)
+			case <-timeout:
+				timeout = nil
+				break fill
+			default:
+				if b.window == 0 || timeout == nil {
+					break fill
+				}
+				// Window open and queue idle: wait for more work or the
+				// deadline, whichever first.
+				select {
+				case p := <-b.queue:
+					batch = append(batch, p)
+				case <-timeout:
+					timeout = nil
+					break fill
+				case <-b.stop:
+					break fill
+				}
+			}
+		}
+		if timer != nil && timeout != nil && !timer.Stop() {
+			<-timer.C
+		}
+		timeout = nil
+		b.execute(batch)
+	}
+}
+
+// guardedBatch / guardedPredict run the batcher's shard under guardErr:
+// a kernel panic must not kill the run loop — every later caller would
+// block forever on a dead coalescer.
+func (b *batcher) guardedBatch(primary int, mixes [][]int) (res []float64, err error) {
+	defer guardErr(&err)
+	return b.shard.BatchPredict(primary, mixes)
+}
+
+func (b *batcher) guardedPredict(primary int, mix []int) (v float64, err error) {
+	defer guardErr(&err)
+	return b.shard.Predict(primary, mix)
+}
+
+// flushQueue answers everything still queued at shutdown.
+func (b *batcher) flushQueue() {
+	for {
+		select {
+		case p := <-b.queue:
+			p.result, p.err = 0, ErrOverloaded
+			p.done <- p
+		default:
+			return
+		}
+	}
+}
+
+// execute groups the batch by primary (PredictBatch prices one primary
+// against many mixes) and answers every request. The grouping sort is
+// stable on arrival order, so two requests for the same primary keep
+// their relative order — and results are bit-identical to per-request
+// PredictKnown regardless of grouping.
+func (b *batcher) execute(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].primary < batch[j].primary })
+	if b.onBatch != nil {
+		b.onBatch(len(batch))
+	}
+	mixes := make([][]int, 0, len(batch))
+	for start := 0; start < len(batch); {
+		end := start + 1
+		for end < len(batch) && batch[end].primary == batch[start].primary {
+			end++
+		}
+		mixes = mixes[:0]
+		for _, p := range batch[start:end] {
+			mixes = append(mixes, p.mix)
+		}
+		res, err := b.guardedBatch(batch[start].primary, mixes)
+		if err != nil {
+			// A grouped failure must not smear one request's bad mix
+			// across its groupmates: fall back to per-request pricing so
+			// each caller gets exactly the error (or result) its own mix
+			// deserves.
+			for _, p := range batch[start:end] {
+				p.result, p.err = b.guardedPredict(p.primary, p.mix)
+				p.done <- p
+			}
+		} else {
+			for i, p := range batch[start:end] {
+				p.result, p.err = res[i], nil
+				p.done <- p
+			}
+		}
+		start = end
+	}
+}

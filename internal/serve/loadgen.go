@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Deterministic load generator. Each connection replays a seeded
+// request stream (seed + connection index), so a run is reproducible:
+// same seed, same pool, same op count → the same predictions in the
+// same order, summarized by an FNV-1a checksum over the prediction
+// float64 bit patterns. The checksum is the parity oracle between the
+// two protocols: replaying the identical streams over HTTP/JSON must
+// produce the identical checksum, byte for byte, or one protocol is
+// lying about the core's answers.
+
+// LoadgenConfig drives RunLoadgen. Zero values select the documented
+// defaults.
+type LoadgenConfig struct {
+	// Addr is the binary-protocol address to drive (required).
+	Addr string
+	// HTTPBase, when non-empty (e.g. "http://127.0.0.1:8080"), replays
+	// the same seeded streams over POST /v1/predict_batch and verifies
+	// checksum parity with the binary run.
+	HTTPBase string
+	// Conns is the number of concurrent binary connections (default 2).
+	Conns int
+	// Batch is the number of mixes per predict_batch frame (default 64).
+	Batch int
+	// Ops is the number of batch frames per connection (default 500).
+	Ops int
+	// Seed seeds the per-connection streams (conn i uses Seed+i).
+	Seed int64
+	// Pool is the trained template ID pool mixes draw from (required).
+	Pool []int
+	// MixMax caps a generated mix's concurrent count (default 2, i.e.
+	// MPL ≤ 3). Keep it within the predictor's trained MPL range or
+	// every frame answers ErrUntrainedMPL.
+	MixMax int
+}
+
+// LoadgenResult summarizes one load-generator run.
+type LoadgenResult struct {
+	Conns             int     `json:"conns"`
+	Batch             int     `json:"batch"`
+	Ops               int     `json:"ops_per_conn"`
+	Seed              int64   `json:"seed"`
+	Predictions       int64   `json:"predictions"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	Checksum          string  `json:"checksum"`
+	HTTPChecksum      string  `json:"http_checksum,omitempty"`
+	Parity            bool    `json:"parity"`
+}
+
+func (c *LoadgenConfig) defaults() error {
+	if c.Addr == "" {
+		return fmt.Errorf("serve: loadgen needs a binary address")
+	}
+	if len(c.Pool) == 0 {
+		return fmt.Errorf("serve: loadgen needs a template pool")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Ops <= 0 {
+		c.Ops = 500
+	}
+	if c.MixMax <= 0 {
+		c.MixMax = 2
+	}
+	return nil
+}
+
+// stream regenerates connection i's request sequence. Both protocols
+// replay through this one generator, which is what makes the parity
+// check meaningful.
+type stream struct {
+	rng    *rand.Rand
+	pool   []int
+	batch  int
+	mixMax int
+}
+
+func newStream(cfg LoadgenConfig, conn int) *stream {
+	return &stream{
+		rng:    rand.New(rand.NewSource(cfg.Seed + int64(conn))),
+		pool:   cfg.Pool,
+		batch:  cfg.Batch,
+		mixMax: cfg.MixMax,
+	}
+}
+
+// next returns the next (primary, mixes) batch request. The returned
+// slices are valid until the following call.
+func (s *stream) next() (int, [][]int) {
+	primary := s.pool[s.rng.Intn(len(s.pool))]
+	mixes := make([][]int, s.batch)
+	for i := range mixes {
+		k := 1 + s.rng.Intn(s.mixMax)
+		mix := make([]int, k)
+		for j := range mix {
+			mix[j] = s.pool[s.rng.Intn(len(s.pool))]
+		}
+		mixes[i] = mix
+	}
+	return primary, mixes
+}
+
+// RunLoadgen drives the binary protocol with Conns seeded streams,
+// then (when HTTPBase is set) replays the identical streams over
+// HTTP/JSON and checks payload parity.
+func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return LoadgenResult{}, err
+	}
+	res := LoadgenResult{Conns: cfg.Conns, Batch: cfg.Batch, Ops: cfg.Ops, Seed: cfg.Seed}
+
+	sums := make([]uint64, cfg.Conns)
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = driveBinaryConn(cfg, i)
+		}(i)
+	}
+	wg.Wait()
+	res.ElapsedSec = time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	res.Predictions = int64(cfg.Conns) * int64(cfg.Ops) * int64(cfg.Batch)
+	if res.ElapsedSec > 0 {
+		res.PredictionsPerSec = float64(res.Predictions) / res.ElapsedSec
+	}
+	res.Checksum = foldChecksums(sums)
+	res.Parity = true
+
+	if cfg.HTTPBase != "" {
+		httpSums := make([]uint64, cfg.Conns)
+		for i := 0; i < cfg.Conns; i++ {
+			var err error
+			httpSums[i], err = driveHTTPConn(cfg, i)
+			if err != nil {
+				return res, err
+			}
+		}
+		res.HTTPChecksum = foldChecksums(httpSums)
+		res.Parity = res.HTTPChecksum == res.Checksum
+		if !res.Parity {
+			return res, fmt.Errorf("serve: protocol parity violation: binary %s != http %s", res.Checksum, res.HTTPChecksum)
+		}
+	}
+	return res, nil
+}
+
+// driveBinaryConn replays stream i over one pipelined binary
+// connection: a writer goroutine keeps frames in flight while the
+// reader folds predictions into the checksum in response order (the
+// server answers one connection's frames in order, so response order
+// is request order).
+func driveBinaryConn(cfg LoadgenConfig, i int) (uint64, error) {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return 0, fmt.Errorf("serve: loadgen dial: %w", err)
+	}
+	defer conn.Close()
+
+	writeErr := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		st := newStream(cfg, i)
+		var buf []byte
+		for op := 0; op < cfg.Ops; op++ {
+			primary, mixes := st.next()
+			buf = buf[:0]
+			var lenOff int
+			buf, lenOff = appendFrameHeader(buf, OpBatch, uint32(op))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(primary))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(mixes)))
+			for _, mix := range mixes {
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(len(mix)))
+				for _, t := range mix {
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+				}
+			}
+			patchFrameLen(buf, lenOff)
+			if _, err := bw.Write(buf); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Flush()
+	}()
+
+	h := fnv.New64a()
+	var scratch [8]byte
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var header [4]byte
+	payload := make([]byte, 0, 4096)
+	for op := 0; op < cfg.Ops; op++ {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			return 0, fmt.Errorf("serve: loadgen read: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint32(header[:]))
+		if n < frameHeaderSize || n > MaxFrame {
+			return 0, fmt.Errorf("serve: loadgen: bad response frame length %d", n)
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return 0, fmt.Errorf("serve: loadgen read: %w", err)
+		}
+		if code := Code(payload[1]); code != CodeOK {
+			return 0, fmt.Errorf("serve: loadgen: response code %s on frame %d", code, op)
+		}
+		r := frameReader{b: payload[frameHeaderSize:]}
+		m := int(r.u16())
+		for j := 0; j < m; j++ {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(r.f64()))
+			_, _ = h.Write(scratch[:])
+		}
+		if !r.done() || m != cfg.Batch {
+			return 0, fmt.Errorf("serve: loadgen: malformed batch response on frame %d", op)
+		}
+	}
+	if err := <-writeErr; err != nil {
+		return 0, fmt.Errorf("serve: loadgen write: %w", err)
+	}
+	return h.Sum64(), nil
+}
+
+// driveHTTPConn replays stream i over POST /v1/predict_batch.
+func driveHTTPConn(cfg LoadgenConfig, i int) (uint64, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	st := newStream(cfg, i)
+	h := fnv.New64a()
+	var scratch [8]byte
+	url := cfg.HTTPBase + "/v1/predict_batch"
+	for op := 0; op < cfg.Ops; op++ {
+		primary, mixes := st.next()
+		body, err := json.Marshal(BatchRequest{Primary: primary, Mixes: mixes})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, fmt.Errorf("serve: loadgen http: %w", err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("serve: loadgen http: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("serve: loadgen http: status %d on frame %d: %s", resp.StatusCode, op, data)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(data, &br); err != nil {
+			return 0, fmt.Errorf("serve: loadgen http: %w", err)
+		}
+		if len(br.Predictions) != cfg.Batch {
+			return 0, fmt.Errorf("serve: loadgen http: %d predictions, want %d", len(br.Predictions), cfg.Batch)
+		}
+		for _, v := range br.Predictions {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			_, _ = h.Write(scratch[:])
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// foldChecksums combines per-connection checksums in connection order.
+func foldChecksums(sums []uint64) string {
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, s := range sums {
+		binary.LittleEndian.PutUint64(scratch[:], s)
+		_, _ = h.Write(scratch[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

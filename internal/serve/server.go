@@ -1,0 +1,785 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"contender/internal/core"
+	"contender/internal/obs"
+)
+
+// Server is the network-facing prediction service: one core.Sharded
+// behind both wire protocols. Construction is cheap; the server starts
+// work when ListenBinary accepts connections or Handler is mounted on
+// an HTTP mux. Shutdown drains in-flight requests under a deadline.
+//
+// Concurrency model:
+//
+//   - Each accepted binary connection is owned by one reader goroutine
+//     holding one shard for the connection's lifetime (per-connection
+//     shard affinity — the shard's scratch stays hot in that core's
+//     cache), plus one writer goroutine flushing framed responses.
+//   - HTTP handlers borrow shards from a free list sized to the shard
+//     count; a borrowed shard is used single-threadedly, exactly like a
+//     binary connection's.
+//   - Single-prediction requests may be coalesced across connections
+//     into vectorized PredictBatch calls by the deadline-bounded
+//     batcher (Config.BatchWindow). Batch requests execute directly on
+//     the owning connection's shard — they are already batches.
+//   - Snapshot hot-swaps (Sharded.Swap, the lifecycle loop) never block
+//     serving: every prediction reads the atomic snapshot pointer, so a
+//     request straddling a swap simply completes on the old model.
+type Server struct {
+	cfg   Config
+	sh    *core.Sharded
+	bat   *batcher
+	httpA *admitter // admission for the HTTP front
+	free  chan *core.Shard
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg    sync.WaitGroup
+	drain chan struct{} // closes to stop the feedback-drain loop
+
+	met serveMetrics
+}
+
+// Config configures New. Zero values select the documented defaults.
+type Config struct {
+	// Observer receives serve.request spans and serve.* points (nil:
+	// no observation; the wire layer stays clock-free).
+	Observer obs.Observer
+	// Metrics, when non-nil, registers the contender_serve_* families
+	// on its registry and folds per-request counters into them.
+	Metrics *obs.Metrics
+	// MaxBatch caps the mixes of one predict_batch request (default
+	// 4096; CodeBatchTooLarge beyond it).
+	MaxBatch int
+	// BatchWindow is the coalescing deadline for single-prediction
+	// requests: requests arriving within the window merge into one
+	// vectorized PredictBatch. Zero disables the timer (bursts still
+	// coalesce when they queue faster than the batcher drains);
+	// negative disables coalescing entirely.
+	BatchWindow time.Duration
+	// MaxCoalesce caps one coalesced batch (default 256).
+	MaxCoalesce int
+	// Admission bounds each binary connection and the HTTP front as a
+	// whole. The zero value admits everything.
+	Admission AdmissionConfig
+	// DrainEvery is the feedback-drain cadence: buffered Shard.Observe
+	// samples fold into the quality aggregator this often (default
+	// 100ms; negative disables the loop).
+	DrainEvery time.Duration
+	// Now is the admission clock (default time.Now; injectable for
+	// deterministic tests).
+	Now func() time.Time
+}
+
+// serveMetrics is the contender_serve_* family set, nil-safe when no
+// registry is attached.
+type serveMetrics struct {
+	requests    *obs.CounterVec // by op
+	errors      *obs.CounterVec // by code
+	predictions *obs.Counter
+	overloads   *obs.Counter
+	connections *obs.Counter
+	coalesced   *obs.Histogram
+}
+
+func newServeMetrics(m *obs.Metrics) serveMetrics {
+	if m == nil {
+		return serveMetrics{}
+	}
+	reg := m.Registry()
+	return serveMetrics{
+		requests:    reg.CounterVec("contender_serve_requests_total", "Wire requests by operation.", "op"),
+		errors:      reg.CounterVec("contender_serve_errors_total", "Wire errors by stable v1 code.", "code"),
+		predictions: reg.Counter("contender_serve_predictions_total", "Predictions served across both protocols."),
+		overloads:   reg.Counter("contender_serve_overload_total", "Requests rejected by admission control."),
+		connections: reg.Counter("contender_serve_connections_total", "Binary protocol connections accepted."),
+		coalesced:   reg.Histogram("contender_serve_coalesced_batch", "Coalesced batch sizes executed by the request batcher.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+}
+
+// New builds a server over a sharded serving set.
+func New(sh *core.Sharded, cfg Config) (*Server, error) {
+	if sh == nil {
+		return nil, fmt.Errorf("serve: New needs a sharded serving set")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.DrainEvery == 0 {
+		cfg.DrainEvery = 100 * time.Millisecond
+	}
+	s := &Server{
+		cfg:   cfg,
+		sh:    sh,
+		conns: map[net.Conn]struct{}{},
+		drain: make(chan struct{}),
+		free:  make(chan *core.Shard, sh.NumShards()),
+		met:   newServeMetrics(cfg.Metrics),
+	}
+	for i := 0; i < sh.NumShards(); i++ {
+		s.free <- sh.Acquire()
+	}
+	if cfg.Admission.enabled() {
+		s.httpA = newAdmitter(cfg.Admission, cfg.Now)
+	}
+	if cfg.BatchWindow >= 0 {
+		s.bat = newBatcher(sh.Acquire(), cfg.BatchWindow, cfg.MaxCoalesce)
+		if s.met.coalesced != nil {
+			s.bat.onBatch = func(n int) { s.met.coalesced.Observe(float64(n)) }
+		}
+	}
+	if cfg.DrainEvery > 0 {
+		s.wg.Add(1)
+		go s.drainLoop()
+	}
+	return s, nil
+}
+
+// Sharded returns the serving set behind the server (for hot-swaps).
+func (s *Server) Sharded() *core.Sharded { return s.sh }
+
+// drainLoop periodically folds buffered feedback into the quality
+// aggregator, emitting a serve.drain point per non-empty tick.
+func (s *Server) drainLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.DrainEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.sh.DrainFeedback(); n > 0 {
+				obs.Emit(s.cfg.Observer, obs.Event{Kind: obs.Point, Span: obs.PointServeDrain, Value: float64(n)})
+			}
+		case <-s.drain:
+			s.sh.DrainFeedback()
+			return
+		}
+	}
+}
+
+// borrow takes a shard from the free list (blocking while every shard
+// is busy — the list bounds HTTP concurrency to the shard count).
+func (s *Server) borrow() *core.Shard { return <-s.free }
+
+func (s *Server) giveBack(sh *core.Shard) { s.free <- sh }
+
+// observeRequest emits the serve.request span and folds counters.
+func (s *Server) observeRequest(op string, n int, dur time.Duration, err error) {
+	if s.met.requests != nil {
+		s.met.requests.With(op).Inc()
+		if err == nil {
+			s.met.predictions.Add(int64(n))
+		} else {
+			s.met.errors.With(CodeFor(err).String()).Inc()
+		}
+	}
+	if s.cfg.Observer != nil {
+		obs.Emit(s.cfg.Observer, obs.Event{
+			Kind:  obs.SpanEnd,
+			Span:  obs.SpanServeRequest,
+			Key:   op,
+			Value: float64(n),
+			Dur:   dur,
+			Err:   obs.ErrLabel(err),
+		})
+	}
+}
+
+// overloaded counts one admission rejection.
+func (s *Server) overloaded(op string) {
+	if s.met.overloads != nil {
+		s.met.overloads.Inc()
+		s.met.errors.With(CodeOverloaded.String()).Inc()
+	}
+	obs.Emit(s.cfg.Observer, obs.Event{Kind: obs.Point, Span: obs.PointServeOverload, Key: op})
+}
+
+// ---------------------------------------------------------------------------
+// HTTP/JSON front (v1).
+
+// Handler returns the HTTP front: POST /v1/predict, /v1/predict_batch,
+// /v1/feedback. Mount it beside /metrics (cliutil.ServeMetrics does)
+// or on any mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJSON(w, r, "predict", func(body []byte) (any, int, error) {
+			var req PredictRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			v, err := s.predictOne(req.Primary, req.Concurrent)
+			if err != nil {
+				return nil, 0, err
+			}
+			return PredictResponse{Prediction: v}, 1, nil
+		})
+	})
+	mux.HandleFunc("/v1/predict_batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJSON(w, r, "predict_batch", func(body []byte) (any, int, error) {
+			var req BatchRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			if len(req.Mixes) > s.cfg.MaxBatch {
+				return nil, 0, fmt.Errorf("%w: %d mixes > max %d", ErrBatchTooLarge, len(req.Mixes), s.cfg.MaxBatch)
+			}
+			out, err := s.batchPredict(req.Primary, req.Mixes)
+			if err != nil {
+				return nil, 0, err
+			}
+			return BatchResponse{Predictions: out}, len(out), nil
+		})
+	})
+	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJSON(w, r, "feedback", func(body []byte) (any, int, error) {
+			var req FeedbackRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			res, err := s.observe(req.Primary, req.Concurrent, req.Observed)
+			if err != nil {
+				return nil, 0, err
+			}
+			return FeedbackResponse{Predicted: res.Predicted, SignedError: res.SignedError}, 0, nil
+		})
+	})
+	return mux
+}
+
+// handleJSON is the shared HTTP plumbing: method check, admission,
+// body read, dispatch, envelope rendering, observation.
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, op string, fn func(body []byte) (any, int, error)) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, fmt.Errorf("%w: method %s", ErrBadRequest, r.Method))
+		return
+	}
+	if s.httpA != nil && !s.httpA.admit() {
+		s.overloaded(op)
+		writeJSONError(w, ErrOverloaded)
+		return
+	}
+	if s.httpA != nil {
+		defer s.httpA.release()
+	}
+	var start time.Time
+	if s.cfg.Observer != nil {
+		start = time.Now()
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxFrame))
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var resp any
+	var n int
+	if err == nil {
+		resp, n, err = fn(body)
+	}
+	var dur time.Duration
+	if s.cfg.Observer != nil {
+		dur = time.Since(start)
+	}
+	s.observeRequest(op, n, dur, err)
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(resp)
+}
+
+// writeJSONError renders the v1 error envelope under the code's HTTP
+// status.
+func writeJSONError(w http.ResponseWriter, err error) {
+	code := CodeFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code.HTTPStatus())
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: WireError{Code: code.String(), Message: err.Error()}})
+}
+
+// predictOne routes a single prediction through the coalescing batcher
+// when one is running, else prices it directly on a borrowed shard.
+func (s *Server) predictOne(primary int, mix []int) (v float64, err error) {
+	if err := s.validateMix(mix); err != nil {
+		return 0, err
+	}
+	if s.bat != nil {
+		return s.bat.predict(primary, mix)
+	}
+	sh := s.borrow()
+	defer s.giveBack(sh)
+	defer guardErr(&err)
+	return sh.Predict(primary, mix)
+}
+
+// batchPredict validates and executes one predict_batch request on a
+// borrowed shard, copying the results out of the shard's scratch. Both
+// protocol fronts call it, which is what makes their payloads
+// byte-identical for the same request.
+func (s *Server) batchPredict(primary int, mixes [][]int) (out []float64, err error) {
+	for i, mix := range mixes {
+		if err := s.validateMix(mix); err != nil {
+			return nil, fmt.Errorf("serve: batch mix %d: %w", i, err)
+		}
+	}
+	sh := s.borrow()
+	defer s.giveBack(sh)
+	defer guardErr(&err)
+	res, err := sh.BatchPredict(primary, mixes)
+	if err != nil {
+		return nil, err
+	}
+	out = make([]float64, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// observe validates and executes one feedback request on a borrowed
+// shard.
+func (s *Server) observe(primary int, mix []int, observed float64) (res core.FeedbackResult, err error) {
+	if err := s.validateMix(mix); err != nil {
+		return core.FeedbackResult{}, err
+	}
+	sh := s.borrow()
+	defer s.giveBack(sh)
+	defer guardErr(&err)
+	return sh.Observe(primary, mix, observed)
+}
+
+// validateMix rejects unknown concurrent template IDs before they
+// reach the CQI kernel. The kernel treats an unknown ID as a
+// programming error (panic) because in-process callers control their
+// inputs; the wire layer does not, so it turns untrusted mixes into
+// the same ErrUnknownTemplate a bad primary produces. The primary
+// itself is validated by the core (cellFor), keeping its error text.
+func (s *Server) validateMix(mix []int) error {
+	know := s.sh.Snapshot().Know
+	for _, id := range mix {
+		if _, ok := know.Template(id); !ok {
+			return fmt.Errorf("serve: concurrent template %d: %w", id, core.ErrUnknownTemplate)
+		}
+	}
+	return nil
+}
+
+// guardErr converts a kernel panic into an error on the deferring
+// call's named return. Validation makes kernel panics unreachable in
+// steady state, but a hot-swap that shrank the template universe can
+// land between validation and execution; losing that one request beats
+// losing the serving goroutine (and, behind the batcher, every waiter
+// queued after it).
+func guardErr(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("serve: prediction failed: %v", r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Binary front (v1).
+
+// ListenBinary starts accepting binary-protocol connections on addr
+// and returns the bound address (useful with ":0"). The accept loop
+// runs on its own goroutine until Shutdown.
+func (s *Server) ListenBinary(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: binary listener: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("serve: server is shut down")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		if s.met.connections != nil {
+			s.met.connections.Inc()
+		}
+		obs.Emit(s.cfg.Observer, obs.Event{Kind: obs.Point, Span: obs.PointServeConn})
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// connState is one binary connection's working set: its shard, its
+// admission bucket, and reusable request/response buffers. Everything
+// is single-goroutine (the reader), except the response channel feeding
+// the writer.
+type connState struct {
+	srv   *Server
+	shard *core.Shard
+	adm   *admitter
+
+	respCh chan *[]byte
+	wErr   chan error
+
+	mixes   [][]int // decoded batch mixes, reused across frames
+	mixArea []int   // backing storage for mixes, reused across frames
+}
+
+var respBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	st := &connState{
+		srv:    s,
+		shard:  s.borrow(),
+		respCh: make(chan *[]byte, 64),
+		wErr:   make(chan error, 1),
+	}
+	defer s.giveBack(st.shard)
+	if s.cfg.Admission.enabled() {
+		st.adm = newAdmitter(s.cfg.Admission, s.cfg.Now)
+	}
+
+	// Writer goroutine: flush coalesces — one syscall per quiet moment,
+	// not per response — which is what lets a pipelined client sustain
+	// millions of predictions per second over one descriptor.
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		for bp := range st.respCh {
+			_, err := bw.Write(*bp)
+			*bp = (*bp)[:0]
+			respBufPool.Put(bp)
+			if err == nil && len(st.respCh) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				select {
+				case st.wErr <- err:
+				default:
+				}
+				for bp := range st.respCh {
+					*bp = (*bp)[:0]
+					respBufPool.Put(bp)
+				} // drain until close so the reader never blocks
+				return
+			}
+		}
+		_ = bw.Flush()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	payload := make([]byte, 0, 512)
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			break // EOF or connection torn down
+		}
+		n := int(binary.LittleEndian.Uint32(header[:]))
+		if n < frameHeaderSize || n > MaxFrame {
+			// Unframeable garbage: answer once, then hang up — resync is
+			// impossible on a corrupted length prefix.
+			st.reply(0, fmt.Errorf("%w: frame length %d", ErrBadRequest, n))
+			break
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		version, op, reqID := payload[0], payload[1], binary.LittleEndian.Uint32(payload[2:6])
+		if version != Version {
+			st.reply(reqID, fmt.Errorf("%w: version %d, want %d", ErrBadRequest, version, Version))
+			break
+		}
+		st.handleFrame(op, reqID, payload[frameHeaderSize:])
+		select {
+		case <-st.wErr:
+			goto done
+		default:
+		}
+	}
+done:
+	close(st.respCh)
+	wwg.Wait()
+}
+
+// handleFrame decodes and executes one request frame. Malformed
+// payloads answer with CodeBadRequest; the connection stays up (the
+// length prefix was intact, so framing is still in sync).
+func (st *connState) handleFrame(op uint8, reqID uint32, payload []byte) {
+	s := st.srv
+	if st.adm != nil && !st.adm.admit() {
+		s.overloaded(opName(op))
+		st.reply(reqID, ErrOverloaded)
+		return
+	}
+	if st.adm != nil {
+		defer st.adm.release()
+	}
+	var start time.Time
+	if s.cfg.Observer != nil {
+		start = time.Now()
+	}
+	var n int
+	var err error
+	r := frameReader{b: payload}
+	switch op {
+	case OpPredict:
+		primary, mix := st.decodeMix(&r)
+		if !r.done() {
+			err = fmt.Errorf("%w: malformed predict payload", ErrBadRequest)
+			break
+		}
+		var v float64
+		if err = s.validateMix(mix); err == nil {
+			if s.bat != nil {
+				v, err = s.bat.predict(primary, mix)
+			} else {
+				v, err = st.shardPredict(primary, mix)
+			}
+		}
+		if err == nil {
+			n = 1
+			st.replyOK(reqID, func(b []byte) []byte { return appendF64(b, v) })
+		}
+	case OpBatch:
+		primary := int(r.u32())
+		m := int(r.u16())
+		if m > s.cfg.MaxBatch {
+			err = fmt.Errorf("%w: %d mixes > max %d", ErrBatchTooLarge, m, s.cfg.MaxBatch)
+			break
+		}
+		if !st.decodeMixes(&r, m) || !r.done() {
+			err = fmt.Errorf("%w: malformed batch payload", ErrBadRequest)
+			break
+		}
+		for j, mix := range st.mixes {
+			if verr := s.validateMix(mix); verr != nil {
+				err = fmt.Errorf("serve: batch mix %d: %w", j, verr)
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+		var res []float64
+		res, err = st.shardBatch(primary)
+		if err == nil {
+			n = len(res)
+			st.replyOK(reqID, func(b []byte) []byte {
+				b = binary.LittleEndian.AppendUint16(b, uint16(len(res)))
+				for _, v := range res {
+					b = appendF64(b, v)
+				}
+				return b
+			})
+		}
+	case OpFeedback:
+		primary, mix := st.decodeMix(&r)
+		observed := r.f64()
+		if !r.done() {
+			err = fmt.Errorf("%w: malformed feedback payload", ErrBadRequest)
+			break
+		}
+		var res core.FeedbackResult
+		if err = s.validateMix(mix); err == nil {
+			res, err = st.shardObserve(primary, mix, observed)
+		}
+		if err == nil {
+			st.replyOK(reqID, func(b []byte) []byte {
+				return appendF64(appendF64(b, res.Predicted), res.SignedError)
+			})
+		}
+	default:
+		err = fmt.Errorf("%w: opcode %d", ErrBadRequest, op)
+	}
+	var dur time.Duration
+	if s.cfg.Observer != nil {
+		dur = time.Since(start)
+	}
+	s.observeRequest(opName(op), n, dur, err)
+	if err != nil {
+		st.reply(reqID, err)
+	}
+}
+
+// shardPredict / shardBatch / shardObserve run the connection's shard
+// under guardErr (see its comment for why the guard exists).
+func (st *connState) shardPredict(primary int, mix []int) (v float64, err error) {
+	defer guardErr(&err)
+	return st.shard.Predict(primary, mix)
+}
+
+func (st *connState) shardBatch(primary int) (res []float64, err error) {
+	defer guardErr(&err)
+	return st.shard.BatchPredict(primary, st.mixes)
+}
+
+func (st *connState) shardObserve(primary int, mix []int, observed float64) (res core.FeedbackResult, err error) {
+	defer guardErr(&err)
+	return st.shard.Observe(primary, mix, observed)
+}
+
+// decodeMix reads (primary, mix) reusing the connection's arena.
+func (st *connState) decodeMix(r *frameReader) (int, []int) {
+	primary := int(r.u32())
+	k := int(r.u16())
+	if k > MaxMix {
+		r.err = true
+		return primary, nil
+	}
+	st.mixArea = st.mixArea[:0]
+	for i := 0; i < k; i++ {
+		st.mixArea = append(st.mixArea, int(r.u32()))
+	}
+	return primary, st.mixArea
+}
+
+// decodeMixes reads m mixes into the connection's arena.
+func (st *connState) decodeMixes(r *frameReader, m int) bool {
+	st.mixes = st.mixes[:0]
+	st.mixArea = st.mixArea[:0]
+	offs := make([]int, 0, m+1) // offsets into mixArea; small, amortized by conn reuse? kept simple
+	offs = append(offs, 0)
+	for i := 0; i < m; i++ {
+		k := int(r.u16())
+		if k > MaxMix || r.err {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			st.mixArea = append(st.mixArea, int(r.u32()))
+		}
+		offs = append(offs, len(st.mixArea))
+	}
+	if r.err {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		st.mixes = append(st.mixes, st.mixArea[offs[i]:offs[i+1]])
+	}
+	return true
+}
+
+// replyOK frames a success response; fill appends the payload.
+func (st *connState) replyOK(reqID uint32, fill func([]byte) []byte) {
+	bp := respBufPool.Get().(*[]byte)
+	buf, lenOff := appendFrameHeader((*bp)[:0], byte(CodeOK), reqID)
+	buf = fill(buf)
+	patchFrameLen(buf, lenOff)
+	*bp = buf
+	st.respCh <- bp
+}
+
+// reply frames an error response carrying the stable code and message.
+func (st *connState) reply(reqID uint32, err error) {
+	code := CodeFor(err)
+	bp := respBufPool.Get().(*[]byte)
+	buf, lenOff := appendFrameHeader((*bp)[:0], byte(code), reqID)
+	msg := err.Error()
+	if len(msg) > 1<<12 {
+		msg = msg[:1<<12]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	patchFrameLen(buf, lenOff)
+	*bp = buf
+	st.respCh <- bp
+}
+
+func opName(op uint8) string {
+	switch op {
+	case OpPredict:
+		return "predict"
+	case OpBatch:
+		return "predict_batch"
+	case OpFeedback:
+		return "feedback"
+	default:
+		return "unknown"
+	}
+}
+
+// Shutdown stops accepting, closes the batcher and drain loop, asks
+// open connections to finish, and waits until everything drained or
+// ctx expires — whichever first. After the deadline remaining
+// connections are severed. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	if s.bat != nil {
+		s.bat.close()
+	}
+	close(s.drain)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Drain deadline expired: sever what is left and wait for the
+		// goroutines to notice.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,315 @@
+// Package serve is Contender's network serving layer: one prediction
+// core (core.Sharded) exposed over two wire protocols that share a
+// single explicitly versioned schema.
+//
+//   - HTTP/JSON, mounted beside /metrics: POST /v1/predict,
+//     /v1/predict_batch, /v1/feedback. Convenient for dashboards,
+//     schedulers written in other languages, and manual curl poking.
+//   - A compact length-prefixed binary protocol for high-throughput
+//     clients (the scheduler sitting in front of a database does not
+//     want to pay JSON for a 60 ns prediction).
+//
+// Both protocols produce bit-identical prediction payloads for the
+// same request stream: the wire layer never reorders or reassociates
+// float math, it only frames the core's answers. The schema version is
+// explicit — the URL prefix /v1 and the leading version byte of every
+// binary frame — and error conditions map to stable wire codes so
+// clients can branch without string matching, mirroring the in-process
+// errors.Is taxonomy.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"contender/internal/core"
+	"contender/internal/resilience"
+)
+
+// Version is the wire-schema version both protocols speak. HTTP routes
+// carry it as the /v1 path prefix; binary frames as their leading
+// version byte. Within a version the schema only grows (new optional
+// fields, new opcodes); breaking changes bump it and serve both
+// versions side by side during migration.
+const Version = 1
+
+// Code is a stable wire error code. Codes are part of the v1 schema:
+// their names (JSON) and byte values (binary) never change within a
+// version, so clients can branch on them the way in-process callers
+// branch with errors.Is.
+type Code uint8
+
+// v1 error codes. CodeOK is never carried in an error envelope; it is
+// the binary status byte of a successful response.
+const (
+	CodeOK Code = iota
+	// CodeBadRequest: the request could not be decoded (malformed JSON,
+	// truncated or oversized frame, wrong version byte).
+	CodeBadRequest
+	// CodeUnknownTemplate maps core.ErrUnknownTemplate.
+	CodeUnknownTemplate
+	// CodeEmptyMix maps core.ErrEmptyMix.
+	CodeEmptyMix
+	// CodeUntrainedMPL maps core.ErrUntrainedMPL.
+	CodeUntrainedMPL
+	// CodeBadObservation maps core.ErrBadObservation (feedback only).
+	CodeBadObservation
+	// CodeBatchTooLarge: the batch exceeds the server's MaxBatch.
+	CodeBatchTooLarge
+	// CodeOverloaded: admission control rejected the request (token
+	// bucket empty or in-flight cap reached). HTTP 429; retryable.
+	CodeOverloaded
+	// CodeInternal: anything the schema cannot name more precisely.
+	CodeInternal
+)
+
+// String returns the stable JSON name of the code.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeBadRequest:
+		return "bad_request"
+	case CodeUnknownTemplate:
+		return "unknown_template"
+	case CodeEmptyMix:
+		return "empty_mix"
+	case CodeUntrainedMPL:
+		return "untrained_mpl"
+	case CodeBadObservation:
+		return "bad_observation"
+	case CodeBatchTooLarge:
+		return "batch_too_large"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// HTTPStatus returns the HTTP status the code travels under.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeOK:
+		return http.StatusOK
+	case CodeBadRequest, CodeEmptyMix, CodeBadObservation:
+		return http.StatusBadRequest
+	case CodeUnknownTemplate:
+		return http.StatusNotFound
+	case CodeUntrainedMPL:
+		return http.StatusUnprocessableEntity
+	case CodeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Serving-layer sentinels. ErrOverloaded wraps the resilience
+// taxonomy's transient class: an overloaded server is a retry-later
+// condition, exactly like a transient measurement failure, so clients
+// holding a resilience.RetryPolicy can route it without new plumbing.
+var (
+	ErrOverloaded    = resilience.Transient(errors.New("serve: overloaded"))
+	ErrBatchTooLarge = errors.New("serve: batch too large")
+	ErrBadRequest    = errors.New("serve: bad request")
+)
+
+// CodeFor flattens any serving error into its stable wire code. The
+// mapping is the schema's contract with clients: in-process sentinels
+// (core.Err*) and serving-layer sentinels each own exactly one code.
+func CodeFor(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, core.ErrUnknownTemplate):
+		return CodeUnknownTemplate
+	case errors.Is(err, core.ErrEmptyMix):
+		return CodeEmptyMix
+	case errors.Is(err, core.ErrUntrainedMPL):
+		return CodeUntrainedMPL
+	case errors.Is(err, core.ErrBadObservation):
+		return CodeBadObservation
+	case errors.Is(err, ErrBatchTooLarge):
+		return CodeBatchTooLarge
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTP/JSON request and response bodies of the v1 schema. Field names
+// are frozen; new fields may be added but never removed or renamed
+// within v1.
+
+// PredictRequest is the body of POST /v1/predict.
+type PredictRequest struct {
+	Primary    int   `json:"primary"`
+	Concurrent []int `json:"concurrent"`
+}
+
+// PredictResponse is the success body of POST /v1/predict.
+type PredictResponse struct {
+	Prediction float64 `json:"prediction"`
+}
+
+// BatchRequest is the body of POST /v1/predict_batch: one primary
+// priced under every candidate mix.
+type BatchRequest struct {
+	Primary int     `json:"primary"`
+	Mixes   [][]int `json:"mixes"`
+}
+
+// BatchResponse is the success body of POST /v1/predict_batch.
+// Predictions align 1:1 with the request's mixes. A failed batch
+// carries NO partial results — exactly like PredictBuffer.Results()
+// after a failed PredictBatch — so a client can never mistake a
+// truncated prefix for a complete answer.
+type BatchResponse struct {
+	Predictions []float64 `json:"predictions"`
+}
+
+// FeedbackRequest is the body of POST /v1/feedback: an observed
+// latency paired with the mix it was observed under.
+type FeedbackRequest struct {
+	Primary    int     `json:"primary"`
+	Concurrent []int   `json:"concurrent"`
+	Observed   float64 `json:"observed"`
+}
+
+// FeedbackResponse is the success body of POST /v1/feedback.
+type FeedbackResponse struct {
+	Predicted   float64 `json:"predicted"`
+	SignedError float64 `json:"signed_error"`
+}
+
+// WireError is the v1 error envelope, returned as {"error": {...}} on
+// HTTP and as a message payload behind the status byte on the binary
+// protocol.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope wraps WireError for JSON transport.
+type ErrorEnvelope struct {
+	Error WireError `json:"error"`
+}
+
+// Binary protocol v1. Every frame, both directions:
+//
+//	uint32  length of the remainder, little-endian
+//	uint8   version (1)
+//	uint8   opcode (request) / status code (response)
+//	uint32  request id, echoed verbatim in the response
+//	...     op-specific payload
+//
+// Request payloads:
+//
+//	OpPredict   u32 primary, u16 k, k × u32 concurrent
+//	OpBatch     u32 primary, u16 m, m × (u16 k, k × u32 concurrent)
+//	OpFeedback  u32 primary, u16 k, k × u32 concurrent, f64 observed
+//
+// Response payloads (status CodeOK):
+//
+//	OpPredict   f64 prediction
+//	OpBatch     u16 m, m × f64 prediction
+//	OpFeedback  f64 predicted, f64 signed error
+//
+// Error responses (any non-zero status byte) carry u16 length + UTF-8
+// message. Integers are little-endian; floats are IEEE-754 bits in
+// little-endian byte order — identical bit patterns to what the JSON
+// protocol's float64 fields parse to, which is what makes the two
+// protocols' prediction payloads byte-comparable.
+
+// Binary opcodes.
+const (
+	OpPredict uint8 = iota + 1
+	OpBatch
+	OpFeedback
+)
+
+// Frame geometry limits. MaxFrame bounds a frame's payload so a
+// corrupt or hostile length prefix cannot make the server allocate
+// unboundedly; MaxMix bounds one mix's concurrent set (u16 on the
+// wire, but no real MPL approaches it).
+const (
+	MaxFrame = 1 << 20
+	MaxMix   = 1 << 10
+)
+
+// frameHeaderSize is version byte + op/status byte + request id.
+const frameHeaderSize = 1 + 1 + 4
+
+// appendFrameHeader appends the fixed frame prefix for a payload whose
+// length is not yet known; the caller patches the length afterwards
+// with patchFrameLen. Returns the offset of the length field.
+func appendFrameHeader(b []byte, op uint8, reqID uint32) ([]byte, int) {
+	lenOff := len(b)
+	b = append(b, 0, 0, 0, 0) // length, patched later
+	b = append(b, Version, op)
+	b = binary.LittleEndian.AppendUint32(b, reqID)
+	return b, lenOff
+}
+
+// patchFrameLen writes the frame length (everything after the length
+// field) into the header appended at lenOff.
+func patchFrameLen(b []byte, lenOff int) {
+	binary.LittleEndian.PutUint32(b[lenOff:], uint32(len(b)-lenOff-4))
+}
+
+// u16r / u32r / f64r are cursor-style readers over a frame payload.
+type frameReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *frameReader) u16() uint16 {
+	if r.err || r.off+2 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *frameReader) u32() uint32 {
+	if r.err || r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *frameReader) f64() float64 {
+	if r.err || r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+// appendF64 appends a float64's IEEE-754 bits little-endian.
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// done reports whether the payload was consumed exactly, with no
+// decode error and no trailing bytes.
+func (r *frameReader) done() bool { return !r.err && r.off == len(r.b) }

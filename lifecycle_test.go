@@ -75,7 +75,7 @@ func TestWorkbenchLifecycleHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := NewSharded(pred, ShardOptions{Shards: 1})
+	sh, err := NewSharded(pred, WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestWorkbenchLifecycleHeals(t *testing.T) {
 // drift detector WithQuality installs.
 func TestWorkbenchLifecycleNeedsQuality(t *testing.T) {
 	wb, pred := testWorkbench(t)
-	sh, err := NewSharded(pred, ShardOptions{Shards: 1})
+	sh, err := NewSharded(pred, WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}

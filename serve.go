@@ -1,0 +1,203 @@
+package contender
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"contender/internal/obs"
+	"contender/internal/serve"
+)
+
+// Serving facade: the predictor as a network service. One option
+// vocabulary (ServeOption) configures every layer of the serving
+// stack — NewSharded (the in-process serving set), NewServer (the
+// wire-protocol server over it), and Workbench.Serve (the one-call
+// path from a trained workbench to a listening service) — so shard
+// count, feedback-ring size, request coalescing, and admission control
+// are named once and mean the same thing everywhere.
+//
+// The server speaks the versioned v1 wire schema on two protocols
+// backed by the same core: HTTP/JSON (POST /v1/predict,
+// /v1/predict_batch, /v1/feedback — mount Handler() beside /metrics)
+// and a compact length-prefixed binary protocol (ListenBinary) for
+// high-throughput clients. Both produce byte-identical prediction
+// payloads for the same requests, and hot-swaps (Sharded.Swap, the
+// Lifecycle loop) never block a single serving call.
+
+// ServeOption configures NewSharded, NewServer, and Workbench.Serve.
+// Options that do not apply to a layer are ignored by it (WithShards
+// configures NewSharded; a Sharded passed to NewServer already has its
+// shard count).
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	shards      int
+	ringSize    int
+	batchWindow time.Duration
+	maxCoalesce int
+	maxBatch    int
+	admission   serve.AdmissionConfig
+	drainEvery  time.Duration
+	observer    Observer
+	haveWindow  bool
+}
+
+func buildServeConfig(opts []ServeOption) serveConfig {
+	var cfg serveConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithShards sets the serving shard count (default GOMAXPROCS).
+func WithShards(n int) ServeOption {
+	return func(c *serveConfig) { c.shards = n }
+}
+
+// WithFeedbackRing sets the per-shard feedback ring capacity, rounded
+// up to a power of two (default 1024).
+func WithFeedbackRing(n int) ServeOption {
+	return func(c *serveConfig) { c.ringSize = n }
+}
+
+// WithBatchWindow enables deadline-bounded request coalescing on the
+// server: single predictions arriving within d of each other merge
+// into one vectorized batch call. Zero coalesces bursts without a
+// timer; a negative d disables coalescing.
+func WithBatchWindow(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.batchWindow = d; c.haveWindow = true }
+}
+
+// WithMaxCoalesce caps one coalesced batch (default 256).
+func WithMaxCoalesce(n int) ServeOption {
+	return func(c *serveConfig) { c.maxCoalesce = n }
+}
+
+// WithMaxBatch caps the mixes of one predict_batch request (default
+// 4096); larger requests answer batch_too_large.
+func WithMaxBatch(n int) ServeOption {
+	return func(c *serveConfig) { c.maxBatch = n }
+}
+
+// WithAdmission bounds each binary connection (and the HTTP front as a
+// whole) with a token bucket of rate requests/second and burst
+// capacity, plus a cap on in-flight requests. Zero disables a check;
+// rejected requests answer the stable "overloaded" code (HTTP 429),
+// which is transient in the resilience taxonomy: back off and retry.
+func WithAdmission(rate float64, burst, maxInflight int) ServeOption {
+	return func(c *serveConfig) {
+		c.admission = serve.AdmissionConfig{Rate: rate, Burst: burst, MaxInflight: maxInflight}
+	}
+}
+
+// WithDrainInterval sets how often the server folds buffered feedback
+// into the quality aggregator (default 100ms; negative disables the
+// loop — call Sharded.DrainFeedback yourself).
+func WithDrainInterval(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.drainEvery = d }
+}
+
+// WithServeObserver installs an observer on the server: serve.request
+// spans and serve.* points. When the observer contains a *Metrics
+// (directly or in a Multi), the contender_serve_* metric families
+// register on it automatically.
+func WithServeObserver(o Observer) ServeOption {
+	return func(c *serveConfig) { c.observer = o }
+}
+
+// Server exposes one Sharded serving set over the v1 wire schema.
+type Server struct {
+	inner   *serve.Server
+	sharded *Sharded
+}
+
+// NewServer builds a wire-protocol server over a sharded serving set.
+// It starts serving when Handler is mounted or ListenBinary is called.
+func NewServer(s *Sharded, opts ...ServeOption) (*Server, error) {
+	cfg := buildServeConfig(opts)
+	window := cfg.batchWindow
+	if !cfg.haveWindow {
+		window = -1 // coalescing is opt-in: no window option, no batcher
+	}
+	inner, err := serve.New(s.inner, serve.Config{
+		Observer:    cfg.observer,
+		Metrics:     obs.FindMetrics(cfg.observer),
+		MaxBatch:    cfg.maxBatch,
+		BatchWindow: window,
+		MaxCoalesce: cfg.maxCoalesce,
+		Admission:   cfg.admission,
+		DrainEvery:  cfg.drainEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner, sharded: s}, nil
+}
+
+// Handler returns the HTTP/JSON front (POST /v1/predict,
+// /v1/predict_batch, /v1/feedback) for mounting on any mux — typically
+// beside the /metrics and /quality endpoints.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// ListenBinary starts the binary-protocol listener on addr and returns
+// the bound address (useful with ":0").
+func (s *Server) ListenBinary(addr string) (string, error) { return s.inner.ListenBinary(addr) }
+
+// Sharded returns the serving set behind the server, for hot-swaps and
+// feedback draining.
+func (s *Server) Sharded() *Sharded { return s.sharded }
+
+// Shutdown stops listeners, drains in-flight requests until ctx
+// expires, then severs what remains. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(ctx) }
+
+// Serve is the one-call serving path: wrap a trained predictor in a
+// sharded serving set, stand a server over it, and bind the binary
+// protocol on addr (use ":0" for an ephemeral port; the bound address
+// is available from BinaryAddr). The workbench's observer instruments
+// the server unless WithServeObserver overrides it, and the returned
+// server shuts down with a 5-second drain when ctx is cancelled. Mount
+// Handler() for the HTTP front — Workbench.Serve does not bind it to
+// keep the HTTP mux composition (metrics, quality, pprof) in the
+// caller's hands.
+func (w *Workbench) Serve(ctx context.Context, p *Predictor, addr string, opts ...ServeOption) (*BoundServer, error) {
+	if o := w.env.Opts.Observer; o != nil {
+		cfg := buildServeConfig(opts)
+		if cfg.observer == nil {
+			opts = append(opts, WithServeObserver(o))
+		}
+	}
+	sharded, err := NewSharded(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := NewServer(sharded, opts...)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := srv.ListenBinary(addr)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BoundServer{Server: srv, addr: bound}
+	go func() {
+		<-ctx.Done()
+		// The drain must outlive the cancelled ctx: detach from its
+		// cancellation (keeping values) and bound the drain on its own.
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	return bs, nil
+}
+
+// BoundServer is a Server whose binary listener is already bound.
+type BoundServer struct {
+	*Server
+	addr string
+}
+
+// BinaryAddr returns the bound binary-protocol address.
+func (b *BoundServer) BinaryAddr() string { return b.addr }

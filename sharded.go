@@ -11,9 +11,12 @@ import "contender/internal/core"
 // a maintenance loop periodically folds buffered feedback into the
 // quality aggregator with DrainFeedback.
 
-// ShardOptions configures NewSharded: shard count (default GOMAXPROCS)
-// and per-shard feedback ring capacity (default 1024, rounded up to a
-// power of two).
+// ShardOptions is the pre-ServeOption configuration struct, kept for
+// NewShardedWithOptions.
+//
+// Deprecated: use ServeOption (WithShards, WithFeedbackRing) with
+// NewSharded instead; the struct remains only so existing callers keep
+// compiling.
 type ShardOptions = core.ShardOptions
 
 // Shard is one serving replica's handle: Predict, BatchPredict, and
@@ -27,8 +30,19 @@ type Sharded struct {
 }
 
 // NewSharded wraps a trained predictor for sharded serving, priming its
-// indexes so no serving call pays construction costs.
-func NewSharded(p *Predictor, opts ShardOptions) (*Sharded, error) {
+// indexes so no serving call pays construction costs. It shares the
+// ServeOption vocabulary with NewServer and Workbench.Serve; the
+// relevant options here are WithShards and WithFeedbackRing.
+func NewSharded(p *Predictor, opts ...ServeOption) (*Sharded, error) {
+	cfg := buildServeConfig(opts)
+	return NewShardedWithOptions(p, ShardOptions{Shards: cfg.shards, RingSize: cfg.ringSize})
+}
+
+// NewShardedWithOptions is NewSharded with the pre-facade options
+// struct.
+//
+// Deprecated: use NewSharded with ServeOption values instead.
+func NewShardedWithOptions(p *Predictor, opts ShardOptions) (*Sharded, error) {
 	s, err := core.NewSharded(p.inner, opts)
 	if err != nil {
 		return nil, err
