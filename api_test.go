@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The public-API tests share one quick workbench per process.
@@ -481,4 +482,5 @@ var (
 	_ func(*Predictor, ...ServeOption) (*Sharded, error) = NewSharded
 	_ func(*Predictor, ShardOptions) (*Sharded, error)   = NewShardedWithOptions
 	_ func(*Sharded, ...ServeOption) (*Server, error)    = NewServer
+	_ func(time.Duration) ServeOption                    = WithBorrowWait
 )

@@ -16,12 +16,17 @@ import (
 // batch kernel is bit-identical to per-mix PredictKnown, coalescing is
 // invisible in the results: only latency and throughput change.
 //
-// The batcher owns one shard for its lifetime (it is a serving worker
-// like any other) and drains its queue in arrival order. A batch closes
-// when (a) maxCoalesce requests are pending, (b) the window deadline
-// since the batch's first request expires, or (c) the queue goes
-// momentarily idle — an idle queue means waiting longer buys nothing.
-// Window zero keeps (a) and (c): pure burst coalescing with no timer.
+// The batcher owns a private PredictBuffer (batch scratch) and prices
+// against the Sharded set's current snapshot directly — it deliberately
+// does NOT hold a Shard, because shards are single-goroutine handles
+// and every Shard in the set belongs to the server's free list; an
+// aliased shard would race its scratch between the batcher goroutine
+// and whichever front borrowed it. The batcher drains its queue in
+// arrival order. A batch closes when (a) maxCoalesce requests are
+// pending, (b) the window deadline since the batch's first request
+// expires, or (c) the queue goes momentarily idle — an idle queue means
+// waiting longer buys nothing. Window zero keeps (a) and (c): pure
+// burst coalescing with no timer.
 
 // pending is one coalesced prediction request.
 type pending struct {
@@ -34,9 +39,10 @@ type pending struct {
 
 var pendingPool = sync.Pool{New: func() any { return &pending{done: make(chan *pending, 1)} }}
 
-// batcher coalesces predict requests onto one shard.
+// batcher coalesces predict requests onto one private PredictBuffer.
 type batcher struct {
-	shard       *core.Shard
+	sh          *core.Sharded
+	buf         core.PredictBuffer
 	window      time.Duration
 	maxCoalesce int
 
@@ -44,16 +50,25 @@ type batcher struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
+	// closeMu gates enqueues against close: predict enqueues under the
+	// read lock, close flips closed under the write lock. Because the
+	// write lock waits out every in-flight read section, once close
+	// holds it no further request can ever reach the queue — which is
+	// what lets close's final flushQueue guarantee nobody is left
+	// waiting on a done channel.
+	closeMu sync.RWMutex
+	closed  bool
+
 	// onBatch, when set, observes each executed batch's size (metrics).
 	onBatch func(n int)
 }
 
-func newBatcher(shard *core.Shard, window time.Duration, maxCoalesce int) *batcher {
+func newBatcher(sh *core.Sharded, window time.Duration, maxCoalesce int) *batcher {
 	if maxCoalesce <= 0 {
 		maxCoalesce = 256
 	}
 	b := &batcher{
-		shard:       shard,
+		sh:          sh,
 		window:      window,
 		maxCoalesce: maxCoalesce,
 		queue:       make(chan *pending, 4*maxCoalesce),
@@ -69,12 +84,17 @@ func newBatcher(shard *core.Shard, window time.Duration, maxCoalesce int) *batch
 func (b *batcher) predict(primary int, mix []int) (float64, error) {
 	p := pendingPool.Get().(*pending)
 	p.primary, p.mix = primary, mix
-	select {
-	case b.queue <- p:
-	case <-b.stop:
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
 		pendingPool.Put(p)
 		return 0, ErrOverloaded
 	}
+	// Inside the read section with closed unset, stop cannot close and
+	// the run loop is still draining, so a plain send always completes
+	// (close waits for this section before it may proceed).
+	b.queue <- p
+	b.closeMu.RUnlock()
 	<-p.done
 	res, err := p.result, p.err
 	p.mix = nil
@@ -82,10 +102,21 @@ func (b *batcher) predict(primary int, mix []int) (float64, error) {
 	return res, err
 }
 
-// close stops the batcher after flushing queued requests.
+// close stops the batcher after flushing queued requests. The closed
+// flag (write lock) fences out new enqueues, the run loop exits on
+// stop, and the final flushQueue answers anything that raced in between
+// the run loop's own flush and its exit — no waiter is ever stranded.
 func (b *batcher) close() {
+	b.closeMu.Lock()
+	if b.closed {
+		b.closeMu.Unlock()
+		return
+	}
+	b.closed = true
+	b.closeMu.Unlock()
 	close(b.stop)
 	b.wg.Wait()
+	b.flushQueue()
 }
 
 func (b *batcher) run() {
@@ -144,17 +175,18 @@ func (b *batcher) run() {
 	}
 }
 
-// guardedBatch / guardedPredict run the batcher's shard under guardErr:
-// a kernel panic must not kill the run loop — every later caller would
-// block forever on a dead coalescer.
+// guardedBatch / guardedPredict price against the current snapshot
+// using the batcher's own scratch, under guardErr: a kernel panic must
+// not kill the run loop — every later caller would block forever on a
+// dead coalescer.
 func (b *batcher) guardedBatch(primary int, mixes [][]int) (res []float64, err error) {
 	defer guardErr(&err)
-	return b.shard.BatchPredict(primary, mixes)
+	return b.sh.Snapshot().PredictBatch(&b.buf, primary, mixes)
 }
 
 func (b *batcher) guardedPredict(primary int, mix []int) (v float64, err error) {
 	defer guardErr(&err)
-	return b.shard.Predict(primary, mix)
+	return b.sh.Snapshot().PredictKnown(primary, mix)
 }
 
 // flushQueue answers everything still queued at shutdown.

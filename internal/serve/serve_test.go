@@ -517,6 +517,169 @@ func TestCoalescerMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestIdleBinaryConnsDontStarveHTTP pins per-burst shard affinity:
+// binary connections that served a burst and went quiet must return
+// their shard, so the HTTP front keeps working even with more open
+// connections than shards.
+func TestIdleBinaryConnsDontStarveHTTP(t *testing.T) {
+	p := trainedPredictor(t)
+	sh, err := core.NewSharded(p, core.ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BatchWindow -1 disables the coalescer so every front must borrow
+	// the single shard — the starvation-prone configuration.
+	s, err := New(sh, Config{BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenBinary("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	// Three connections each serve one frame and then sit idle, open.
+	for i := 0; i < 3; i++ {
+		c := dialBinary(t, addr)
+		c.send(OpPredict, uint32(i), func(b []byte) []byte { return appendMix(b, 1, []int{2}) })
+		if code, _, _ := c.recv(); code != CodeOK {
+			t.Fatalf("conn %d predict: code %s", i, code)
+		}
+	}
+
+	// The single shard must be back in the free list: HTTP succeeds.
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		w, data := postJSON(t, h, "/v1/predict", PredictRequest{Primary: 1, Concurrent: []int{2}})
+		if w.Code != http.StatusOK {
+			t.Fatalf("http predict %d blocked by idle conns: %d %s", i, w.Code, data)
+		}
+	}
+}
+
+// TestHTTPBodyTooLarge pins explicit over-limit rejection: a body past
+// MaxFrame must answer bad_request naming the limit, never be silently
+// truncated into a parseable prefix.
+func TestHTTPBodyTooLarge(t *testing.T) {
+	s, _, _ := testServer(t, Config{})
+	h := s.Handler()
+	big := `{"primary":1,"concurrent":[` + strings.Repeat("2,", MaxFrame/2) + `2]}`
+	if len(big) <= MaxFrame {
+		t.Fatalf("fixture body too small: %d", len(big))
+	}
+	w, data := postJSON(t, h, "/v1/predict", big)
+	we := wantCode(t, w, data, http.StatusBadRequest, "bad_request")
+	if !strings.Contains(we.Message, "exceeds") {
+		t.Errorf("message %q does not name the size limit", we.Message)
+	}
+}
+
+// TestBatcherCloseStrandsNoWaiter races predict against close: every
+// in-flight predict must return (a result or overloaded), and close
+// must not hang — the regression was a request enqueued concurrently
+// with the run loop's exit waiting forever on its done channel.
+func TestBatcherCloseStrandsNoWaiter(t *testing.T) {
+	p := trainedPredictor(t)
+	sh, err := core.NewSharded(p, core.ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		b := newBatcher(sh, 0, 8)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if _, err := b.predict(1, []int{2}); errors.Is(err, ErrOverloaded) {
+						return
+					} else if err != nil {
+						t.Errorf("predict: %v", err)
+						return
+					}
+					if i > 10000 { // batcher closed under us eventually
+						return
+					}
+				}
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			b.close()
+			close(closed)
+		}()
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		for _, w := range []struct {
+			name string
+			ch   chan struct{}
+		}{{"close hung", closed}, {"a waiter was stranded", done}} {
+			select {
+			case <-w.ch:
+			case <-time.After(10 * time.Second):
+				t.Fatal(w.name)
+			}
+		}
+	}
+}
+
+// TestShutdownUnderLoad drains a server while HTTP requests hammer it:
+// every response must be either a success (request caught the drain
+// window) or the shutting-down overload — never a hang, never an
+// internal error — and Shutdown itself must return promptly.
+func TestShutdownUnderLoad(t *testing.T) {
+	p := trainedPredictor(t)
+	sh, err := core.NewSharded(p, core.ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sh, Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				body, _ := json.Marshal(PredictRequest{Primary: 1 + (i % 5), Concurrent: []int{1 + (w % 5)}})
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				switch rec.Code {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					return // shutdown reached this worker
+				default:
+					data, _ := io.ReadAll(rec.Result().Body)
+					t.Errorf("worker %d req %d: %d %s", w, i, rec.Code, data)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(2 * time.Millisecond) // let the hammer start
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+}
+
 func TestAdmitterTokenBucket(t *testing.T) {
 	clock := time.Unix(1000, 0)
 	now := func() time.Time { return clock }

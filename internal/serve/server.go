@@ -24,12 +24,15 @@ import (
 // Concurrency model:
 //
 //   - Each accepted binary connection is owned by one reader goroutine
-//     holding one shard for the connection's lifetime (per-connection
-//     shard affinity — the shard's scratch stays hot in that core's
-//     cache), plus one writer goroutine flushing framed responses.
-//   - HTTP handlers borrow shards from a free list sized to the shard
-//     count; a borrowed shard is used single-threadedly, exactly like a
-//     binary connection's.
+//     plus one writer goroutine flushing framed responses. The reader
+//     borrows a shard from the free list only while complete frames are
+//     buffered (per-burst affinity — the shard's scratch stays hot
+//     across a pipelined burst) and returns it before any read that can
+//     block, so idle connections never pin shards: a handful of
+//     silent TCP connections cannot starve the HTTP front.
+//   - HTTP handlers borrow shards from the same free list, sized to the
+//     shard count; a borrowed shard is used single-threadedly. Borrows
+//     wait at most Config.BorrowWait before answering overloaded.
 //   - Single-prediction requests may be coalesced across connections
 //     into vectorized PredictBatch calls by the deadline-bounded
 //     batcher (Config.BatchWindow). Batch requests execute directly on
@@ -49,8 +52,14 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 
-	wg    sync.WaitGroup
-	drain chan struct{} // closes to stop the feedback-drain loop
+	// connWg tracks serving work (accept loops, binary connections,
+	// in-flight HTTP requests); drainWg tracks the feedback-drain loop.
+	// Shutdown waits out connWg before stopping the batcher and drain
+	// loop, so requests in flight during the drain window complete
+	// normally instead of failing overloaded.
+	connWg  sync.WaitGroup
+	drainWg sync.WaitGroup
+	drain   chan struct{} // closes to stop the feedback-drain loop
 
 	met serveMetrics
 }
@@ -74,6 +83,9 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxCoalesce caps one coalesced batch (default 256).
 	MaxCoalesce int
+	// BorrowWait bounds how long an HTTP request or a binary frame
+	// waits for a free shard before answering overloaded (default 1s).
+	BorrowWait time.Duration
 	// Admission bounds each binary connection and the HTTP front as a
 	// whole. The zero value admits everything.
 	Admission AdmissionConfig
@@ -123,6 +135,9 @@ func New(sh *core.Sharded, cfg Config) (*Server, error) {
 	if cfg.DrainEvery == 0 {
 		cfg.DrainEvery = 100 * time.Millisecond
 	}
+	if cfg.BorrowWait <= 0 {
+		cfg.BorrowWait = time.Second
+	}
 	s := &Server{
 		cfg:   cfg,
 		sh:    sh,
@@ -138,13 +153,17 @@ func New(sh *core.Sharded, cfg Config) (*Server, error) {
 		s.httpA = newAdmitter(cfg.Admission, cfg.Now)
 	}
 	if cfg.BatchWindow >= 0 {
-		s.bat = newBatcher(sh.Acquire(), cfg.BatchWindow, cfg.MaxCoalesce)
+		// The batcher prices on its own PredictBuffer, never on a Shard:
+		// every shard in the set is in the free list above, and Acquire
+		// round-robins over that same set, so handing the batcher a
+		// shard would alias one free-list entry and race its scratch.
+		s.bat = newBatcher(sh, cfg.BatchWindow, cfg.MaxCoalesce)
 		if s.met.coalesced != nil {
 			s.bat.onBatch = func(n int) { s.met.coalesced.Observe(float64(n)) }
 		}
 	}
 	if cfg.DrainEvery > 0 {
-		s.wg.Add(1)
+		s.drainWg.Add(1)
 		go s.drainLoop()
 	}
 	return s, nil
@@ -156,7 +175,7 @@ func (s *Server) Sharded() *core.Sharded { return s.sh }
 // drainLoop periodically folds buffered feedback into the quality
 // aggregator, emitting a serve.drain point per non-empty tick.
 func (s *Server) drainLoop() {
-	defer s.wg.Done()
+	defer s.drainWg.Done()
 	t := time.NewTicker(s.cfg.DrainEvery)
 	defer t.Stop()
 	for {
@@ -172,9 +191,25 @@ func (s *Server) drainLoop() {
 	}
 }
 
-// borrow takes a shard from the free list (blocking while every shard
-// is busy — the list bounds HTTP concurrency to the shard count).
-func (s *Server) borrow() *core.Shard { return <-s.free }
+// borrow takes a shard from the free list. The list bounds shard users
+// to the shard count; when every shard is busy the wait is bounded by
+// BorrowWait, after which the request answers overloaded instead of
+// parking a goroutine indefinitely.
+func (s *Server) borrow() (*core.Shard, error) {
+	select {
+	case sh := <-s.free:
+		return sh, nil
+	default:
+	}
+	t := time.NewTimer(s.cfg.BorrowWait)
+	defer t.Stop()
+	select {
+	case sh := <-s.free:
+		return sh, nil
+	case <-t.C:
+		return nil, fmt.Errorf("%w: no shard free within %v", ErrOverloaded, s.cfg.BorrowWait)
+	}
+}
 
 func (s *Server) giveBack(sh *core.Shard) { s.free <- sh }
 
@@ -270,6 +305,19 @@ func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, op string, f
 		writeJSONError(w, fmt.Errorf("%w: method %s", ErrBadRequest, r.Method))
 		return
 	}
+	// Register with connWg so Shutdown's drain window waits for this
+	// request before it stops the batcher; a request arriving after
+	// Shutdown began is refused (transient — retry another replica).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.overloaded(op)
+		writeJSONError(w, fmt.Errorf("%w: server shutting down", ErrOverloaded))
+		return
+	}
+	s.connWg.Add(1)
+	s.mu.Unlock()
+	defer s.connWg.Done()
 	if s.httpA != nil && !s.httpA.admit() {
 		s.overloaded(op)
 		writeJSONError(w, ErrOverloaded)
@@ -282,9 +330,15 @@ func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, op string, f
 	if s.cfg.Observer != nil {
 		start = time.Now()
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxFrame))
-	if err != nil {
+	// Read one byte past the cap so an over-limit body is detected and
+	// refused explicitly instead of being silently truncated (a valid
+	// JSON prefix of a truncated body must never parse as a request).
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxFrame+1))
+	switch {
+	case err != nil:
 		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+	case len(body) > MaxFrame:
+		err = fmt.Errorf("%w: request body exceeds %d bytes", ErrBadRequest, MaxFrame)
 	}
 	var resp any
 	var n int
@@ -323,7 +377,10 @@ func (s *Server) predictOne(primary int, mix []int) (v float64, err error) {
 	if s.bat != nil {
 		return s.bat.predict(primary, mix)
 	}
-	sh := s.borrow()
+	sh, err := s.borrow()
+	if err != nil {
+		return 0, err
+	}
 	defer s.giveBack(sh)
 	defer guardErr(&err)
 	return sh.Predict(primary, mix)
@@ -339,7 +396,10 @@ func (s *Server) batchPredict(primary int, mixes [][]int) (out []float64, err er
 			return nil, fmt.Errorf("serve: batch mix %d: %w", i, err)
 		}
 	}
-	sh := s.borrow()
+	sh, err := s.borrow()
+	if err != nil {
+		return nil, err
+	}
 	defer s.giveBack(sh)
 	defer guardErr(&err)
 	res, err := sh.BatchPredict(primary, mixes)
@@ -357,7 +417,10 @@ func (s *Server) observe(primary int, mix []int, observed float64) (res core.Fee
 	if err := s.validateMix(mix); err != nil {
 		return core.FeedbackResult{}, err
 	}
-	sh := s.borrow()
+	sh, err := s.borrow()
+	if err != nil {
+		return core.FeedbackResult{}, err
+	}
 	defer s.giveBack(sh)
 	defer guardErr(&err)
 	return sh.Observe(primary, mix, observed)
@@ -410,13 +473,13 @@ func (s *Server) ListenBinary(addr string) (string, error) {
 	}
 	s.listeners = append(s.listeners, ln)
 	s.mu.Unlock()
-	s.wg.Add(1)
+	s.connWg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
-	defer s.wg.Done()
+	defer s.connWg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -434,18 +497,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.met.connections.Inc()
 		}
 		obs.Emit(s.cfg.Observer, obs.Event{Kind: obs.Point, Span: obs.PointServeConn})
-		s.wg.Add(1)
+		s.connWg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
-// connState is one binary connection's working set: its shard, its
-// admission bucket, and reusable request/response buffers. Everything
-// is single-goroutine (the reader), except the response channel feeding
-// the writer.
+// connState is one binary connection's working set: its (per-burst
+// borrowed) shard, its admission bucket, and reusable request/response
+// buffers. Everything is single-goroutine (the reader), except the
+// response channel feeding the writer.
 type connState struct {
 	srv   *Server
-	shard *core.Shard
+	shard *core.Shard // nil when not borrowed; held only across buffered bursts
 	adm   *admitter
 
 	respCh chan *[]byte
@@ -458,7 +521,7 @@ type connState struct {
 var respBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
+	defer s.connWg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -468,11 +531,10 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	st := &connState{
 		srv:    s,
-		shard:  s.borrow(),
 		respCh: make(chan *[]byte, 64),
 		wErr:   make(chan error, 1),
 	}
-	defer s.giveBack(st.shard)
+	defer st.releaseShard()
 	if s.cfg.Admission.enabled() {
 		st.adm = newAdmitter(s.cfg.Admission, s.cfg.Now)
 	}
@@ -511,6 +573,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	payload := make([]byte, 0, 512)
 	var header [4]byte
 	for {
+		// Return the shard before any read that can block: a borrowed
+		// shard may only be held while complete frames are buffered
+		// (per-burst affinity), never across a wait on the client —
+		// otherwise idle connections would pin the free list dry.
+		if st.shard != nil && !frameBuffered(br) {
+			st.releaseShard()
+		}
 		if _, err := io.ReadFull(br, header[:]); err != nil {
 			break // EOF or connection torn down
 		}
@@ -645,21 +714,75 @@ func (st *connState) handleFrame(op uint8, reqID uint32, payload []byte) {
 	}
 }
 
-// shardPredict / shardBatch / shardObserve run the connection's shard
-// under guardErr (see its comment for why the guard exists).
+// ensureShard borrows a shard for the current burst if the connection
+// does not already hold one. The borrow is bounded (BorrowWait), so a
+// frame arriving while every shard is busy answers overloaded instead
+// of parking the connection's reader.
+func (st *connState) ensureShard() (*core.Shard, error) {
+	if st.shard == nil {
+		sh, err := st.srv.borrow()
+		if err != nil {
+			return nil, err
+		}
+		st.shard = sh
+	}
+	return st.shard, nil
+}
+
+// releaseShard returns the burst's shard to the free list, if held.
+func (st *connState) releaseShard() {
+	if st.shard != nil {
+		st.srv.giveBack(st.shard)
+		st.shard = nil
+	}
+}
+
+// frameBuffered reports whether the reader already holds one complete
+// frame — i.e. the next loop iteration will not block on the client.
+// A bogus length prefix counts as buffered: the loop answers the error
+// and hangs up without another read.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	h, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(h))
+	if n < frameHeaderSize || n > MaxFrame {
+		return true
+	}
+	return br.Buffered() >= 4+n
+}
+
+// shardPredict / shardBatch / shardObserve run the connection's burst
+// shard under guardErr (see its comment for why the guard exists).
 func (st *connState) shardPredict(primary int, mix []int) (v float64, err error) {
+	sh, err := st.ensureShard()
+	if err != nil {
+		return 0, err
+	}
 	defer guardErr(&err)
-	return st.shard.Predict(primary, mix)
+	return sh.Predict(primary, mix)
 }
 
 func (st *connState) shardBatch(primary int) (res []float64, err error) {
+	sh, err := st.ensureShard()
+	if err != nil {
+		return nil, err
+	}
 	defer guardErr(&err)
-	return st.shard.BatchPredict(primary, st.mixes)
+	return sh.BatchPredict(primary, st.mixes)
 }
 
 func (st *connState) shardObserve(primary int, mix []int, observed float64) (res core.FeedbackResult, err error) {
+	sh, err := st.ensureShard()
+	if err != nil {
+		return core.FeedbackResult{}, err
+	}
 	defer guardErr(&err)
-	return st.shard.Observe(primary, mix, observed)
+	return sh.Observe(primary, mix, observed)
 }
 
 // decodeMix reads (primary, mix) reusing the connection's arena.
@@ -741,10 +864,12 @@ func opName(op uint8) string {
 	}
 }
 
-// Shutdown stops accepting, closes the batcher and drain loop, asks
-// open connections to finish, and waits until everything drained or
-// ctx expires — whichever first. After the deadline remaining
-// connections are severed. Safe to call more than once.
+// Shutdown stops accepting, waits for open connections and in-flight
+// HTTP requests to finish (they keep the batcher and shards at their
+// disposal, so requests caught in the drain window complete normally),
+// and only then stops the batcher and feedback-drain loop. When ctx
+// expires first, remaining connections are severed and Shutdown waits
+// for their goroutines to notice. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -758,28 +883,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, ln := range lns {
 		ln.Close()
 	}
-	if s.bat != nil {
-		s.bat.close()
-	}
-	close(s.drain)
 
 	done := make(chan struct{})
 	go func() {
-		s.wg.Wait()
+		s.connWg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		// Drain deadline expired: sever what is left and wait for the
-		// goroutines to notice.
+		// Drain deadline expired: sever what is left. The remaining
+		// waits below stay bounded — severed readers exit on their next
+		// read, and any request already executing finishes against a
+		// still-live batcher and shard set.
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
 		}
 		s.mu.Unlock()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+
+	// No serving work remains: stop the coalescer and the drain loop.
+	if s.bat != nil {
+		s.bat.close()
+	}
+	close(s.drain)
+	s.drainWg.Wait()
+	return err
 }

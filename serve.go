@@ -37,6 +37,7 @@ type serveConfig struct {
 	batchWindow time.Duration
 	maxCoalesce int
 	maxBatch    int
+	borrowWait  time.Duration
 	admission   serve.AdmissionConfig
 	drainEvery  time.Duration
 	observer    Observer
@@ -79,6 +80,15 @@ func WithMaxCoalesce(n int) ServeOption {
 // 4096); larger requests answer batch_too_large.
 func WithMaxBatch(n int) ServeOption {
 	return func(c *serveConfig) { c.maxBatch = n }
+}
+
+// WithBorrowWait bounds how long one request (an HTTP handler or a
+// binary frame) waits for a free serving shard before answering the
+// stable "overloaded" code (default 1s). The wait only engages when
+// every shard is busy; it keeps a saturated server shedding load
+// instead of parking goroutines.
+func WithBorrowWait(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.borrowWait = d }
 }
 
 // WithAdmission bounds each binary connection (and the HTTP front as a
@@ -127,6 +137,7 @@ func NewServer(s *Sharded, opts ...ServeOption) (*Server, error) {
 		MaxBatch:    cfg.maxBatch,
 		BatchWindow: window,
 		MaxCoalesce: cfg.maxCoalesce,
+		BorrowWait:  cfg.borrowWait,
 		Admission:   cfg.admission,
 		DrainEvery:  cfg.drainEvery,
 	})
