@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench-guard selfheal-golden serve-smoke clean
+.PHONY: all build test race vet vet-v2 fuzz-smoke wire-lock staticcheck bench-guard selfheal-golden serve-smoke clean
 
 all: build test vet
 
@@ -22,6 +22,32 @@ vet: bin/contender-vet
 	$(GO) vet ./...
 	./bin/contender-vet ./...
 	$(GO) vet -vettool=./bin/contender-vet ./...
+
+# The expanded invariant suite plus the wire-contract freshness gate:
+# run every analyzer, then regenerate the lock and fail if the bytes
+# differ from the checked-in internal/serve/wire.lock — a drifted lock
+# means the wire schema changed without a conscious `make wire-lock`.
+vet-v2: bin/contender-vet
+	./bin/contender-vet ./...
+	@tmp=$$(mktemp); cp internal/serve/wire.lock $$tmp; \
+	./bin/contender-vet -write-wire-lock >/dev/null; \
+	if ! cmp -s internal/serve/wire.lock $$tmp; then \
+		mv $$tmp internal/serve/wire.lock; \
+		echo "internal/serve/wire.lock is stale: run 'make wire-lock' and commit the result" >&2; \
+		exit 1; \
+	fi; \
+	rm -f $$tmp; echo "wire.lock is in sync"
+
+# Thirty-second native fuzz smoke over the binary frame decoder, on top
+# of the checked-in seed corpus in internal/serve/testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s -run '^$$' ./internal/serve/
+
+# Regenerate the wire-contract lock after a deliberate schema change.
+# Breaking changes (removed/retyped v1 surface) must bump serve.Version
+# first; wirecompat fails the build otherwise.
+wire-lock: bin/contender-vet
+	./bin/contender-vet -write-wire-lock
 
 # Requires the staticcheck binary (CI installs it; locally:
 # go install honnef.co/go/tools/cmd/staticcheck@latest). Configuration

@@ -11,10 +11,19 @@
 //	obsemit        Observer.Event goes through the panic-isolating obs.Emit
 //	errtaxonomy    transient/permanent/corrupt error classification
 //	ctxplumb       exported ctx-accepting functions plumb ctx through
+//	borrowpair     free-list shard borrows release before any blocking call
+//	lockblock      no mutex held across a blocking call or observer emission
+//	snapshotsafe   atomic snapshot loads are read-only outside priming
+//	goroleak       serve/lifecycle goroutines tie to WaitGroup/done/ctx
+//	wirecompat     the v1 wire surface matches internal/serve/wire.lock
 //
 // Suppress a diagnostic with a reasoned allowlist directive:
 //
 //	//contender:allow nodeterminism -- span durations never reach artifacts
+//
+// Regenerate the wire contract lock after a deliberate schema change:
+//
+//	contender-vet -write-wire-lock
 //
 // Exit status: 0 clean, 1 usage/load failure, 2 diagnostics reported.
 package main
@@ -23,14 +32,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"contender/internal/analysis"
+	"contender/internal/analysis/borrowpair"
 	"contender/internal/analysis/ctxplumb"
 	"contender/internal/analysis/errtaxonomy"
+	"contender/internal/analysis/goroleak"
 	"contender/internal/analysis/hotpathalloc"
+	"contender/internal/analysis/lockblock"
 	"contender/internal/analysis/nodeterminism"
 	"contender/internal/analysis/obsemit"
+	"contender/internal/analysis/snapshotsafe"
+	"contender/internal/analysis/wirecompat"
 )
 
 // Suite is the full analyzer set, in diagnostic-priority order.
@@ -41,7 +56,40 @@ func suite() []*analysis.Analyzer {
 		obsemit.Analyzer,
 		errtaxonomy.Analyzer,
 		ctxplumb.Analyzer,
+		borrowpair.Analyzer,
+		lockblock.Analyzer,
+		snapshotsafe.Analyzer,
+		goroleak.Analyzer,
+		wirecompat.Analyzer,
 	}
+}
+
+// writeWireLock regenerates internal/serve/wire.lock from the current
+// wire declarations.
+func writeWireLock(dir string) error {
+	pkgs, err := analysis.Load(dir, "./"+wirecompat.ScopedPackage)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		if !analysis.PathMatches(pkg.PkgPath, wirecompat.ScopedPackage) {
+			continue
+		}
+		if pkg.TypeError != nil {
+			return fmt.Errorf("typechecking %s: %w", pkg.PkgPath, pkg.TypeError)
+		}
+		version, entries, _ := wirecompat.Fingerprint(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		if len(entries) == 0 {
+			return fmt.Errorf("%s declares no wire surface", pkg.PkgPath)
+		}
+		path := filepath.Join(pkg.Dir, wirecompat.LockFile)
+		if err := os.WriteFile(path, []byte(wirecompat.Render(version, entries)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (schema v%s, %d entries)\n", path, version, len(entries))
+		return nil
+	}
+	return fmt.Errorf("package %s not found under %s", wirecompat.ScopedPackage, dir)
 }
 
 func main() {
@@ -66,8 +114,9 @@ func main() {
 	dir := fs.String("C", ".", "module directory to analyze from")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	wireLock := fs.Bool("write-wire-lock", false, "regenerate internal/serve/wire.lock from the current wire declarations and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: contender-vet [-C dir] [-only names] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: contender-vet [-C dir] [-only names] [-write-wire-lock] [packages]\n")
 		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which contender-vet) ./...\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
@@ -80,6 +129,13 @@ func main() {
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *wireLock {
+		if err := writeWireLock(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "contender-vet: -write-wire-lock: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

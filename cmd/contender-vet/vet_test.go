@@ -157,6 +157,148 @@ func TestGoVetVettool(t *testing.T) {
 	}
 }
 
+// TestStaticcheckCatchesInjectedSA verifies the shipped
+// staticcheck.conf scope: the SA correctness family must fire on an
+// injected violation in a serving-stack-shaped package. Skipped when
+// the staticcheck binary is not installed (the CI staticcheck job
+// installs it; contender-vet's own analyzers cover the repo-specific
+// invariants either way).
+func TestStaticcheckCatchesInjectedSA(t *testing.T) {
+	scPath, err := exec.LookPath("staticcheck")
+	if err != nil {
+		t.Skip("staticcheck not on PATH; the CI staticcheck job installs it")
+	}
+	conf, err := os.ReadFile(filepath.Join("..", "..", "staticcheck.conf"))
+	if err != nil {
+		t.Fatalf("reading repo staticcheck.conf: %v", err)
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod":           "module fake\n\ngo 1.22\n",
+		"staticcheck.conf": string(conf),
+		"internal/serve/leak.go": `package serve
+
+import "fmt"
+
+// Frame drops its first assignment unread (SA4006) and mismatches the
+// format string (SA5009): both must fail under the shipped config.
+func Frame(n int) string {
+	s := fmt.Sprintf("frame")
+	s = fmt.Sprintf("frame %d %d", n)
+	return s
+}
+`,
+	})
+	cmd := exec.Command(scPath, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("want staticcheck failure on injected SA violations, got success:\n%s", out)
+	}
+	if !strings.Contains(string(out), "SA") {
+		t.Errorf("staticcheck output names no SA check; got:\n%s", out)
+	}
+}
+
+// TestBorrowBugRegressionFails reintroduces the idle-connection
+// starvation bug the serving layer shipped with: a serve loop that
+// holds a borrowed shard across the blocking client read. The suite
+// must reject it so the bug class cannot come back.
+func TestBorrowBugRegressionFails(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fake\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+type Shard struct{ n int }
+
+func (s *Shard) Predict(primary int, mix []int) float64 { return float64(s.n) }
+`,
+		"internal/serve/serve.go": `package serve
+
+import (
+	"bufio"
+	"io"
+
+	"fake/internal/core"
+)
+
+type connState struct {
+	free  chan *core.Shard
+	shard *core.Shard
+}
+
+func (st *connState) ensureShard() *core.Shard {
+	if st.shard == nil {
+		st.shard = <-st.free
+	}
+	return st.shard
+}
+
+func (st *connState) releaseShard() {
+	if st.shard != nil {
+		st.free <- st.shard
+		st.shard = nil
+	}
+}
+
+// serveConn keeps the previous burst's shard parked across the next
+// client read: the reintroduced starvation bug.
+func (st *connState) serveConn(br *bufio.Reader) {
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			break
+		}
+		st.ensureShard().Predict(1, nil)
+	}
+	st.releaseShard()
+}
+`,
+	})
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on reintroduced borrow bug, got err=%v\n%s", err, &stdout)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "borrowpair: loop borrows a shard and blocks") {
+		t.Errorf("missing borrowpair starvation diagnostic; got:\n%s", out)
+	}
+}
+
+// TestWireFieldRemovalFails deletes a locked v1 wire field from the
+// source: wirecompat must flag the contract break against wire.lock.
+func TestWireFieldRemovalFails(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                 "module fake\n\ngo 1.22\n",
+		"internal/serve/wire.go": "package serve\n\nconst Version = 1\n\ntype PredictRequest struct {\n\tPrimary int `json:\"primary\"`\n}\n",
+		"internal/serve/wire.lock": `schema v1
+const Version untyped int = 1
+field PredictRequest.Gone string json:"gone"
+field PredictRequest.Primary int json:"primary"
+struct PredictRequest
+`,
+	})
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on removed wire field, got err=%v\n%s", err, &stdout)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "wirecompat: wire contract entry removed: field PredictRequest.Gone") {
+		t.Errorf("missing wirecompat removal diagnostic; got:\n%s", out)
+	}
+}
+
 func TestGoVetVettoolCleanModule(t *testing.T) {
 	bin := buildVet(t)
 	dir := writeModule(t, map[string]string{

@@ -1,0 +1,465 @@
+// Package borrowpair enforces the free-list discipline of the serving
+// layer (internal/serve): a borrowed shard must be released before the
+// borrower can block. The free list bounds concurrent shard users to
+// the shard count; a goroutine that parks on a channel, a select, or a
+// connection read while holding a shard pins a free-list slot for as
+// long as the peer stays quiet — with enough idle holders the list
+// runs dry and every new request answers overloaded. This is the exact
+// starvation bug the serving layer shipped with once: an idle
+// connection holding its burst shard across the next blocking frame
+// read.
+//
+// The analyzer resolves the package's borrow graph first:
+//
+//   - borrow sources: calls to Acquire (returning *core.Shard),
+//     receives from a free-list channel (`<-s.free`), in-package
+//     functions that return a borrowed shard (`borrow`), and
+//     in-package functions that stash a borrowed shard into a field
+//     (`ensureShard` — and transitively everything that calls one,
+//     because the held state outlives the call);
+//   - releasers: sends of a *Shard back onto a channel (`giveBack`)
+//     and in-package functions that call a releaser (`releaseShard`).
+//
+// Then, per function, two rules over the lexical event order:
+//
+//   - straight-line: after a borrow, a blocking construct may only
+//     follow a release or a return (`defer release` runs after the
+//     block and does not count);
+//   - loop wrap-around: a loop that both borrows and blocks must
+//     release inside the loop before its first block or after its last
+//     borrow, so a shard held from iteration N is never parked across
+//     iteration N+1's wait.
+//
+// Blocking constructs: channel send/receive, select without a default
+// clause, range over a channel, reads (io.ReadFull/ReadAll/Copy and
+// methods named Read*/Peek/Accept), sync Wait, and time.Sleep.
+// Intentional hold-across-block designs carry a reasoned
+// //contender:allow borrowpair waiver.
+package borrowpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"contender/internal/analysis"
+)
+
+// ScopedPackages are the repo-relative packages the analyzer applies to.
+var ScopedPackages = []string{
+	"internal/serve",
+}
+
+// Analyzer is the borrowpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "borrowpair",
+	Doc:  "every free-list shard borrow in internal/serve is released on all paths before a blocking call",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	scoped := false
+	for _, p := range ScopedPackages {
+		if analysis.PathMatches(pass.Pkg.Path(), p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	g := buildGraph(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				g.checkFunc(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// sourceKind classifies a borrow-source function.
+type sourceKind int
+
+const (
+	notSource  sourceKind = iota
+	kindReturn            // returns the borrowed *Shard to its caller
+	kindField             // stashes the borrowed *Shard in a field (held state outlives the call)
+)
+
+type graph struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	sources   map[*types.Func]sourceKind
+	releasers map[*types.Func]bool
+}
+
+// buildGraph computes the package's borrow sources and releasers to a
+// fixed point over the (same-package) call graph.
+func buildGraph(pass *analysis.Pass) *graph {
+	g := &graph{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		sources:   map[*types.Func]sourceKind{},
+		releasers: map[*types.Func]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					g.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range g.decls {
+			kind := g.classifySource(fn, fd)
+			if kind > g.sources[fn] {
+				g.sources[fn] = kind
+				changed = true
+			}
+			if !g.releasers[fn] && g.classifyReleaser(fd) {
+				g.releasers[fn] = true
+				changed = true
+			}
+		}
+	}
+	return g
+}
+
+func (g *graph) classifySource(fn *types.Func, fd *ast.FuncDecl) sourceKind {
+	hasBorrow, hasFieldStash, callsFieldSource := false, false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if g.baseBorrowCall(n) {
+				hasBorrow = true
+			}
+			if callee := g.callee(n); callee != nil {
+				switch g.sources[callee] {
+				case kindField:
+					callsFieldSource = true
+				case kindReturn:
+					hasBorrow = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && g.isShardPtr(g.exprType(n)) {
+				hasBorrow = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !g.isShardPtr(g.exprType(sel)) {
+					continue
+				}
+				// `st.shard = nil` is release bookkeeping, not a stash.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok && id.Name == "nil" {
+						continue
+					}
+				}
+				hasFieldStash = true
+			}
+		}
+		return true
+	})
+	switch {
+	case callsFieldSource, hasBorrow && hasFieldStash:
+		return kindField
+	case hasBorrow && returnsShard(g, fn):
+		return kindReturn
+	default:
+		return notSource
+	}
+}
+
+func (g *graph) classifyReleaser(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if g.isShardPtr(g.exprType(n.Value)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callee := g.callee(n); callee != nil && g.releasers[callee] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func returnsShard(g *graph, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if g.isShardPtr(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// baseBorrowCall matches the root borrow primitive: an Acquire call
+// yielding a *Shard.
+func (g *graph) baseBorrowCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Acquire" {
+		return false
+	}
+	return g.isShardPtr(g.exprType(call))
+}
+
+func (g *graph) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = g.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = g.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func (g *graph) exprType(e ast.Expr) types.Type {
+	tv, ok := g.pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isShardPtr matches *core.Shard (any package whose path ends in
+// internal/core, so the golden testdata's mock core counts too).
+func (g *graph) isShardPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Shard" && obj.Pkg() != nil &&
+		analysis.PathMatches(obj.Pkg().Path(), "internal/core")
+}
+
+// event kinds for the per-function lexical scan.
+const (
+	eBorrow = iota
+	eRelease
+	eBlock
+	eReturn
+)
+
+type event struct {
+	pos  token.Pos
+	kind int
+	desc string // block description
+}
+
+// checkFunc applies the straight-line and loop wrap-around rules to
+// one function body. Function literals are checked on their own — they
+// run on their own goroutine's schedule.
+func (g *graph) checkFunc(body *ast.BlockStmt) {
+	var events []event
+	var loops []ast.Node
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.checkFunc(n.Body)
+			return false
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred calls run after every block below; spawned calls
+			// run elsewhere. Neither borrows nor releases on this path.
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			if r, ok := n.(*ast.RangeStmt); ok {
+				if t := g.exprType(r.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						events = append(events, event{pos: n.Pos(), kind: eBlock, desc: "range over channel"})
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			events = append(events, event{pos: n.Pos(), kind: eReturn})
+		case *ast.SendStmt:
+			if g.isShardPtr(g.exprType(n.Value)) {
+				// Sending the shard back IS the release; anchor it at the
+				// end of the statement so a borrow inside the same send
+				// (`free <- sh.Acquire()`) pairs in source order.
+				events = append(events, event{pos: n.End(), kind: eRelease})
+			} else {
+				events = append(events, event{pos: n.Pos(), kind: eBlock, desc: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if g.isShardPtr(g.exprType(n)) {
+					events = append(events, event{pos: n.Pos(), kind: eBorrow})
+				} else {
+					events = append(events, event{pos: n.Pos(), kind: eBlock, desc: "channel receive"})
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				events = append(events, event{pos: n.Pos(), kind: eBlock, desc: "select"})
+			}
+			// Walk the clauses for borrows/releases/returns; the comm
+			// ops themselves are part of the select (or non-blocking
+			// when defaulted), not separate block events.
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					ast.Inspect(cc.Comm, func(m ast.Node) bool {
+						if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW && g.isShardPtr(g.exprType(u)) {
+							events = append(events, event{pos: u.Pos(), kind: eBorrow})
+						}
+						return true
+					})
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if g.baseBorrowCall(n) {
+				events = append(events, event{pos: n.Pos(), kind: eBorrow})
+				return true
+			}
+			if callee := g.callee(n); callee != nil {
+				if g.sources[callee] != notSource {
+					events = append(events, event{pos: n.Pos(), kind: eBorrow})
+					return true
+				}
+				if g.releasers[callee] {
+					events = append(events, event{pos: n.Pos(), kind: eRelease})
+					return true
+				}
+			}
+			if desc, ok := blockingCall(g.pass, n); ok {
+				events = append(events, event{pos: n.Pos(), kind: eBlock, desc: desc})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Straight-line rule: after a borrow, the next block must be
+	// preceded by a release or a return on the lexical path.
+	for i, ev := range events {
+		if ev.kind != eBorrow {
+			continue
+		}
+	scan:
+		for _, later := range events[i+1:] {
+			switch later.kind {
+			case eRelease, eReturn:
+				break scan
+			case eBlock:
+				g.pass.Reportf(later.pos, "shard borrowed at line %d is still held across this blocking %s; release it before blocking — a parked holder starves the free list", g.pass.Fset.Position(ev.pos).Line, later.desc)
+				break scan
+			}
+		}
+	}
+
+	// Loop wrap-around rule: a loop that borrows and blocks must
+	// release before its first block or after its last borrow.
+	for _, loop := range loops {
+		var firstBlock, lastBorrow token.Pos
+		var blockDesc string
+		hasRelease := false
+		for _, ev := range events {
+			if ev.pos < loop.Pos() || ev.pos > loop.End() {
+				continue
+			}
+			switch ev.kind {
+			case eBorrow:
+				lastBorrow = ev.pos
+			case eBlock:
+				if firstBlock == token.NoPos {
+					firstBlock, blockDesc = ev.pos, ev.desc
+				}
+			}
+		}
+		if firstBlock == token.NoPos || lastBorrow == token.NoPos {
+			continue
+		}
+		for _, ev := range events {
+			if ev.kind == eRelease && ev.pos >= loop.Pos() && ev.pos <= loop.End() &&
+				(ev.pos < firstBlock || ev.pos > lastBorrow) {
+				hasRelease = true
+				break
+			}
+		}
+		if !hasRelease {
+			g.pass.Reportf(firstBlock, "loop borrows a shard and blocks (%s): a shard held from a previous iteration stays parked across this wait; release inside the loop before it blocks", blockDesc)
+		}
+	}
+}
+
+// blockingCall matches read/wait/sleep calls that park the goroutine.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch {
+		case pkg.Path() == "io" && (fn.Name() == "ReadFull" || fn.Name() == "ReadAll" || fn.Name() == "Copy"):
+			return "io." + fn.Name(), true
+		case pkg.Path() == "sync" && fn.Name() == "Wait":
+			return "sync Wait", true
+		case pkg.Path() == "time" && fn.Name() == "Sleep":
+			return "time.Sleep", true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		name := fn.Name()
+		if strings.HasPrefix(name, "Read") || name == "Peek" || name == "Accept" {
+			return "read (" + name + ")", true
+		}
+	}
+	return "", false
+}

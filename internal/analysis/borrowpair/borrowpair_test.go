@@ -1,0 +1,15 @@
+package borrowpair_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/borrowpair"
+)
+
+func TestBorrowpair(t *testing.T) {
+	analysistest.Run(t, "testdata", borrowpair.Analyzer,
+		"a/internal/serve", // scoped: burst loops, defers, field-held borrows
+		"a/other",          // out of scope: no diagnostics
+	)
+}

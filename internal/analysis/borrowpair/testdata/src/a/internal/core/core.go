@@ -1,0 +1,12 @@
+// Package core is a minimal mock of the real sharded serving set for
+// the borrowpair golden tests.
+package core
+
+type Shard struct{ n int }
+
+func (s *Shard) Predict(primary int, mix []int) float64 { return float64(s.n) }
+
+type Sharded struct{ shards []*Shard }
+
+func (s *Sharded) Acquire() *Shard { return &Shard{} }
+func (s *Sharded) NumShards() int  { return 4 }

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"time"
+
+	"a/internal/core"
+)
+
+type server struct {
+	sh   *core.Sharded
+	free chan *core.Shard
+	work chan int
+}
+
+// Clean: the seed loop borrows and releases inside one send.
+func newServer(sh *core.Sharded) *server {
+	s := &server{sh: sh, free: make(chan *core.Shard, sh.NumShards())}
+	for i := 0; i < sh.NumShards(); i++ {
+		s.free <- sh.Acquire()
+	}
+	return s
+}
+
+// borrow is a returns-source: each received shard escapes to the
+// caller immediately (the comm-clause returns break the lexical path).
+func (s *server) borrow() *core.Shard {
+	select {
+	case sh := <-s.free:
+		return sh
+	default:
+	}
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case sh := <-s.free:
+		return sh
+	case <-t.C:
+		return nil
+	}
+}
+
+func (s *server) giveBack(sh *core.Shard) { s.free <- sh }
+
+// Clean: borrow, use, deferred release — nothing blocks in between.
+func (s *server) goodBalanced(primary int, mix []int) float64 {
+	sh := s.borrow()
+	defer s.giveBack(sh)
+	return sh.Predict(primary, mix)
+}
+
+// The deferred release runs only after the receive unblocks: flagged.
+func (s *server) badDeferAcrossBlock(primary int, mix []int) float64 {
+	sh := s.borrow()
+	defer s.giveBack(sh)
+	<-s.work // want `shard borrowed at line \d+ is still held across this blocking channel receive`
+	return sh.Predict(primary, mix)
+}
+
+// Clean: explicit release before the block.
+func (s *server) goodReleaseBeforeBlock(primary int, mix []int) float64 {
+	sh := s.borrow()
+	v := sh.Predict(primary, mix)
+	s.giveBack(sh)
+	<-s.work
+	return v
+}
+
+type connState struct {
+	srv   *server
+	shard *core.Shard
+}
+
+// ensureShard is a field-holding source: the borrow outlives the call.
+func (st *connState) ensureShard() *core.Shard {
+	if st.shard == nil {
+		st.shard = st.srv.borrow()
+	}
+	return st.shard
+}
+
+func (st *connState) releaseShard() {
+	if st.shard != nil {
+		st.srv.giveBack(st.shard)
+		st.shard = nil
+	}
+}
+
+// handleFrame holds across frames by design; it never blocks — clean.
+func (st *connState) handleFrame(primary int, mix []int) float64 {
+	sh := st.ensureShard()
+	return sh.Predict(primary, mix)
+}
+
+// Clean: the per-burst loop releases before the blocking client read
+// and after the loop exits.
+func (st *connState) goodServeLoop(br *bufio.Reader) {
+	var header [4]byte
+	for {
+		st.releaseShard()
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			break
+		}
+		st.handleFrame(1, nil)
+	}
+	st.releaseShard()
+}
+
+// The starvation bug: a shard held from the previous burst stays
+// parked across the next client read — an idle connection pins a
+// free-list slot dry.
+func (st *connState) badServeLoop(br *bufio.Reader) {
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil { // want `loop borrows a shard and blocks \(io\.ReadFull\)`
+			break
+		}
+		st.handleFrame(1, nil)
+	}
+	st.releaseShard()
+}
+
+// The teardown variant: the last burst's shard is held across the
+// writer drain.
+func (st *connState) badHeldAcrossWait(br *bufio.Reader, wg *sync.WaitGroup) {
+	var header [4]byte
+	for {
+		st.releaseShard()
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			break
+		}
+		st.handleFrame(1, nil)
+	}
+	wg.Wait() // want `shard borrowed at line \d+ is still held across this blocking sync Wait`
+}
+
+// The probe parks on purpose; it owns a dedicated shard outside the
+// serving free list.
+//
+//contender:allow borrowpair -- diagnostic probe holds its dedicated shard across the wait by design
+func (s *server) waivedProbe() {
+	sh := s.borrow()
+	<-s.work
+	s.giveBack(sh)
+}

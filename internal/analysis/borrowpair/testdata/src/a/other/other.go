@@ -1,0 +1,10 @@
+// Package other is out of borrowpair's scope: no diagnostics.
+package other
+
+import "a/internal/core"
+
+func holdAcrossBlock(sh *core.Sharded, work chan int) float64 {
+	h := sh.Acquire()
+	<-work
+	return h.Predict(1, nil)
+}

@@ -33,6 +33,7 @@ var ScopedPackages = []string{
 	"internal/experiments",
 	"internal/store",
 	"internal/lifecycle",
+	"internal/serve",
 }
 
 // ScopedRootFiles are file basenames checked in any other package (the

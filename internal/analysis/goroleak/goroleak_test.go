@@ -1,0 +1,15 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer,
+		"a/internal/serve", // scoped: tied and untied spawns
+		"a/other",          // out of scope: no diagnostics
+	)
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+type server struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	drain chan struct{}
+	work  chan int
+}
+
+// Tied: the body Dones a WaitGroup the spawner can Wait on.
+func (s *server) goodWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.work
+	}()
+}
+
+// Tied: named method resolved in-package, exits on a chan struct{}.
+func (s *server) goodStopChannel() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}
+
+// Tied: context-bound loop.
+func (s *server) goodCtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Tied: the body signals completion by closing a done-channel.
+func (s *server) goodDoneClose() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		s.flush()
+		close(done)
+	}()
+	return done
+}
+
+func (s *server) flush() {}
+
+func (s *server) badUntied() {
+	go func() { // want `goroutine is not tied to a WaitGroup, done-channel, or ctx-bound loop`
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+func (s *server) badUntiedMethod() {
+	go s.flushLoop() // want `goroutine is not tied to a WaitGroup, done-channel, or ctx-bound loop`
+}
+
+func (s *server) flushLoop() {
+	for v := range s.work {
+		_ = v
+	}
+}
+
+func (s *server) badExternal(srv *http.Server) {
+	go srv.ListenAndServe() // want `goroutine body cannot be resolved in this package`
+}
+
+// The writer signals completion on a buffered error channel the reader
+// always receives; conn teardown unblocks a stuck write.
+//
+//contender:allow goroleak -- completion is signalled on a buffered result channel the spawner receives before returning
+func (s *server) waived() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.write()
+	}()
+	return <-errc
+}
+
+func (s *server) write() error { return nil }

@@ -1,0 +1,10 @@
+// Package other is out of goroleak's scope: no diagnostics.
+package other
+
+func spawnUntied(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,15 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/lockblock"
+)
+
+func TestLockblock(t *testing.T) {
+	analysistest.Run(t, "testdata", lockblock.Analyzer,
+		"a/internal/serve", // scoped: blocking constructs under mutexes
+		"a/other",          // out of scope: no diagnostics
+	)
+}

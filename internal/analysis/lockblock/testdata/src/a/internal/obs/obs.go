@@ -1,0 +1,18 @@
+// Package obs is a minimal mock of the real observability surface for
+// the lockblock golden tests: an Observer interface plus the
+// panic-isolating Emit shim.
+package obs
+
+type Event struct {
+	Name string
+}
+
+type Observer interface {
+	Event(e Event)
+}
+
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Event(e)
+	}
+}

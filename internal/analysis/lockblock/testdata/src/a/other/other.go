@@ -1,0 +1,15 @@
+// Package other is out of lockblock's scope: no diagnostics.
+package other
+
+import "sync"
+
+type t struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *t) holdAcrossSend() {
+	x.mu.Lock()
+	x.ch <- 1
+	x.mu.Unlock()
+}

@@ -1,0 +1,320 @@
+// Package snapshotsafe enforces the lock-free hot-swap contract: data
+// reachable from an atomic snapshot load is read-only. The serving path
+// reads `atomic.Pointer[T].Load()` (surfaced through methods named
+// Snapshot) with no lock; any mutation of the loaded object races every
+// concurrent reader. Mutation is only legal in the priming path — on a
+// value that is subsequently re-published through Store/Swap, which is
+// exactly how retrain builds a candidate before swapping it in.
+//
+// The analyzer tracks, per function, every local transitively derived
+// from an atomic load: direct `x.Load()` results where the receiver is
+// a sync/atomic.Pointer, results of methods named Snapshot, methods
+// called on derived values, field selections, indexing, and
+// range-over-derived. On a derived value it rejects:
+//
+//   - writes through selectors/indices (`k.N = 2`, `k.Table[i] = v`,
+//     `k.N++`);
+//   - calls to mutating-named methods (Set*, Add*, Observe*, Prime,
+//     Reset*, Push*, Record*, Store*, Swap*, Delete*, Remove*, Put*,
+//     Inc*, Dec*, Clear*);
+//
+// unless the derived root is re-published by a later Store/Swap call in
+// the same function (the re-priming path). Shared mutable sinks that
+// are reachable from a snapshot by design (the observation quality
+// aggregator synchronizes internally) carry a reasoned
+// //contender:allow snapshotsafe waiver.
+package snapshotsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"contender/internal/analysis"
+)
+
+// ScopedPackages are the repo-relative packages the analyzer applies to.
+var ScopedPackages = []string{
+	"internal/core",
+	"internal/serve",
+	"internal/lifecycle",
+	"internal/store",
+}
+
+// mutatingPrefixes mark methods assumed to write through their receiver.
+var mutatingPrefixes = []string{
+	"Set", "Add", "Observe", "Prime", "Reset", "Push", "Record",
+	"Store", "Swap", "Delete", "Remove", "Put", "Inc", "Dec", "Clear",
+}
+
+// readOnlyNames are exact method names that a mutating prefix would
+// otherwise swallow but that are getters by convention.
+var readOnlyNames = map[string]bool{"Observer": true}
+
+// Analyzer is the snapshotsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "data loaded from an atomic snapshot is read-only; mutate only in the priming path before Store/Swap",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	scoped := false
+	for _, p := range ScopedPackages {
+		if analysis.PathMatches(pass.Pkg.Path(), p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body, closures included — derived
+// values flow into and out of them freely.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, derived: map[types.Object]bool{}, primed: map[types.Object]bool{}}
+
+	// Derivation is a forward data-flow over simple assignments; a
+	// fixed point handles aliases introduced before their source reads
+	// naturally enough for straight-line Go.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = c.recordAssign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				var lhs []ast.Expr
+				for _, name := range n.Names {
+					lhs = append(lhs, name)
+				}
+				changed = c.recordAssign(lhs, n.Values) || changed
+			case *ast.RangeStmt:
+				if c.derivedExpr(n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							changed = c.markDerived(id) || changed
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Re-publication: a derived root handed back to Store/Swap is the
+	// re-priming path; mutations of it are legal.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+					c.primed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X)
+		case *ast.CallExpr:
+			c.checkMutatingCall(n)
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	derived map[types.Object]bool
+	primed  map[types.Object]bool
+}
+
+func (c *checker) markDerived(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || c.derived[obj] {
+		return false
+	}
+	c.derived[obj] = true
+	return true
+}
+
+// recordAssign marks LHS identifiers derived when their RHS is.
+func (c *checker) recordAssign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			if id, ok := lhs[i].(*ast.Ident); ok && c.derivedExpr(rhs[i]) {
+				changed = c.markDerived(id) || changed
+			}
+		}
+	case len(rhs) == 1:
+		if c.derivedExpr(rhs[0]) {
+			for _, l := range lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					changed = c.markDerived(id) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// derivedExpr reports whether the expression's value is (transitively)
+// reachable from an atomic snapshot load.
+func (c *checker) derivedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.derived[obj]
+	case *ast.SelectorExpr:
+		return c.derivedExpr(e.X)
+	case *ast.IndexExpr:
+		return c.derivedExpr(e.X)
+	case *ast.StarExpr:
+		return c.derivedExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return c.derivedExpr(e.X)
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name == "Load" && isAtomicPointer(c.pass, sel.X) {
+			return true
+		}
+		if sel.Sel.Name == "Snapshot" {
+			return true
+		}
+		// A method on a derived value yields derived data.
+		return c.derivedExpr(sel.X)
+	}
+	return false
+}
+
+// checkWrite flags writes through a derived selector/index chain.
+func (c *checker) checkWrite(lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		inner := ast.Unparen(lhs)
+		var x ast.Expr
+		switch l := inner.(type) {
+		case *ast.SelectorExpr:
+			x = l.X
+		case *ast.IndexExpr:
+			x = l.X
+		case *ast.StarExpr:
+			x = l.X
+		}
+		if c.derivedExpr(x) && !c.rootPrimed(x) {
+			c.pass.Reportf(lhs.Pos(), "write to %s mutates data reachable from an atomic snapshot; snapshots are read-only after publication — mutate only a candidate that is re-published via Store/Swap", types.ExprString(l))
+		}
+	}
+}
+
+// checkMutatingCall flags mutating-named methods invoked on derived
+// values.
+func (c *checker) checkMutatingCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	mutating := false
+	for _, p := range mutatingPrefixes {
+		if strings.HasPrefix(name, p) {
+			mutating = true
+			break
+		}
+	}
+	if !mutating || readOnlyNames[name] {
+		return
+	}
+	// Store/Swap on the atomic pointer itself is publication, not a
+	// mutation of loaded data.
+	if (name == "Store" || name == "Swap") && isAtomicPointer(c.pass, sel.X) {
+		return
+	}
+	if !c.derivedExpr(sel.X) || c.rootPrimed(sel.X) {
+		return
+	}
+	// Only flag calls that resolve to methods (a mutating receiver
+	// needs a receiver).
+	if _, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); !ok {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "mutating call %s on a value derived from an atomic snapshot; snapshots are read-only after publication — mutate only a candidate that is re-published via Store/Swap", types.ExprString(sel))
+}
+
+// rootPrimed reports whether the expression's base identifier is later
+// re-published through Store/Swap.
+func (c *checker) rootPrimed(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[x]
+			return obj != nil && c.primed[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			e = sel.X
+		default:
+			return false
+		}
+	}
+}
+
+// isAtomicPointer reports whether the expression is a
+// sync/atomic.Pointer[T] (or addressable reference to one).
+func isAtomicPointer(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

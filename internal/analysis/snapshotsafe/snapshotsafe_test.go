@@ -1,0 +1,15 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/snapshotsafe"
+)
+
+func TestSnapshotsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotsafe.Analyzer,
+		"a/internal/core", // scoped: loads, priming, copy-on-write
+		"a/other",         // out of scope: no diagnostics
+	)
+}

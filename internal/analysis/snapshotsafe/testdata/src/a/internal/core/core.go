@@ -1,0 +1,89 @@
+package core
+
+import "sync/atomic"
+
+type Knowledge struct {
+	N     int
+	Table map[int]float64
+}
+
+func (k *Knowledge) SetN(n int)           { k.N = n }
+func (k *Knowledge) Prime()               {}
+func (k *Knowledge) Lookup(i int) float64 { return k.Table[i] }
+func (k *Knowledge) Quality() *Sink       { return &Sink{} }
+func (k *Knowledge) Clone() *Knowledge    { return &Knowledge{N: k.N} }
+
+type Sink struct{ V int }
+
+func (s *Sink) Observe(v int)    { s.V += v }
+func (s *Sink) AddDropped(n int) { s.V += n }
+
+type Holder struct {
+	snap atomic.Pointer[Knowledge]
+}
+
+func (h *Holder) Snapshot() *Knowledge { return h.snap.Load() }
+
+// Clean: reads off the loaded snapshot.
+func (h *Holder) goodRead() float64 {
+	k := h.snap.Load()
+	return k.Lookup(1)
+}
+
+func (h *Holder) badFieldWrite() {
+	k := h.snap.Load()
+	k.N = 2 // want `write to k\.N mutates data reachable from an atomic snapshot`
+}
+
+func (h *Holder) badMapWrite() {
+	k := h.snap.Load()
+	k.Table[1] = 2 // want `write to k\.Table\[1\] mutates data reachable from an atomic snapshot`
+}
+
+func (h *Holder) badIncrement() {
+	k := h.Snapshot()
+	k.N++ // want `write to k\.N mutates data reachable from an atomic snapshot`
+}
+
+func (h *Holder) badMutatingCall() {
+	k := h.snap.Load()
+	k.SetN(3) // want `mutating call k\.SetN on a value derived from an atomic snapshot`
+}
+
+// Mutation through a value transitively derived from the load.
+func (h *Holder) badTransitive() {
+	q := h.snap.Load().Quality()
+	q.Observe(1)    // want `mutating call q\.Observe on a value derived from an atomic snapshot`
+	q.AddDropped(2) // want `mutating call q\.AddDropped on a value derived from an atomic snapshot`
+}
+
+// Clean: re-priming — the loaded value is mutated, then re-published.
+func (h *Holder) goodRePrime() {
+	k := h.snap.Load()
+	k.Prime()
+	h.snap.Swap(k)
+}
+
+// Clean: fresh candidate primed before first publication.
+func (h *Holder) goodFreshPublish() {
+	k := &Knowledge{Table: map[int]float64{}}
+	k.SetN(1)
+	k.Table[0] = 1
+	h.snap.Store(k)
+}
+
+// Clean: a clone is a new object; mutating it touches no reader. The
+// clone is republished, which is the canonical copy-on-write path.
+func (h *Holder) goodCopyOnWrite() {
+	k := h.snap.Load().Clone()
+	k.SetN(7)
+	h.snap.Store(k)
+}
+
+// The quality sink is shared mutable state by contract.
+//
+//contender:allow snapshotsafe -- the sink synchronizes internally and survives swaps by contract
+func (h *Holder) waivedSink() {
+	q := h.snap.Load().Quality()
+	q.Observe(4)
+}

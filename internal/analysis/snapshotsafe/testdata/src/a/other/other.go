@@ -1,0 +1,13 @@
+// Package other is out of snapshotsafe's scope: no diagnostics.
+package other
+
+import "sync/atomic"
+
+type box struct{ n int }
+
+func (b *box) SetN(n int) { b.n = n }
+
+func mutateLoaded(p *atomic.Pointer[box]) {
+	b := p.Load()
+	b.SetN(1)
+}

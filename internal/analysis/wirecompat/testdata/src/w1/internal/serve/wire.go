@@ -1,0 +1,28 @@
+// w1: code and wire.lock are in sync — no diagnostics.
+package serve
+
+type Code uint8
+
+const (
+	CodeOK Code = iota
+	CodeBadRequest
+)
+
+const (
+	Version  = 1
+	MaxFrame = 1 << 10
+)
+
+const (
+	OpPredict uint8 = iota + 1
+	OpBatch
+)
+
+type PredictRequest struct {
+	Primary int   `json:"primary"`
+	Mix     []int `json:"mix"`
+}
+
+type PredictResponse struct {
+	Latency float64 `json:"latency"`
+}

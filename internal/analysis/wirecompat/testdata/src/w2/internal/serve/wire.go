@@ -1,0 +1,10 @@
+// w2: the code drifted from the lock in all three ways — a retyped
+// field, a new unrecorded field, and a removed field.
+package serve // want `wire contract entry removed: field PredictRequest\.Gone`
+
+const Version = 1
+
+type PredictRequest struct {
+	Primary int `json:"primary"` // want `wire contract changed for field PredictRequest\.Primary`
+	Hint    int `json:"hint"`    // want `field PredictRequest\.Hint is not recorded in wire\.lock`
+}

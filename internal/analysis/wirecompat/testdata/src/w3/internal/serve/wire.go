@@ -1,0 +1,8 @@
+// w3: wire surface declared but no wire.lock checked in.
+package serve // want `wire\.lock is missing`
+
+const Version = 1
+
+type Ping struct {
+	ID int `json:"id"`
+}

@@ -1,0 +1,4 @@
+// w4: the schema version was bumped without regenerating the lock.
+package serve // want `wire schema version changed: wire\.lock has v1, code declares v2`
+
+const Version = 2 // want `wire contract changed for const Version`

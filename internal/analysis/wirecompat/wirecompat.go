@@ -1,0 +1,247 @@
+// Package wirecompat freezes the versioned wire contract of the
+// serving layer. It derives a canonical fingerprint of the wire
+// surface declared in internal/serve — every exported struct carrying
+// json tags (field names, types, tags), the response Code constants,
+// the frame opcodes (Op*), and the framing limits (Version, MaxFrame,
+// MaxMix) — and diffs it against the checked-in wire.lock file next to
+// the source.
+//
+// Any drift is a vet failure: growth must be recorded (regenerate the
+// lock with `make wire-lock`), and a removal, rename, retype, or retag
+// of existing surface is a breaking change that stays red until the
+// schema Version is bumped and the lock consciously regenerated. v1
+// clients decode by exactly these names and opcodes; the lock makes a
+// silent break impossible.
+package wirecompat
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"contender/internal/analysis"
+)
+
+// ScopedPackage is the package whose wire surface is frozen.
+const ScopedPackage = "internal/serve"
+
+// LockFile is the lockfile basename, checked in next to the wire
+// declarations.
+const LockFile = "wire.lock"
+
+// frozenConsts are non-Code, non-Op constants that are part of the
+// contract (framing limits and the schema version itself).
+var frozenConsts = map[string]bool{"Version": true, "MaxFrame": true, "MaxMix": true}
+
+// Analyzer is the wirecompat check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecompat",
+	Doc:  "the v1 wire surface (struct fields, tags, opcodes, limits) must match the checked-in wire.lock",
+	Run:  run,
+}
+
+// Entry is one fingerprinted declaration.
+type Entry struct {
+	Key   string // "struct Name", "field Name.Field", "const Name"
+	Value string // canonical payload; empty for struct presence markers
+	Pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), ScopedPackage) {
+		return nil
+	}
+	version, entries, pkgPos := Fingerprint(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	if len(entries) == 0 {
+		return nil // no wire surface declared (yet)
+	}
+	dir := filepath.Dir(pass.Fset.Position(pkgPos).Filename)
+	data, err := os.ReadFile(filepath.Join(dir, LockFile))
+	if err != nil {
+		pass.Reportf(pkgPos, "%s is missing: the wire contract is unfrozen; generate it with `make wire-lock` and check it in", LockFile)
+		return nil
+	}
+	lockVersion, locked := parseLock(string(data))
+
+	if lockVersion != version {
+		pass.Reportf(pkgPos, "wire schema version changed: %s has v%s, code declares v%s; regenerate the lock deliberately with `make wire-lock`", LockFile, lockVersion, version)
+	}
+	got := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		got[e.Key] = e
+		want, ok := locked[e.Key]
+		switch {
+		case !ok:
+			pass.Reportf(e.Pos, "%s is not recorded in %s; the wire contract grew — regenerate the lock with `make wire-lock`", e.Key, LockFile)
+		case want != e.Value:
+			pass.Reportf(e.Pos, "wire contract changed for %s: %s has %q, code has %q; this breaks v%s clients — bump Version and regenerate with `make wire-lock`", e.Key, LockFile, want, e.Value, lockVersion)
+		}
+	}
+	removed := make([]string, 0)
+	for key := range locked {
+		if _, ok := got[key]; !ok {
+			removed = append(removed, key)
+		}
+	}
+	sort.Strings(removed)
+	for _, key := range removed {
+		pass.Reportf(pkgPos, "wire contract entry removed: %s; removing v%s surface breaks deployed clients — bump Version and regenerate with `make wire-lock`", key, lockVersion)
+	}
+	return nil
+}
+
+// Fingerprint computes the canonical wire entries of a package plus the
+// declared schema version. pkgPos anchors package-level diagnostics: the
+// package clause of the file declaring Version (first file otherwise).
+func Fingerprint(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (version string, entries []Entry, pkgPos token.Pos) {
+	version = "?"
+	if len(files) > 0 {
+		pkgPos = files[0].Name.Pos()
+	}
+	qual := types.RelativeTo(pkg)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						cn, ok := info.Defs[name].(*types.Const)
+						if !ok || !name.IsExported() || !frozenConst(cn) {
+							continue
+						}
+						if name.Name == "Version" {
+							version = cn.Val().String()
+							pkgPos = f.Name.Pos()
+						}
+						entries = append(entries, Entry{
+							Key:   "const " + name.Name,
+							Value: fmt.Sprintf("%s = %s", types.TypeString(cn.Type(), qual), cn.Val()),
+							Pos:   name.Pos(),
+						})
+					}
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || !hasJSONTag(st) {
+						continue
+					}
+					entries = append(entries, Entry{Key: "struct " + ts.Name.Name, Pos: ts.Name.Pos()})
+					for _, field := range st.Fields.List {
+						ft := info.TypeOf(field.Type)
+						val := types.TypeString(ft, qual)
+						if tag := jsonTag(field); tag != "" {
+							val += fmt.Sprintf(" json:%q", tag)
+						}
+						for _, fn := range field.Names {
+							if !fn.IsExported() {
+								continue
+							}
+							entries = append(entries, Entry{
+								Key:   fmt.Sprintf("field %s.%s", ts.Name.Name, fn.Name),
+								Value: val,
+								Pos:   fn.Pos(),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return version, entries, pkgPos
+}
+
+// frozenConst reports whether an exported constant belongs to the wire
+// contract: typed as the package's Code enum, an Op* opcode, or one of
+// the framing limits.
+func frozenConst(cn *types.Const) bool {
+	if frozenConsts[cn.Name()] || strings.HasPrefix(cn.Name(), "Op") {
+		return true
+	}
+	named, ok := cn.Type().(*types.Named)
+	return ok && named.Obj().Name() == "Code" && named.Obj().Pkg() == cn.Pkg()
+}
+
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if jsonTag(f) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTag(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(f.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	return reflect.StructTag(raw).Get("json")
+}
+
+// Render serializes entries into the lockfile format.
+func Render(version string, entries []Entry) string {
+	var b strings.Builder
+	b.WriteString("# wirecompat lock: canonical fingerprint of the versioned wire schema.\n")
+	b.WriteString("# Regenerate deliberately with `make wire-lock` after a schema change;\n")
+	b.WriteString("# breaking changes must bump serve.Version first.\n")
+	fmt.Fprintf(&b, "schema v%s\n", version)
+	for _, e := range entries {
+		b.WriteString(e.Key)
+		if e.Value != "" {
+			b.WriteString(" ")
+			b.WriteString(e.Value)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// parseLock reads the lockfile back into a key→value map.
+func parseLock(data string) (version string, entries map[string]string) {
+	entries = make(map[string]string)
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "schema v"); ok {
+			version = v
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		key := parts[0] + " " + parts[1]
+		value := ""
+		if len(parts) == 3 {
+			value = parts[2]
+		}
+		entries[key] = value
+	}
+	return version, entries
+}

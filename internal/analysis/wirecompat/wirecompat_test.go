@@ -1,0 +1,17 @@
+package wirecompat_test
+
+import (
+	"testing"
+
+	"contender/internal/analysis/analysistest"
+	"contender/internal/analysis/wirecompat"
+)
+
+func TestWirecompat(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecompat.Analyzer,
+		"w1/internal/serve", // in sync: no diagnostics
+		"w2/internal/serve", // retyped + unrecorded + removed entries
+		"w3/internal/serve", // lockfile missing
+		"w4/internal/serve", // version bumped without regenerating
+	)
+}

@@ -243,6 +243,8 @@ func (s *Sharded) Swap(p *Predictor) (*Predictor, error) {
 // (obs.Quality.ObserveRun). It returns the number of samples drained.
 // Drains serialize on an internal mutex; call it from the quality
 // aggregator's maintenance loop, not from serving workers.
+//
+//contender:allow snapshotsafe -- the quality aggregator is a shared mutable sink by contract: it synchronizes internally, deliberately survives snapshot swaps, and is never part of the immutable prediction state
 func (s *Sharded) DrainFeedback() int {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()

@@ -217,6 +217,8 @@ func (m *Manager) Degraded() bool { return m.degraded.Value() != 0 }
 // is non-nil only for context cancellation; every other failure is a
 // graceful degradation recorded in the report (serving is never
 // interrupted by a failed retrain).
+//
+//contender:allow lockblock -- m.mu is the control-plane mutex: it serializes whole retrain steps by design and is never taken on a serving path, so holding it across emission and retrain is intended
 func (m *Manager) Step(ctx context.Context) (StepReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -249,6 +251,8 @@ func (m *Manager) Step(ctx context.Context) (StepReport, error) {
 // ForceRetrain runs the retrain → canary → promote/rollback sequence for
 // an explicit template set, bypassing drift detection and cooldown — the
 // operator's (and the golden experiment's) manual lever.
+//
+//contender:allow lockblock -- m.mu is the control-plane mutex: it serializes whole retrain steps by design and is never taken on a serving path, so holding it across the retrain is intended
 func (m *Manager) ForceRetrain(ctx context.Context, templates []int) (StepReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,84 @@
+package serve
+
+import "testing"
+
+// FuzzDecodeFrame drives the binary frame decoders with arbitrary
+// bytes. data[0] selects the opcode shape; the rest is the frame
+// payload after the 10-byte header — exactly what handleFrame hands
+// the decoders once the length prefix and version checks pass. The
+// properties under test are the decoder's safety contract:
+//
+//   - no input panics;
+//   - the cursor never leaves the payload (no out-of-bounds reads);
+//   - every accepted decode respects the wire limits (MaxMix, batch
+//     shape consistency between st.mixes and the backing arena).
+//
+// The checked-in corpus under testdata/fuzz/FuzzDecodeFrame seeds one
+// well-formed frame per opcode plus truncated and limit-probing
+// shapes; CI runs a short -fuzztime smoke on top of the corpus.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed predict: primary=1, k=2, mix {2, 3}.
+	f.Add([]byte("\x01\x01\x00\x00\x00\x02\x00\x02\x00\x00\x00\x03\x00\x00\x00"))
+	// Well-formed batch: primary=1, m=2, mixes {5} and {}.
+	f.Add([]byte("\x02\x01\x00\x00\x00\x02\x00\x01\x00\x05\x00\x00\x00\x00\x00"))
+	// Well-formed feedback: primary=1, k=1, mix {2}, observed=1.5.
+	f.Add([]byte("\x03\x01\x00\x00\x00\x01\x00\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\xf8\x3f"))
+	// Truncated predict: cut mid-primary.
+	f.Add([]byte("\x01\x01"))
+	// Oversized mix count: k=0xffff > MaxMix must be rejected.
+	f.Add([]byte("\x01\x01\x00\x00\x00\xff\xff"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		op, payload := data[0], data[1:]
+		st := &connState{}
+		switch op {
+		case OpPredict:
+			r := frameReader{b: payload}
+			_, mix := st.decodeMix(&r)
+			if r.off > len(r.b) {
+				t.Fatalf("predict cursor left the payload: off %d > len %d", r.off, len(r.b))
+			}
+			if r.done() && len(mix) > MaxMix {
+				t.Fatalf("accepted predict mix of %d concurrent templates > MaxMix %d", len(mix), MaxMix)
+			}
+		case OpBatch:
+			r := frameReader{b: payload}
+			_ = r.u32() // primary
+			m := int(r.u16())
+			if m > 4096 {
+				return // handleFrame rejects m > cfg.MaxBatch before decoding
+			}
+			ok := st.decodeMixes(&r, m)
+			if r.off > len(r.b) {
+				t.Fatalf("batch cursor left the payload: off %d > len %d", r.off, len(r.b))
+			}
+			if !ok || !r.done() {
+				return
+			}
+			if len(st.mixes) != m {
+				t.Fatalf("accepted batch decoded %d mixes, header said %d", len(st.mixes), m)
+			}
+			total := 0
+			for _, mix := range st.mixes {
+				if len(mix) > MaxMix {
+					t.Fatalf("accepted batch mix of %d concurrent templates > MaxMix %d", len(mix), MaxMix)
+				}
+				total += len(mix)
+			}
+			if total != len(st.mixArea) {
+				t.Fatalf("mix views cover %d ints but arena holds %d", total, len(st.mixArea))
+			}
+		case OpFeedback:
+			r := frameReader{b: payload}
+			st.decodeMix(&r)
+			_ = r.f64()
+			if r.off > len(r.b) {
+				t.Fatalf("feedback cursor left the payload: off %d > len %d", r.off, len(r.b))
+			}
+		}
+	})
+}

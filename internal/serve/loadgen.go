@@ -14,6 +14,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"contender/internal/resilience"
 )
 
 // Deterministic load generator. Each connection replays a seeded
@@ -66,10 +68,10 @@ type LoadgenResult struct {
 
 func (c *LoadgenConfig) defaults() error {
 	if c.Addr == "" {
-		return fmt.Errorf("serve: loadgen needs a binary address")
+		return resilience.Permanent(fmt.Errorf("serve: loadgen needs a binary address"))
 	}
 	if len(c.Pool) == 0 {
-		return fmt.Errorf("serve: loadgen needs a template pool")
+		return resilience.Permanent(fmt.Errorf("serve: loadgen needs a template pool"))
 	}
 	if c.Conns <= 0 {
 		c.Conns = 2
@@ -167,7 +169,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		res.HTTPChecksum = foldChecksums(httpSums)
 		res.Parity = res.HTTPChecksum == res.Checksum
 		if !res.Parity {
-			return res, fmt.Errorf("serve: protocol parity violation: binary %s != http %s", res.Checksum, res.HTTPChecksum)
+			return res, resilience.Corruptf("serve: protocol parity violation: binary %s != http %s", res.Checksum, res.HTTPChecksum)
 		}
 	}
 	return res, nil
@@ -186,6 +188,7 @@ func driveBinaryConn(cfg LoadgenConfig, i int) (uint64, error) {
 	defer conn.Close()
 
 	writeErr := make(chan error, 1)
+	//contender:allow goroleak -- the writer always signals completion on the buffered writeErr channel; the reader receives from it before returning, and the deferred conn.Close unblocks a stuck write
 	go func() {
 		bw := bufio.NewWriterSize(conn, 64<<10)
 		st := newStream(cfg, i)
@@ -223,7 +226,7 @@ func driveBinaryConn(cfg LoadgenConfig, i int) (uint64, error) {
 		}
 		n := int(binary.LittleEndian.Uint32(header[:]))
 		if n < frameHeaderSize || n > MaxFrame {
-			return 0, fmt.Errorf("serve: loadgen: bad response frame length %d", n)
+			return 0, resilience.Corruptf("serve: loadgen: bad response frame length %d", n)
 		}
 		if cap(payload) < n {
 			payload = make([]byte, n)
@@ -233,7 +236,7 @@ func driveBinaryConn(cfg LoadgenConfig, i int) (uint64, error) {
 			return 0, fmt.Errorf("serve: loadgen read: %w", err)
 		}
 		if code := Code(payload[1]); code != CodeOK {
-			return 0, fmt.Errorf("serve: loadgen: response code %s on frame %d", code, op)
+			return 0, resilience.Permanent(fmt.Errorf("serve: loadgen: response code %s on frame %d", code, op))
 		}
 		r := frameReader{b: payload[frameHeaderSize:]}
 		m := int(r.u16())
@@ -242,7 +245,7 @@ func driveBinaryConn(cfg LoadgenConfig, i int) (uint64, error) {
 			_, _ = h.Write(scratch[:])
 		}
 		if !r.done() || m != cfg.Batch {
-			return 0, fmt.Errorf("serve: loadgen: malformed batch response on frame %d", op)
+			return 0, resilience.Corruptf("serve: loadgen: malformed batch response on frame %d", op)
 		}
 	}
 	if err := <-writeErr; err != nil {
@@ -274,14 +277,14 @@ func driveHTTPConn(cfg LoadgenConfig, i int) (uint64, error) {
 			return 0, fmt.Errorf("serve: loadgen http: %w", err)
 		}
 		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("serve: loadgen http: status %d on frame %d: %s", resp.StatusCode, op, data)
+			return 0, resilience.Permanent(fmt.Errorf("serve: loadgen http: status %d on frame %d: %s", resp.StatusCode, op, data))
 		}
 		var br BatchResponse
 		if err := json.Unmarshal(data, &br); err != nil {
 			return 0, fmt.Errorf("serve: loadgen http: %w", err)
 		}
 		if len(br.Predictions) != cfg.Batch {
-			return 0, fmt.Errorf("serve: loadgen http: %d predictions, want %d", len(br.Predictions), cfg.Batch)
+			return 0, resilience.Corruptf("serve: loadgen http: %d predictions, want %d", len(br.Predictions), cfg.Batch)
 		}
 		for _, v := range br.Predictions {
 			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"contender/internal/core"
+	"contender/internal/lifecycle"
+	"contender/internal/obs"
+)
+
+// TestSwapHammerUnderLoad drives pipelined binary traffic while two
+// mutators fight over the serving snapshot: a direct Sharded.Swap
+// ping-pong and lifecycle.ForceRetrain promotions going through the
+// full retrain → promote → hot-swap sequence. The point is the -race
+// run: every snapshot load on the serving path races a concurrent
+// publication, so an unsynchronized read anywhere in the swap protocol
+// surfaces here as a detector report rather than a production 500.
+func TestSwapHammerUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swap hammer: skipped in -short")
+	}
+
+	// The ping-pong pair is pre-primed via Swap's own Prime call, which
+	// is idempotent and internally synchronized, so re-publishing a
+	// retired predictor is safe.
+	p1, p2 := trainedPredictor(t), trainedPredictor(t)
+	sh, err := core.NewSharded(trainedPredictor(t), core.ShardOptions{Shards: 2, RingSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenBinary("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	// Each ForceRetrain promotes a fresh candidate: promotion calls
+	// SetQuality on it, which must never hit a predictor that is
+	// already serving. Pre-build them here so the collector goroutine
+	// never touches testing.TB.
+	const retrains = 4
+	candidates := make(chan *core.Predictor, retrains)
+	for i := 0; i < retrains; i++ {
+		candidates <- trainedPredictor(t)
+	}
+	q := obs.NewQuality(obs.DriftConfig{MinSamples: 4, Delta: 0.05, Lambda: 1, StaleMRE: 0.3, RecoverMRE: 0.1, Window: 4})
+	m, err := lifecycle.New(sh, lifecycle.Config{
+		Quality: q,
+		Collector: lifecycle.CollectorFunc(func(context.Context, []int) (*core.Predictor, error) {
+			return <-candidates, nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := p1
+			if i%2 == 1 {
+				p = p2
+			}
+			if _, err := sh.Swap(p); err != nil {
+				t.Errorf("Swap: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for i := 0; i < retrains; i++ {
+			rep, err := m.ForceRetrain(ctx, []int{1, 2})
+			if err != nil {
+				t.Errorf("ForceRetrain: %v", err)
+				return
+			}
+			if rep.Action != lifecycle.ActionPromoted {
+				t.Errorf("ForceRetrain action = %s (err %q), want promoted", rep.Action, rep.Err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	res, lerr := RunLoadgen(LoadgenConfig{
+		Addr: addr, Pool: []int{1, 2, 3, 4, 5},
+		Conns: 4, Batch: 16, Ops: 300, Seed: 42,
+	})
+	close(stop)
+	wg.Wait()
+	if lerr != nil {
+		t.Fatalf("loadgen under swap hammer: %v (result %+v)", lerr, res)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +15,7 @@ import (
 
 	"contender/internal/core"
 	"contender/internal/obs"
+	"contender/internal/resilience"
 )
 
 // Server is the network-facing prediction service: one core.Sharded
@@ -127,7 +129,7 @@ func newServeMetrics(m *obs.Metrics) serveMetrics {
 // New builds a server over a sharded serving set.
 func New(sh *core.Sharded, cfg Config) (*Server, error) {
 	if sh == nil {
-		return nil, fmt.Errorf("serve: New needs a sharded serving set")
+		return nil, resilience.Permanent(errors.New("serve: New needs a sharded serving set"))
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 4096
@@ -450,7 +452,7 @@ func (s *Server) validateMix(mix []int) error {
 // queued after it).
 func guardErr(err *error) {
 	if r := recover(); r != nil {
-		*err = fmt.Errorf("serve: prediction failed: %v", r)
+		*err = resilience.Transient(fmt.Errorf("serve: prediction failed: %v", r))
 	}
 }
 
@@ -469,7 +471,7 @@ func (s *Server) ListenBinary(addr string) (string, error) {
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
-		return "", fmt.Errorf("serve: server is shut down")
+		return "", resilience.Permanent(errors.New("serve: server is shut down"))
 	}
 	s.listeners = append(s.listeners, ln)
 	s.mu.Unlock()
@@ -610,6 +612,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 done:
+	// Return any borrowed shard before waiting on the writer: the wait
+	// can outlast a slow flush, and a shard parked here is invisible to
+	// every other connection (found by contender-vet's borrowpair).
+	st.releaseShard()
 	close(st.respCh)
 	wwg.Wait()
 }

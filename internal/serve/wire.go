@@ -112,14 +112,18 @@ func (c Code) HTTPStatus() int {
 	}
 }
 
-// Serving-layer sentinels. ErrOverloaded wraps the resilience
-// taxonomy's transient class: an overloaded server is a retry-later
-// condition, exactly like a transient measurement failure, so clients
-// holding a resilience.RetryPolicy can route it without new plumbing.
+// Serving-layer sentinels, each classified into the resilience
+// taxonomy. ErrOverloaded wraps the transient class: an overloaded
+// server is a retry-later condition, exactly like a transient
+// measurement failure, so clients holding a resilience.RetryPolicy can
+// route it without new plumbing. Oversized batches and malformed
+// requests are caller bugs — retrying the same payload can never
+// succeed, so both wrap the permanent class. CodeFor keys on the
+// sentinels themselves via errors.Is, which survives the extra wrap.
 var (
 	ErrOverloaded    = resilience.Transient(errors.New("serve: overloaded"))
-	ErrBatchTooLarge = errors.New("serve: batch too large")
-	ErrBadRequest    = errors.New("serve: bad request")
+	ErrBatchTooLarge = resilience.Permanent(errors.New("serve: batch too large"))
+	ErrBadRequest    = resilience.Permanent(errors.New("serve: bad request"))
 )
 
 // CodeFor flattens any serving error into its stable wire code. The
