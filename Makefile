@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-v2 fuzz-smoke wire-lock staticcheck bench-guard selfheal-golden serve-smoke clean
+.PHONY: all build test race vet vet-v2 fuzz-smoke wire-lock staticcheck bench-guard selfheal-golden blame-golden serve-smoke clean
 
 all: build test vet
 
@@ -62,6 +62,7 @@ staticcheck:
 # analyzer.
 BENCH_GUARD_ROWS = \
 	BenchmarkPredictKnown \
+	BenchmarkPredictExplain \
 	BenchmarkPredictBatch/mixes=4 \
 	BenchmarkPredictBatch/mixes=16 \
 	BenchmarkPredictBatch/mixes=64 \
@@ -71,7 +72,7 @@ BENCH_GUARD_ROWS = \
 
 bench-guard:
 	$(GO) test -run TestServingPathDoesNotAllocate -v ./internal/core/
-	@out=$$($(GO) test -run XXX -bench 'BenchmarkPredictKnown$$|BenchmarkPredictBatch$$|BenchmarkPredictKnownFeedback$$|BenchmarkShardedPredict$$|BenchmarkShardedObserve$$' -benchtime 100x .); \
+	@out=$$($(GO) test -run XXX -bench 'BenchmarkPredictKnown$$|BenchmarkPredictExplain$$|BenchmarkPredictBatch$$|BenchmarkPredictKnownFeedback$$|BenchmarkShardedPredict$$|BenchmarkShardedObserve$$' -benchtime 100x .); \
 	echo "$$out"; \
 	for b in $(BENCH_GUARD_ROWS); do \
 		allocs=$$(echo "$$out" | awk -v b="$$b" '$$1 ~ ("^" b "(-[0-9]+)?$$") && $$NF == "allocs/op" {print $$(NF-1)}'); \
@@ -88,6 +89,16 @@ selfheal-golden:
 	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-selfheal -workers 4 > /tmp/selfheal-w4.txt
 	diff -u /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
 	rm -f /tmp/selfheal-w1.txt /tmp/selfheal-w4.txt
+
+# The blame-attribution replay decomposes every collected mix, hard-fails
+# unless each decomposition reproduces PredictKnown bit-for-bit, and must
+# render byte-identically at any collection worker count (mirrors the CI
+# blame-golden job).
+blame-golden:
+	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-blame -workers 1 > /tmp/blame-w1.txt
+	$(GO) run ./cmd/contender-bench -quick -mpls 2,3 -experiments ext-blame -workers 4 > /tmp/blame-w4.txt
+	diff -u /tmp/blame-w1.txt /tmp/blame-w4.txt
+	rm -f /tmp/blame-w1.txt /tmp/blame-w4.txt
 
 # The serving layer's end-to-end gate: drive both protocol fronts with
 # the deterministic load generator, require binary/HTTP payload parity

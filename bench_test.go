@@ -318,6 +318,27 @@ func BenchmarkPredictKnown(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictExplain is the blame-decomposition hot path: the same
+// prediction as BenchmarkPredictKnown plus the per-neighbor intensity
+// and seconds breakdown written into a reused buffer. Must report 0
+// allocs/op — explain-enabled serving rides the same guarantee as the
+// plain path.
+func BenchmarkPredictExplain(b *testing.B) {
+	pred := trainedPredictor(b)
+	mix := []int{2, 22}
+	var buf ExplainBuffer
+	if _, err := pred.Explain(&buf, 71, mix); err != nil { // warm the buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.Explain(&buf, 71, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPredictKnownObserved is the same hot path with the metrics
 // observer attached: the span bookkeeping costs a few counter increments
 // and one histogram insert per call. The unobserved row above is the one

@@ -1,0 +1,61 @@
+package contender
+
+import (
+	"contender/internal/obs"
+)
+
+// Blame-attribution facade: install a Blame aggregator with WithBlame
+// (workbench path) or WithServeBlame (serving path), stream explained
+// predictions through it — the server folds every Explain-flagged
+// request in automatically, or feed Predictor.Explain decompositions
+// yourself — then read the pairwise matrix with Workbench.BlameSnapshot,
+// scrape it from the CLIs' /blame endpoint, or watch the blame.* metric
+// families on /metrics.
+
+// Blame aggregates per-neighbor interaction seconds (the decomposition
+// Predictor.Explain produces) into a pairwise blame matrix: for every
+// (primary, neighbor) template pair, how many predicted seconds of the
+// primary's latency the neighbor owns, as an EWMA and a cumulative
+// total, plus top-K aggressor and victim rankings. It implements
+// http.Handler, serving its report as JSON. Safe for concurrent use;
+// the warm Observe path allocates nothing.
+type Blame = obs.Blame
+
+// BlameConfig tunes the blame aggregator (EWMA smoothing factor,
+// ranking size). The zero value selects the documented defaults.
+type BlameConfig = obs.BlameConfig
+
+// BlameReport is a point-in-time snapshot of the blame matrix with its
+// aggressor and victim rankings.
+type BlameReport = obs.BlameReport
+
+// BlamePair is one (primary, neighbor) cell of a BlameReport.
+type BlamePair = obs.BlamePair
+
+// BlameRank is one template's row in a BlameReport ranking.
+type BlameRank = obs.BlameRank
+
+// NewBlame returns a blame aggregator with the given configuration
+// (zero value: defaults).
+func NewBlame(cfg BlameConfig) *Blame { return obs.NewBlame(cfg) }
+
+// WithBlame installs a contention blame aggregator on the workbench:
+// servers started with Workbench.Serve inherit it (like the observer),
+// so every explained prediction they answer feeds the matrix, and the
+// lifecycle loop resets a template's blame rows when it promotes a
+// retrained model. Blame aggregation is entirely off the
+// uninstrumented prediction path — PredictKnown/PredictBatch never
+// consult it.
+func WithBlame(b *Blame) Option {
+	return func(c *config) { c.blame = b }
+}
+
+// BlameSnapshot reports the contention blame accumulated by the
+// workbench's aggregator. The second return is false when the
+// workbench was built without WithBlame.
+func (w *Workbench) BlameSnapshot() (BlameReport, bool) {
+	if w.blame == nil {
+		return (*Blame)(nil).Report(), false
+	}
+	return w.blame.Report(), true
+}

@@ -1,0 +1,110 @@
+package contender
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBlameServeLoop closes the loop on the workbench path: WithBlame
+// installs the aggregator, Workbench.Serve threads it into the server,
+// an explain-flagged prediction feeds the matrix, and both the wire
+// breakdown and BlameSnapshot agree with Predictor.Explain.
+func TestBlameServeLoop(t *testing.T) {
+	b := NewBlame(BlameConfig{TopK: 3})
+	wb, err := NewWorkbench(quickObsOptions(WithBlame(b))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := wb.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := wb.Serve(ctx, pred, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer scancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	mix := []int{62}
+	body, err := json.Marshal(map[string]any{"primary": 26, "concurrent": mix, "explain": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain predict status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Prediction float64 `json:"prediction"`
+		Explain    *struct {
+			Baseline  float64   `json:"baseline"`
+			CQI       float64   `json:"cqi"`
+			Neighbors []int     `json:"neighbors"`
+			Seconds   []float64 `json:"seconds"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Explain == nil {
+		t.Fatalf("no breakdown in explain response: %s", w.Body.String())
+	}
+
+	var buf ExplainBuffer
+	want, err := pred.Explain(&buf, 26, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Prediction != want {
+		t.Errorf("served prediction %g, want %g", resp.Prediction, want)
+	}
+	if resp.Explain.Baseline != buf.Baseline || resp.Explain.CQI != buf.CQI {
+		t.Errorf("breakdown baseline/cqi = %g/%g, want %g/%g",
+			resp.Explain.Baseline, resp.Explain.CQI, buf.Baseline, buf.CQI)
+	}
+
+	// The workbench aggregator saw exactly the served decomposition.
+	rep, ok := wb.BlameSnapshot()
+	if !ok {
+		t.Fatal("BlameSnapshot reported no aggregator despite WithBlame")
+	}
+	if rep.Samples != 1 || len(rep.Pairs) != 1 {
+		t.Fatalf("snapshot: %+v", rep)
+	}
+	pair := rep.Pairs[0]
+	if pair.Primary != 26 || pair.Neighbor != 62 || pair.Seconds != buf.Seconds[0] {
+		t.Fatalf("blame pair = %+v, want primary 26 neighbor 62 seconds %g", pair, buf.Seconds[0])
+	}
+	if len(rep.Aggressors) != 1 || rep.Aggressors[0].Template != 62 {
+		t.Fatalf("aggressors: %+v, want T62", rep.Aggressors)
+	}
+	if len(rep.Victims) != 1 || rep.Victims[0].Template != 26 {
+		t.Fatalf("victims: %+v, want T26", rep.Victims)
+	}
+}
+
+// TestBlameSnapshotWithoutAggregator: a workbench built without
+// WithBlame reports ok=false and an empty (non-nil) report.
+func TestBlameSnapshotWithoutAggregator(t *testing.T) {
+	wb, _ := testWorkbench(t)
+	rep, ok := wb.BlameSnapshot()
+	if ok {
+		t.Fatal("BlameSnapshot ok=true without WithBlame")
+	}
+	if rep.Pairs == nil || len(rep.Pairs) != 0 {
+		t.Fatalf("empty snapshot: %+v", rep)
+	}
+}

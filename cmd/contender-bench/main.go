@@ -88,7 +88,7 @@ func main() {
 	if *metricsAddr != "" {
 		m := obs.NewMetrics()
 		opts.Observer = m
-		bound, stopMetrics, err := cliutil.ServeMetrics(*metricsAddr, m, nil)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*metricsAddr, m, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

@@ -38,6 +38,7 @@ func main() {
 		storeDir = flag.String("store-dir", "", "versioned knowledge store directory: serve the current version when one exists, else train and publish the baseline; corruption is detected and falls back a version")
 		autoheal = flag.Bool("autoretrain", false, "run the self-healing lifecycle demo: drift the primary template, detect staleness, re-collect, canary, and promote a new store version (requires training; pairs with -store-dir)")
 		quick    = flag.Bool("quick", false, "reduced sampling for a fast training pass")
+		blameTop = flag.Int("blame-top", 0, "decompose every prediction in the mix into per-neighbor blame and print the top-N aggressor/victim templates (0 disables; known templates only)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,13 @@ func main() {
 		qcfg = contender.DriftConfig{MinSamples: 4, Delta: 0.05, Lambda: 1, StaleMRE: 0.3, RecoverMRE: 0.1, Window: 4}
 	}
 	quality := contender.NewQuality(qcfg)
+
+	// The blame aggregator is fed by the explain decompositions behind
+	// -blame-top and serves the /blame endpoint beside /quality.
+	var blame *contender.Blame
+	if *blameTop > 0 {
+		blame = contender.NewBlame(contender.BlameConfig{TopK: *blameTop})
+	}
 
 	// The versioned store is opened (and recovered) up front so its
 	// recovery report prints before anything serves from it.
@@ -83,12 +91,12 @@ func main() {
 	var rec *contender.RecordingObserver
 	if *maddr != "" {
 		metrics = contender.NewMetrics()
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, quality)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, quality, blame)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /blame, /debug/vars, /debug/pprof)\n", bound)
 	}
 	if *traceOut != "" {
 		rec = contender.NewRecordingObserver()
@@ -126,6 +134,11 @@ func main() {
 		fmt.Printf("concurrent mix    : %v (MPL %d)\n", concurrent, mpl)
 		fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQI(*primary, concurrent))
 		fmt.Printf("predicted latency : %9.1f s\n", estimate)
+		if blame != nil {
+			if err := printBlame(pred, blame, *primary, concurrent); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 
@@ -149,6 +162,11 @@ func main() {
 			fmt.Printf("concurrent mix    : %v (MPL %d)\n", concurrent, mpl)
 			fmt.Printf("CQI of the mix    : %9.3f\n", pred.CQI(*primary, concurrent))
 			fmt.Printf("predicted latency : %9.1f s\n", estimate)
+			if blame != nil {
+				if err := printBlame(pred, blame, *primary, concurrent); err != nil {
+					fatal(err)
+				}
+			}
 			return
 		}
 	}
@@ -266,6 +284,45 @@ func main() {
 			}
 		}
 	}
+	if blame != nil && !*adhoc {
+		if err := printBlame(pred, blame, *primary, concurrent); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printBlame explains every slot of the full mix against the others
+// (the primary and each concurrent template take a turn as the
+// explained query), folds the per-neighbor shares into the blame
+// matrix, and prints the rankings: which templates steal the most
+// predicted seconds from the mix (aggressors) and which lose the most
+// (victims). The ranking depth is the aggregator's TopK (-blame-top).
+func printBlame(pred *contender.Predictor, blame *contender.Blame, primary int, concurrent []int) error {
+	full := append([]int{primary}, concurrent...)
+	var buf contender.ExplainBuffer
+	for i := range full {
+		rest := make([]int, 0, len(full)-1)
+		rest = append(rest, full[:i]...)
+		rest = append(rest, full[i+1:]...)
+		if len(rest) == 0 {
+			continue
+		}
+		if _, err := pred.Explain(&buf, full[i], rest); err != nil {
+			return err
+		}
+		blame.Observe(full[i], buf.Neighbors, buf.Seconds)
+	}
+	rep := blame.Report()
+	fmt.Printf("\nblame attribution across the mix (%d decompositions):\n", rep.Samples)
+	fmt.Printf("%-12s %12s %8s\n", "aggressor", "stolen [s]", "shares")
+	for _, r := range rep.Aggressors {
+		fmt.Printf("T%-11d %12.1f %8d\n", r.Template, r.Seconds, r.Count)
+	}
+	fmt.Printf("%-12s %12s %8s\n", "victim", "lost [s]", "shares")
+	for _, r := range rep.Victims {
+		fmt.Printf("T%-11d %12.1f %8d\n", r.Template, r.Seconds, r.Count)
+	}
+	return nil
 }
 
 // selfHeal runs the lifecycle demo: the primary template's substrate

@@ -30,6 +30,7 @@ func main() {
 		maddr     = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /quality, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 		traceOut  = flag.String("trace-out", "", "write the observer event stream as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 		storeDir  = flag.String("store-dir", "", "versioned knowledge store directory: schedule with the pinned current version when one exists, else publish the freshly trained model as the baseline")
+		blameTop  = flag.Int("blame-top", 0, "decompose the winning schedule's admission groups into per-neighbor blame and print the top-N aggressor/victim templates (0 disables)")
 	)
 	flag.Parse()
 
@@ -41,16 +42,21 @@ func main() {
 		fatal(fmt.Errorf("empty batch"))
 	}
 
+	var blame *contender.Blame
+	if *blameTop > 0 {
+		blame = contender.NewBlame(contender.BlameConfig{TopK: *blameTop})
+	}
+
 	var metrics *contender.Metrics
 	var rec *contender.RecordingObserver
 	if *maddr != "" {
 		metrics = contender.NewMetrics()
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, nil)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, metrics, nil, blame)
 		if err != nil {
 			fatal(err)
 		}
 		defer stopMetrics()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /debug/vars, /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /quality, /blame, /debug/vars, /debug/pprof)\n", bound)
 	}
 	if *traceOut != "" {
 		rec = contender.NewRecordingObserver()
@@ -149,6 +155,12 @@ func main() {
 			best.Policy, 100*(fifo-best.MeasuredMakespan)/fifo)
 	}
 
+	if blame != nil {
+		if err := printBlame(pred, blame, best.Order, *mpl); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *timeline {
 		jobs, span, err := pred.ForecastBatch(best.Order, *mpl)
 		if err != nil {
@@ -160,6 +172,47 @@ func main() {
 			fmt.Printf("T%-5d  %8.0fs  %8.0fs  %8.0fs\n", j.Template, j.Start, j.End, j.Latency())
 		}
 	}
+}
+
+// printBlame decomposes the winning schedule's admission groups —
+// consecutive windows of mpl queries, the sets the scheduler admits
+// together — with one explain call per group member, folds the shares
+// into the blame matrix, and prints the rankings: which templates steal
+// the most predicted seconds from their groupmates (aggressors) and
+// which lose the most (victims). The ranking depth is the aggregator's
+// TopK (-blame-top).
+func printBlame(pred *contender.Predictor, blame *contender.Blame, order []int, mpl int) error {
+	var buf contender.ExplainBuffer
+	for start := 0; start < len(order); start += mpl {
+		end := start + mpl
+		if end > len(order) {
+			end = len(order)
+		}
+		group := order[start:end]
+		for i := range group {
+			rest := make([]int, 0, len(group)-1)
+			rest = append(rest, group[:i]...)
+			rest = append(rest, group[i+1:]...)
+			if len(rest) == 0 {
+				continue
+			}
+			if _, err := pred.Explain(&buf, group[i], rest); err != nil {
+				return err
+			}
+			blame.Observe(group[i], buf.Neighbors, buf.Seconds)
+		}
+	}
+	rep := blame.Report()
+	fmt.Printf("\nblame attribution across the admission groups (%d decompositions):\n", rep.Samples)
+	fmt.Printf("%-12s %12s %8s\n", "aggressor", "stolen [s]", "shares")
+	for _, r := range rep.Aggressors {
+		fmt.Printf("T%-11d %12.1f %8d\n", r.Template, r.Seconds, r.Count)
+	}
+	fmt.Printf("%-12s %12s %8s\n", "victim", "lost [s]", "shares")
+	for _, r := range rep.Victims {
+		fmt.Printf("T%-11d %12.1f %8d\n", r.Template, r.Seconds, r.Count)
+	}
+	return nil
 }
 
 func fatal(err error) {

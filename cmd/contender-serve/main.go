@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7341", "binary protocol listen address (use :0 for an ephemeral port)")
-		maddr    = flag.String("metrics-addr", "", "HTTP address serving /v1/* beside /metrics, /quality, /debug/pprof (e.g. :9090)")
+		maddr    = flag.String("metrics-addr", "", "HTTP address serving /v1/* beside /metrics, /quality, /blame, /debug/pprof (e.g. :9090)")
 		load     = flag.String("load", "", "load a saved predictor snapshot instead of training")
 		quick    = flag.Bool("quick", false, "reduced sampling for a fast training pass")
 		seed     = flag.Int64("seed", 42, "simulation seed for training")
@@ -45,6 +45,8 @@ func main() {
 		rate     = flag.Float64("rate", 0, "admission token-bucket rate per connection, requests/s (0 disables)")
 		burst    = flag.Int("burst", 0, "admission token-bucket burst (0 = one second of rate)")
 		inflight = flag.Int("max-inflight", 0, "admission cap on in-flight requests per connection (0 disables)")
+		slowLog  = flag.Duration("slowlog", -1, "log requests slower than this to stderr, admission to reply (0 logs every request; negative disables)")
+		blameTop = flag.Int("blame-top", 0, "blame-ranking depth of the /blame report (0 = default 5)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the deterministic load generator against an in-process server and exit")
 		lgConns  = flag.Int("loadgen-conns", 2, "loadgen: concurrent binary connections")
@@ -59,8 +61,15 @@ func main() {
 
 	quality := contender.NewQuality(contender.DriftConfig{})
 	metrics := contender.NewMetrics()
+	// The server folds every explain-flagged prediction it answers into
+	// the blame matrix; /blame serves the report beside /quality.
+	blame := contender.NewBlame(contender.BlameConfig{TopK: *blameTop})
 
 	var sopts []contender.ServeOption
+	sopts = append(sopts, contender.WithServeBlame(blame))
+	if *slowLog >= 0 {
+		sopts = append(sopts, contender.WithSlowLog(os.Stderr, *slowLog))
+	}
 	if *shards > 0 {
 		sopts = append(sopts, contender.WithShards(*shards))
 	}
@@ -123,13 +132,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			runLoadgen(srv, metrics, quality, pool, loadgenConfig{
+			runLoadgen(srv, metrics, quality, blame, pool, loadgenConfig{
 				conns: *lgConns, batch: *lgBatch, ops: *lgOps, seed: *lgSeed,
 				mixMax: *maxMPL - 1, out: *benchOut, minRate: *minRate, note: *note,
 			})
 			return
 		}
-		serveForever(ctx, wb, pred, *addr, *maddr, metrics, quality, sopts)
+		serveForever(ctx, wb, pred, *addr, *maddr, metrics, quality, blame, sopts)
 		return
 	}
 	if *loadgen {
@@ -148,32 +157,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runServer(ctx, srv, bound, *maddr, metrics, quality)
+	runServer(ctx, srv, bound, *maddr, metrics, quality, blame)
 }
 
 // serveForever is the trained-workbench serving path: one
 // Workbench.Serve call, then block until interrupted.
-func serveForever(ctx context.Context, wb *contender.Workbench, pred *contender.Predictor, addr, maddr string, metrics *contender.Metrics, quality *contender.Quality, sopts []contender.ServeOption) {
+func serveForever(ctx context.Context, wb *contender.Workbench, pred *contender.Predictor, addr, maddr string, metrics *contender.Metrics, quality *contender.Quality, blame *contender.Blame, sopts []contender.ServeOption) {
 	srv, err := wb.Serve(ctx, pred, addr, sopts...)
 	if err != nil {
 		fatal(err)
 	}
-	runServer(ctx, srv.Server, srv.BinaryAddr(), maddr, metrics, quality)
+	runServer(ctx, srv.Server, srv.BinaryAddr(), maddr, metrics, quality, blame)
 }
 
 // runServer mounts the HTTP front (when -metrics-addr is set), prints
 // the bound addresses, and blocks until the context is cancelled; the
 // server then drains and exits.
-func runServer(ctx context.Context, srv *contender.Server, binaryAddr, maddr string, metrics *contender.Metrics, quality *contender.Quality) {
+func runServer(ctx context.Context, srv *contender.Server, binaryAddr, maddr string, metrics *contender.Metrics, quality *contender.Quality, blame *contender.Blame) {
 	fmt.Fprintf(os.Stderr, "serve: binary protocol on %s\n", binaryAddr)
 	if maddr != "" {
-		bound, stopHTTP, err := cliutil.ServeMetrics(maddr, metrics, quality,
+		bound, stopHTTP, err := cliutil.ServeMetrics(maddr, metrics, quality, blame,
 			cliutil.Mount{Pattern: "/v1/", Handler: srv.Handler()})
 		if err != nil {
 			fatal(err)
 		}
 		defer stopHTTP()
-		fmt.Fprintf(os.Stderr, "serve: http://%s/v1/predict (also /v1/predict_batch, /v1/feedback, /metrics, /quality)\n", bound)
+		fmt.Fprintf(os.Stderr, "serve: http://%s/v1/predict (also /v1/predict_batch, /v1/feedback, /metrics, /quality, /blame)\n", bound)
 	}
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "serve: draining...")
@@ -215,8 +224,8 @@ type serveReport struct {
 // the deterministic generator, verifies binary/HTTP payload parity,
 // and writes the benchmark row. Exits non-zero on parity violation or
 // a throughput floor miss.
-func runLoadgen(srv *contender.BoundServer, metrics *contender.Metrics, quality *contender.Quality, pool []int, cfg loadgenConfig) {
-	httpAddr, stopHTTP, err := cliutil.ServeMetrics("127.0.0.1:0", metrics, quality,
+func runLoadgen(srv *contender.BoundServer, metrics *contender.Metrics, quality *contender.Quality, blame *contender.Blame, pool []int, cfg loadgenConfig) {
+	httpAddr, stopHTTP, err := cliutil.ServeMetrics("127.0.0.1:0", metrics, quality, blame,
 		cliutil.Mount{Pattern: "/v1/", Handler: srv.Handler()})
 	if err != nil {
 		fatal(err)

@@ -41,7 +41,7 @@ func main() {
 	if *maddr != "" {
 		m := obs.NewMetrics()
 		metrics = m
-		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, m, nil)
+		bound, stopMetrics, err := cliutil.ServeMetrics(*maddr, m, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

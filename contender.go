@@ -120,6 +120,9 @@ type config struct {
 	// quality is not part of experiments.Options: the sampling campaign
 	// never consults it — only predictors trained from the workbench do.
 	quality *obs.Quality
+	// blame is likewise serving-side only: servers and lifecycle loops
+	// built from the workbench inherit it.
+	blame *obs.Blame
 	// storeDir, when non-empty, roots a versioned knowledge store the
 	// workbench opens (and recovers) at build time.
 	storeDir string
@@ -200,6 +203,7 @@ func QuickSampling() Option {
 type Workbench struct {
 	env     *experiments.Env
 	quality *obs.Quality
+	blame   *obs.Blame
 	store   *KnowledgeStore
 }
 
@@ -223,7 +227,7 @@ func NewWorkbenchContext(ctx context.Context, options ...Option) (*Workbench, er
 	if err != nil {
 		return nil, fmt.Errorf("contender: building workbench: %w", err)
 	}
-	w := &Workbench{env: env, quality: c.quality}
+	w := &Workbench{env: env, quality: c.quality, blame: c.blame}
 	if c.storeDir != "" {
 		if w.store, err = OpenStore(c.storeDir); err != nil {
 			return nil, fmt.Errorf("contender: opening store: %w", err)

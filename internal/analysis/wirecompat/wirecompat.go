@@ -2,9 +2,9 @@
 // serving layer. It derives a canonical fingerprint of the wire
 // surface declared in internal/serve — every exported struct carrying
 // json tags (field names, types, tags), the response Code constants,
-// the frame opcodes (Op*), and the framing limits (Version, MaxFrame,
-// MaxMix) — and diffs it against the checked-in wire.lock file next to
-// the source.
+// the frame opcodes (Op*), the opcode flag bits (Flag*), and the
+// framing limits (Version, MaxFrame, MaxMix) — and diffs it against the
+// checked-in wire.lock file next to the source.
 //
 // Any drift is a vet failure: growth must be recorded (regenerate the
 // lock with `make wire-lock`), and a removal, rename, retype, or retag
@@ -172,10 +172,10 @@ func Fingerprint(fset *token.FileSet, files []*ast.File, pkg *types.Package, inf
 }
 
 // frozenConst reports whether an exported constant belongs to the wire
-// contract: typed as the package's Code enum, an Op* opcode, or one of
-// the framing limits.
+// contract: typed as the package's Code enum, an Op* opcode, a Flag*
+// opcode flag bit, or one of the framing limits.
 func frozenConst(cn *types.Const) bool {
-	if frozenConsts[cn.Name()] || strings.HasPrefix(cn.Name(), "Op") {
+	if frozenConsts[cn.Name()] || strings.HasPrefix(cn.Name(), "Op") || strings.HasPrefix(cn.Name(), "Flag") {
 		return true
 	}
 	named, ok := cn.Type().(*types.Named)

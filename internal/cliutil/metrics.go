@@ -36,20 +36,22 @@ type Mount struct {
 // -metrics-addr flag of every CLI. It listens on addr and serves
 //
 //	/metrics       Prometheus text exposition (version 0.0.4); when a
-//	               quality aggregator is given its families are appended
+//	               quality or blame aggregator is given its families are
+//	               appended
 //	/quality       prediction-quality JSON report (empty without one)
+//	/blame         contention blame matrix JSON report (empty without one)
 //	/debug/vars    expvar JSON, including the contender_metrics tree
 //	/debug/pprof/  the standard pprof handlers
 //
-// q may be nil: /quality then serves an empty report, so dashboards can
-// scrape it unconditionally. Extra mounts (e.g. the serving layer's
-// /v1/* endpoints) are added to the same mux. The returned address is
-// the bound listen address (useful with ":0"), and the returned func
-// shuts the server down gracefully: it stops accepting, waits up to
-// ShutdownDrainTimeout for in-flight requests to drain, then severs
-// what remains. The server runs on its own goroutine and never blocks
-// the campaign it observes.
-func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality, mounts ...Mount) (string, func(), error) {
+// q and b may be nil: /quality and /blame then serve empty reports, so
+// dashboards can scrape them unconditionally. Extra mounts (e.g. the
+// serving layer's /v1/* endpoints) are added to the same mux. The
+// returned address is the bound listen address (useful with ":0"), and
+// the returned func shuts the server down gracefully: it stops
+// accepting, waits up to ShutdownDrainTimeout for in-flight requests to
+// drain, then severs what remains. The server runs on its own goroutine
+// and never blocks the campaign it observes.
+func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality, b *obs.Blame, mounts ...Mount) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listener: %w", err)
@@ -64,10 +66,15 @@ func ServeMetrics(addr string, m *obs.Metrics, q *obs.Quality, mounts ...Mount) 
 		if q != nil {
 			_ = q.WritePrometheus(w)
 		}
+		if b != nil {
+			_ = b.WritePrometheus(w)
+		}
 	})
-	// q.ServeHTTP tolerates a nil receiver (Report is nil-safe), so the
-	// endpoint exists even when no quality aggregator is attached.
+	// q.ServeHTTP and b.ServeHTTP tolerate a nil receiver (Report is
+	// nil-safe), so the endpoints exist even when no aggregator is
+	// attached.
 	mux.Handle("/quality", http.HandlerFunc(q.ServeHTTP))
+	mux.Handle("/blame", http.HandlerFunc(b.ServeHTTP))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

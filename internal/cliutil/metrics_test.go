@@ -18,7 +18,10 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	q := obs.NewQuality(obs.DriftConfig{})
 	q.Observe(71, 0.2)
 
-	addr, stop, err := ServeMetrics("127.0.0.1:0", m, q)
+	b := obs.NewBlame(obs.BlameConfig{})
+	b.Observe(71, []int{2}, []float64{1.5})
+
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, q, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +56,24 @@ func TestServeMetricsEndpoints(t *testing.T) {
 		t.Errorf("/metrics missing the quality families:\n%s", body)
 	}
 
+	if !strings.Contains(body, `contender_blame_observations_total{pair="71/2"} 1`) {
+		t.Errorf("/metrics missing the blame families:\n%s", body)
+	}
+
 	body, ctype = get("/quality")
 	if !strings.Contains(ctype, "application/json") {
 		t.Errorf("/quality content type %q", ctype)
 	}
 	if !strings.Contains(body, `"template": 71`) || !strings.Contains(body, `"state": "healthy"`) {
 		t.Errorf("/quality missing the template report:\n%s", body)
+	}
+
+	body, ctype = get("/blame")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/blame content type %q", ctype)
+	}
+	if !strings.Contains(body, `"primary": 71`) || !strings.Contains(body, `"neighbor": 2`) {
+		t.Errorf("/blame missing the pair report:\n%s", body)
 	}
 
 	body, _ = get("/debug/vars")
@@ -85,7 +100,7 @@ func TestServeMetricsGracefulShutdown(t *testing.T) {
 		<-release
 		_, _ = io.WriteString(w, "drained-ok")
 	})
-	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil, Mount{Pattern: "/slow", Handler: slow})
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil, nil, Mount{Pattern: "/slow", Handler: slow})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,27 +163,35 @@ func TestServeMetricsGracefulShutdown(t *testing.T) {
 	}
 }
 
-func TestServeMetricsNilQuality(t *testing.T) {
+func TestServeMetricsNilAggregators(t *testing.T) {
 	m := obs.NewMetrics()
-	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil)
+	addr, stop, err := ServeMetrics("127.0.0.1:0", m, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer stop()
 
-	resp, err := http.Get("http://" + addr + "/quality")
-	if err != nil {
-		t.Fatal(err)
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without an aggregator: %s", path, resp.Status)
+		}
+		return string(body)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /quality without an aggregator: %s", resp.Status)
-	}
-	if !strings.Contains(string(body), `"templates": []`) {
+
+	if body := get("/quality"); !strings.Contains(body, `"templates": []`) {
 		t.Errorf("/quality without an aggregator should report no templates:\n%s", body)
+	}
+	if body := get("/blame"); !strings.Contains(body, `"pairs": []`) {
+		t.Errorf("/blame without an aggregator should report no pairs:\n%s", body)
 	}
 }

@@ -18,17 +18,19 @@ import (
 // exported set: a function guarded but unmarked gets no static check,
 // a function marked but unguarded gets no runtime proof.
 var servingGuardSet = map[string]bool{
-	"CQI":          true,
-	"PositiveIO":   true,
-	"BaselineIO":   true,
-	"PredictKnown": true,
-	"PredictBatch": true,
-	"Feedback":     true,
-	// Sharded serving handles (shard.go): per-shard prediction and
-	// ring-buffered feedback ingestion.
+	"CQI":            true,
+	"PositiveIO":     true,
+	"BaselineIO":     true,
+	"PredictKnown":   true,
+	"PredictBatch":   true,
+	"PredictExplain": true,
+	"Feedback":       true,
+	// Sharded serving handles (shard.go): per-shard prediction, blame
+	// decomposition, and ring-buffered feedback ingestion.
 	"Predict":      true,
 	"BatchPredict": true,
 	"Observe":      true,
+	"Explain":      true,
 }
 
 func TestHotpathMarkersMatchAllocGuard(t *testing.T) {

@@ -210,6 +210,13 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 	if _, err := sh.Observe(2, mix, 1.5); err != nil {
 		t.Fatal(err)
 	}
+	var ebuf ExplainBuffer
+	if _, err := p.PredictExplain(&ebuf, 2, mix); err != nil { // warm the explain buffer
+		t.Fatal(err)
+	}
+	if _, err := sh.Explain(2, mix); err != nil { // warm the shard's explain buffer
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name string
@@ -225,6 +232,11 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 		}},
 		{"PredictBatch", func() {
 			if _, err := p.PredictBatch(&buf, 2, mixes); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PredictExplain", func() {
+			if _, err := p.PredictExplain(&ebuf, 2, mix); err != nil {
 				t.Fatal(err)
 			}
 		}},
@@ -247,6 +259,11 @@ func TestServingPathDoesNotAllocate(t *testing.T) {
 			// The ring eventually fills without a drain; the drop path
 			// must be allocation-free too, so no drain here on purpose.
 			if _, err := sh.Observe(2, mix, 1.5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Explain", func() {
+			if _, err := sh.Explain(2, mix); err != nil {
 				t.Fatal(err)
 			}
 		}},

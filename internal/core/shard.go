@@ -109,6 +109,7 @@ type Shard struct {
 	parent *Sharded
 	id     int
 	buf    PredictBuffer
+	ebuf   ExplainBuffer
 	ring   feedbackRing
 
 	// drainedDropped is the ring drop count already folded into the
@@ -125,6 +126,19 @@ func (h *Shard) ID() int { return h.id }
 //contender:hotpath
 func (h *Shard) Predict(primary int, concurrent []int) (float64, error) {
 	return h.parent.snap.Load().PredictKnown(primary, concurrent)
+}
+
+// Explain serves PredictExplain from the current snapshot using the
+// shard's own explain buffer. The returned buffer is valid until the
+// shard's next Explain — exactly the lifetime rule of BatchPredict's
+// result slice.
+//
+//contender:hotpath
+func (h *Shard) Explain(primary int, concurrent []int) (*ExplainBuffer, error) {
+	if _, err := h.parent.snap.Load().PredictExplain(&h.ebuf, primary, concurrent); err != nil {
+		return nil, err
+	}
+	return &h.ebuf, nil
 }
 
 // BatchPredict serves PredictBatch from the current snapshot using the

@@ -129,8 +129,8 @@ func TestConcurrencySlowsQueriesDown(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -148,7 +148,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(IDs()) != 23 {
+	if len(IDs()) != 24 {
 		t.Fatal("IDs() wrong")
 	}
 }

@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"ext-chaos", "Extension §8 — resilient training under injected faults", ExtChaos},
 		{"ext-quality", "Extension §8 — online prediction quality and drift detection", ExtQuality},
 		{"ext-selfheal", "Extension §8 — self-healing knowledge lifecycle", ExtSelfheal},
+		{"ext-blame", "Extension §8 — per-mix contention blame attribution", ExtBlame},
 	}
 }
 

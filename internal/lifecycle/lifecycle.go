@@ -74,6 +74,11 @@ type Config struct {
 	// Quality is the drift-state source the loop watches (the same
 	// aggregator the serving layer's feedback drains into).
 	Quality *obs.Quality
+	// Blame, when non-nil, is the contention blame aggregator the
+	// serving layer feeds; a promotion resets the promoted templates'
+	// blame rows so the new models' decompositions are judged on their
+	// own, exactly like the quality reset below.
+	Blame *obs.Blame
 	// Collector runs targeted re-collection and refit for stale
 	// templates.
 	Collector Collector
@@ -348,6 +353,7 @@ func (m *Manager) retrainLocked(ctx context.Context, rep StepReport) (StepReport
 	}
 	for _, id := range rep.Stale {
 		m.cfg.Quality.ResetTemplate(id)
+		m.cfg.Blame.ResetTemplate(id)
 	}
 	m.promotions.Inc()
 	if rep.Err == "" {

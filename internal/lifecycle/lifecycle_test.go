@@ -154,6 +154,49 @@ func TestStepPromotesOnImprovedCanary(t *testing.T) {
 	}
 }
 
+// TestPromotionResetsBlame pins that promoting a retrained template
+// rearms its blame matrix rows — the new model's decompositions are
+// judged on their own — while rows where the template is only a
+// neighbor keep their history.
+func TestPromotionResetsBlame(t *testing.T) {
+	old := makePredictor(t, 1.0)
+	better := makePredictor(t, 1.8)
+	q := obs.NewQuality(qcfg())
+	old.SetQuality(q)
+	b := obs.NewBlame(obs.BlameConfig{})
+	b.Observe(2, []int{22}, []float64{3.5})  // primary 2: reset on its promotion
+	b.Observe(22, []int{2}, []float64{1.25}) // primary 22: untouched
+	sh, err := core.NewSharded(old, core.ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	m, err := New(sh, Config{
+		Quality:   q,
+		Blame:     b,
+		Collector: CollectorFunc(func(context.Context, []int) (*core.Predictor, error) { return better, nil }),
+		Holdout:   holdoutFor(t, better),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	driveStale(t, q)
+	rep, err := m.Step(context.Background())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if rep.Action != ActionPromoted {
+		t.Fatalf("action = %s (err %q), want promoted", rep.Action, rep.Err)
+	}
+	brep := b.Report()
+	if len(brep.Pairs) != 1 {
+		t.Fatalf("blame pairs after promotion = %+v, want only 22/2", brep.Pairs)
+	}
+	p := brep.Pairs[0]
+	if p.Primary != 22 || p.Neighbor != 2 || p.Seconds != 1.25 {
+		t.Fatalf("surviving blame pair = %+v, want primary 22 neighbor 2 seconds 1.25", p)
+	}
+}
+
 func TestStepRollsBackOnCanaryRegression(t *testing.T) {
 	old := makePredictor(t, 1.0)
 	worse := makePredictor(t, 5.0)

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Contention blame telemetry: the serving layer decomposes each
+// explained prediction into per-neighbor seconds (core.PredictExplain),
+// and this file aggregates that stream into a pairwise blame matrix —
+// for every (primary, concurrent) template pair, how many predicted
+// seconds of the primary's latency the neighbor owns. On top of the
+// matrix sit two rankings: aggressors (templates that steal the most
+// seconds from others) and victims (templates that lose the most).
+//
+// The style matches Quality: per-pair trackers with cached metric
+// handles so the warm Observe path allocates nothing, deterministic
+// aggregation (no clocks, no randomness — the same decomposition stream
+// always produces the same matrix), and a nil-safe JSON report mounted
+// at /blame beside /quality.
+
+// BlameConfig tunes the aggregator. The zero value selects the defaults
+// noted on each field; everything is deterministic.
+type BlameConfig struct {
+	// Alpha is the EWMA smoothing factor for per-pair seconds: each new
+	// sample s updates ewma ← Alpha·s + (1−Alpha)·ewma (default 0.2,
+	// seeded by the first sample).
+	Alpha float64
+	// TopK bounds the aggressor and victim rankings in reports
+	// (default 5).
+	TopK int
+}
+
+func (c BlameConfig) withDefaults() BlameConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	return c
+}
+
+// blameKey identifies one (primary, neighbor) cell of the matrix.
+type blameKey struct{ primary, neighbor int }
+
+// pairBlame is one matrix cell's tracker. The metric handles and label
+// string are allocated once, on first observation, so the warm path is
+// allocation-free.
+type pairBlame struct {
+	mu sync.Mutex
+
+	primary  int
+	neighbor int
+	count    int64
+	seconds  float64 // cumulative predicted seconds stolen
+	ewma     float64
+	seeded   bool
+	last     float64
+
+	obsC  *Counter
+	secG  *Gauge
+	ewmaG *Gauge
+}
+
+// Blame aggregates per-neighbor interaction seconds into a pairwise
+// blame matrix. It owns its own metric Registry with the blame.*
+// families:
+//
+//	contender_blame_observations_total{pair=...}  decomposed samples per pair
+//	contender_blame_seconds{pair=...}             cumulative seconds stolen
+//	contender_blame_ewma_seconds{pair=...}        EWMA of per-sample seconds
+//	contender_blame_samples_total                 explained predictions folded
+//	contender_blame_pairs                         tracked matrix cells
+//
+// The pair label renders as "primary/neighbor". All methods are safe
+// for concurrent use; Observe is allocation-free once a pair's tracker
+// exists.
+type Blame struct {
+	cfg BlameConfig
+	reg *Registry
+
+	observations *CounterVec
+	secondsV     *GaugeVec
+	ewmaV        *GaugeVec
+	samples      *Counter
+	pairsG       *Gauge
+
+	mu       sync.RWMutex
+	trackers map[blameKey]*pairBlame
+}
+
+// NewBlame returns a blame aggregator with the given configuration
+// (zero value: defaults).
+func NewBlame(cfg BlameConfig) *Blame {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	return &Blame{
+		cfg:          cfg,
+		reg:          reg,
+		observations: reg.CounterVec("contender_blame_observations_total", "Decomposed prediction samples by primary/neighbor pair.", "pair"),
+		secondsV:     reg.GaugeVec("contender_blame_seconds", "Cumulative predicted seconds stolen from the primary by the neighbor.", "pair"),
+		ewmaV:        reg.GaugeVec("contender_blame_ewma_seconds", "EWMA of per-sample predicted seconds stolen, by pair.", "pair"),
+		samples:      reg.Counter("contender_blame_samples_total", "Explained predictions folded into the blame matrix."),
+		pairsG:       reg.Gauge("contender_blame_pairs", "Tracked (primary, neighbor) blame matrix cells."),
+		trackers:     map[blameKey]*pairBlame{},
+	}
+}
+
+// Config returns the effective configuration (defaults filled).
+func (b *Blame) Config() BlameConfig { return b.cfg }
+
+// Registry exposes the blame metric families for exposition (the CLI
+// metrics endpoint appends them to /metrics).
+func (b *Blame) Registry() *Registry { return b.reg }
+
+func (b *Blame) tracker(primary, neighbor int) *pairBlame {
+	k := blameKey{primary, neighbor}
+	b.mu.RLock()
+	t, ok := b.trackers[k]
+	b.mu.RUnlock()
+	if ok {
+		return t
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.trackers[k]; ok {
+		return t
+	}
+	label := strconv.Itoa(primary) + "/" + strconv.Itoa(neighbor)
+	t = &pairBlame{
+		primary:  primary,
+		neighbor: neighbor,
+		obsC:     b.observations.With(label),
+		secG:     b.secondsV.With(label),
+		ewmaG:    b.ewmaV.With(label),
+	}
+	b.trackers[k] = t
+	b.pairsG.Set(float64(len(b.trackers)))
+	return t
+}
+
+// Observe folds one explained prediction into the matrix: seconds[i] is
+// the predicted time neighbors[i] steals from the primary (an
+// ExplainBuffer's Neighbors/Seconds pair). Mismatched lengths and
+// non-finite samples are dropped; a nil Blame ignores the call. The
+// warm path performs no heap allocations.
+func (b *Blame) Observe(primary int, neighbors []int, seconds []float64) {
+	if b == nil || len(neighbors) == 0 || len(neighbors) != len(seconds) {
+		return
+	}
+	b.samples.Inc()
+	for i, nb := range neighbors {
+		s := seconds[i]
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		t := b.tracker(primary, nb)
+		t.mu.Lock()
+		t.count++
+		t.seconds += s
+		t.last = s
+		if t.seeded {
+			t.ewma = b.cfg.Alpha*s + (1-b.cfg.Alpha)*t.ewma
+		} else {
+			t.ewma = s
+			t.seeded = true
+		}
+		t.obsC.Inc()
+		t.secG.Set(t.seconds)
+		t.ewmaG.Set(t.ewma)
+		t.mu.Unlock()
+	}
+}
+
+// Samples returns the number of explained predictions folded in.
+func (b *Blame) Samples() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.samples.Value()
+}
+
+// ResetTemplate rearms every matrix cell whose primary is the given
+// template after its model was replaced: cumulative seconds, counts,
+// and the EWMA restart from zero so the new model's decompositions are
+// judged on their own, mirroring Quality.ResetTemplate. The monotone
+// observation counters are preserved — they are cumulative telemetry,
+// not model state. Cells where the template appears only as a neighbor
+// are untouched: their seconds were predicted by other primaries'
+// models, which did not change.
+func (b *Blame) ResetTemplate(template int) {
+	if b == nil {
+		return
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for k, t := range b.trackers {
+		if k.primary != template {
+			continue
+		}
+		t.mu.Lock()
+		t.count = 0
+		t.seconds = 0
+		t.ewma = 0
+		t.seeded = false
+		t.last = 0
+		t.secG.Set(0)
+		t.ewmaG.Set(0)
+		t.mu.Unlock()
+	}
+}
+
+// BlamePair is one (primary, neighbor) cell in a BlameReport.
+type BlamePair struct {
+	Primary     int     `json:"primary"`
+	Neighbor    int     `json:"neighbor"`
+	Count       int64   `json:"count"`
+	Seconds     float64 `json:"seconds"`
+	EWMASeconds float64 `json:"ewma_seconds"`
+	LastSeconds float64 `json:"last_seconds"`
+}
+
+// BlameRank is one template's row in the aggressor or victim ranking.
+// For aggressors, Seconds is the total the template steals from every
+// primary it runs beside; for victims, the total the template loses to
+// every neighbor.
+type BlameRank struct {
+	Template int     `json:"template"`
+	Seconds  float64 `json:"seconds"`
+	Count    int64   `json:"count"`
+}
+
+// BlameReport is a point-in-time snapshot of the blame matrix, sorted
+// by (primary, neighbor), plus the top-K aggressor and victim rankings
+// (descending seconds, ties broken by ascending template ID).
+type BlameReport struct {
+	Samples    int64       `json:"samples"`
+	Pairs      []BlamePair `json:"pairs"`
+	Aggressors []BlameRank `json:"aggressors"`
+	Victims    []BlameRank `json:"victims"`
+}
+
+// Report snapshots the blame matrix. A nil Blame reports an empty
+// matrix, so callers can expose the endpoint unconditionally.
+func (b *Blame) Report() BlameReport {
+	rep := BlameReport{Pairs: []BlamePair{}, Aggressors: []BlameRank{}, Victims: []BlameRank{}}
+	if b == nil {
+		return rep
+	}
+	rep.Samples = b.samples.Value()
+	b.mu.RLock()
+	trackers := make([]*pairBlame, 0, len(b.trackers))
+	for _, t := range b.trackers {
+		trackers = append(trackers, t)
+	}
+	b.mu.RUnlock()
+	sort.Slice(trackers, func(i, j int) bool {
+		if trackers[i].primary != trackers[j].primary {
+			return trackers[i].primary < trackers[j].primary
+		}
+		return trackers[i].neighbor < trackers[j].neighbor
+	})
+	agg := map[int]*BlameRank{}
+	vic := map[int]*BlameRank{}
+	for _, t := range trackers {
+		t.mu.Lock()
+		p := BlamePair{
+			Primary:     t.primary,
+			Neighbor:    t.neighbor,
+			Count:       t.count,
+			Seconds:     t.seconds,
+			EWMASeconds: t.ewma,
+			LastSeconds: t.last,
+		}
+		t.mu.Unlock()
+		if p.Count == 0 && p.Seconds == 0 {
+			// A cell that was reset and never re-observed contributes
+			// nothing; keep it out of the matrix so reports stay small.
+			continue
+		}
+		rep.Pairs = append(rep.Pairs, p)
+		accumulate(agg, p.Neighbor, p.Seconds, p.Count)
+		accumulate(vic, p.Primary, p.Seconds, p.Count)
+	}
+	rep.Aggressors = topK(agg, b.cfg.TopK)
+	rep.Victims = topK(vic, b.cfg.TopK)
+	return rep
+}
+
+func accumulate(m map[int]*BlameRank, template int, seconds float64, count int64) {
+	r, ok := m[template]
+	if !ok {
+		r = &BlameRank{Template: template}
+		m[template] = r
+	}
+	r.Seconds += seconds
+	r.Count += count
+}
+
+// topK flattens a ranking map into its top-k slice. The map is drained
+// into a slice and sorted before any output is produced, so the result
+// is deterministic regardless of map iteration order.
+func topK(m map[int]*BlameRank, k int) []BlameRank {
+	ranks := make([]BlameRank, 0, len(m))
+	for _, r := range m {
+		ranks = append(ranks, *r)
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].Seconds != ranks[j].Seconds {
+			return ranks[i].Seconds > ranks[j].Seconds
+		}
+		return ranks[i].Template < ranks[j].Template
+	})
+	if len(ranks) > k {
+		ranks = ranks[:k]
+	}
+	return ranks
+}
+
+// WritePrometheus renders the blame metric families in the Prometheus
+// text exposition format.
+func (b *Blame) WritePrometheus(w io.Writer) error { return b.reg.WritePrometheus(w) }
+
+// ServeHTTP serves the blame report as JSON, making *Blame mountable
+// directly on an http.ServeMux (the CLIs mount it at /blame beside
+// /quality).
+func (b *Blame) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(b.Report())
+}

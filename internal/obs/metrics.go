@@ -22,6 +22,17 @@ var DefaultLatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
 }
 
+// ServeLatencyBuckets are the bounds for serve.* span-duration series:
+// DefaultLatencyBuckets with sub-microsecond bounds (100ns…50µs)
+// prepended. A warm prediction span runs tens of nanoseconds, so under
+// the default bounds every serving span collapsed into the first
+// (100µs) bucket and the latency histograms carried no information;
+// these bounds resolve the nanosecond regime while keeping the slow
+// tail identical to every other span family.
+var ServeLatencyBuckets = append([]float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+}, DefaultLatencyBuckets...)
+
 // atomicFloat64 is a float64 with atomic Add/Set built on CAS over the
 // IEEE-754 bits.
 type atomicFloat64 struct{ bits atomic.Uint64 }
@@ -225,6 +236,25 @@ func (f *family) get(labelValue string) any {
 	return m2
 }
 
+// getHist is get for histogram families with per-series bounds: the
+// series is created with the given bounds when absent.
+func (f *family) getHist(labelValue string, bounds []float64) any {
+	f.mu.RLock()
+	m, ok := f.series[labelValue]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[labelValue]; ok {
+		return m
+	}
+	m2 := newHistogram(bounds)
+	f.series[labelValue] = m2
+	return m2
+}
+
 // key renders the exposition identity for a label value.
 func (f *family) key(labelValue string) string {
 	if f.label == "" {
@@ -347,6 +377,19 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 
 // With returns the histogram for one label value.
 func (v *HistogramVec) With(labelValue string) *Histogram { return v.f.get(labelValue).(*Histogram) }
+
+// WithBuckets returns the histogram for one label value, creating the
+// series with the given bucket bounds instead of the family default
+// when it does not exist yet. A series that already exists keeps its
+// original bounds — bounds are fixed at first observation, exactly like
+// a family's. The exposition formats carry bounds per series, so
+// heterogeneous families render correctly.
+func (v *HistogramVec) WithBuckets(labelValue string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = v.f.bounds
+	}
+	return v.f.getHist(labelValue, bounds).(*Histogram)
+}
 
 // sortedFamilies returns families in name order (stable exposition).
 func (r *Registry) sortedFamilies() []*family {
@@ -569,7 +612,14 @@ func (m *Metrics) Event(ev Event) {
 		if ev.Err != "" {
 			m.spanErrs.With(ev.Span).Inc()
 		}
-		m.spanDur.With(ev.Span).Observe(ev.Dur.Seconds())
+		// serve.* spans finish in nanoseconds; give their duration
+		// series sub-microsecond resolution (other spans keep the
+		// family's default bounds).
+		if strings.HasPrefix(ev.Span, "serve.") {
+			m.spanDur.WithBuckets(ev.Span, ServeLatencyBuckets).Observe(ev.Dur.Seconds())
+		} else {
+			m.spanDur.With(ev.Span).Observe(ev.Dur.Seconds())
+		}
 	case Point:
 		m.events.With(ev.Span).Inc()
 		switch ev.Span {

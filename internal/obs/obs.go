@@ -69,11 +69,14 @@ const (
 	PointTrainCheckpoint = "train.checkpoint" // a measurement flushed to the checkpoint
 	PointTrainResume     = "train.resume"     // a measurement replayed from a checkpoint
 
-	// Serving calls.
-	SpanServePredictKnown = "serve.predict_known"
-	SpanServePredictBatch = "serve.predict_batch"
-	SpanServePredictNew   = "serve.predict_new"
-	SpanServeCQI          = "serve.cqi"
+	// Serving calls. serve.predict_explain is PredictKnown with the
+	// per-neighbor blame decomposition attached; it carries the same
+	// fields as serve.predict_known.
+	SpanServePredictKnown   = "serve.predict_known"
+	SpanServePredictBatch   = "serve.predict_batch"
+	SpanServePredictNew     = "serve.predict_new"
+	SpanServePredictExplain = "serve.predict_explain"
+	SpanServeCQI            = "serve.cqi"
 
 	// Network serving layer (internal/serve). serve.request spans one
 	// wire request on either protocol, with Key carrying the operation

@@ -3,6 +3,7 @@ package obs
 import (
 	"errors"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -288,6 +289,63 @@ func TestMetricsObserverFolding(t *testing.T) {
 	}
 	if snap.Histogram(`contender_span_duration_seconds{span="train.mix"}`).Count != 1 {
 		t.Error("duration histogram missed the span end")
+	}
+}
+
+// TestServeSpanBucketResolution: serve.* span-duration series get the
+// sub-microsecond bounds, so a ~60ns prediction span is resolved into
+// the first (100ns) bucket instead of collapsing — as it did under
+// DefaultLatencyBuckets, whose lowest bound is 100µs — into one
+// uninformative bucket with every other serving span.
+func TestServeSpanBucketResolution(t *testing.T) {
+	if ServeLatencyBuckets[0] != 1e-7 || DefaultLatencyBuckets[0] != 0.0001 {
+		t.Fatalf("bucket bound heads changed: serve %g default %g", ServeLatencyBuckets[0], DefaultLatencyBuckets[0])
+	}
+	if !sort.Float64sAreSorted(ServeLatencyBuckets) {
+		t.Fatalf("ServeLatencyBuckets not ascending: %v", ServeLatencyBuckets)
+	}
+	m := NewMetrics()
+	m.Event(Event{Kind: SpanEnd, Span: SpanServePredictKnown, Dur: 60 * time.Nanosecond})
+	m.Event(Event{Kind: SpanEnd, Span: SpanServePredictExplain, Dur: 800 * time.Nanosecond})
+	m.Event(Event{Kind: SpanEnd, Span: SpanTrainFit, Dur: 60 * time.Nanosecond})
+
+	snap := m.Snapshot()
+	serveHist := snap.Histogram(`contender_span_duration_seconds{span="serve.predict_known"}`)
+	if len(serveHist.Buckets) != len(ServeLatencyBuckets)+1 {
+		t.Fatalf("serve.* series has %d buckets, want %d", len(serveHist.Buckets), len(ServeLatencyBuckets)+1)
+	}
+	// 60ns ≤ 100ns: the very first bucket must already hold the sample.
+	if b := serveHist.Buckets[0]; b.Le != 1e-7 || b.Count != 1 {
+		t.Errorf("60ns span: first bucket le=%g count=%d, want le=1e-07 count=1", b.Le, b.Count)
+	}
+	explainHist := snap.Histogram(`contender_span_duration_seconds{span="serve.predict_explain"}`)
+	if b := explainHist.Buckets[0]; b.Count != 0 {
+		t.Errorf("800ns span leaked into the 100ns bucket")
+	}
+	if b := explainHist.Buckets[3]; b.Le != 1e-6 || b.Count != 1 {
+		t.Errorf("800ns span: bucket le=%g count=%d, want le=1e-06 count=1", b.Le, b.Count)
+	}
+	// Non-serve spans keep the default bounds: the 60ns training span
+	// lands in the first default (100µs) bucket of a 20-bucket series.
+	trainHist := snap.Histogram(`contender_span_duration_seconds{span="train.fit"}`)
+	if len(trainHist.Buckets) != len(DefaultLatencyBuckets)+1 {
+		t.Fatalf("train.* series has %d buckets, want %d", len(trainHist.Buckets), len(DefaultLatencyBuckets)+1)
+	}
+	if b := trainHist.Buckets[0]; b.Le != 0.0001 || b.Count != 1 {
+		t.Errorf("train span: first bucket le=%g count=%d, want le=0.0001 count=1", b.Le, b.Count)
+	}
+	// The heterogeneous family must still render in both expositions.
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`contender_span_duration_seconds_bucket{span="serve.predict_known",le="1e-07"} 1`,
+		`contender_span_duration_seconds_bucket{span="train.fit",le="0.0001"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

@@ -74,6 +74,14 @@ type Config struct {
 	// Metrics, when non-nil, registers the contender_serve_* families
 	// on its registry and folds per-request counters into them.
 	Metrics *obs.Metrics
+	// Blame, when non-nil, receives the per-neighbor decomposition of
+	// every explain-enabled prediction — the server's feed into the
+	// pairwise blame matrix. Non-explain requests never touch it.
+	Blame *obs.Blame
+	// SlowLog, when non-nil, logs every request whose end-to-end
+	// (admission → reply framing) latency meets the log's threshold. It
+	// sees only the serve.request span, independent of Observer.
+	SlowLog *obs.SlowLog
 	// MaxBatch caps the mixes of one predict_batch request (default
 	// 4096; CodeBatchTooLarge beyond it).
 	MaxBatch int
@@ -215,6 +223,11 @@ func (s *Server) borrow() (*core.Shard, error) {
 
 func (s *Server) giveBack(sh *core.Shard) { s.free <- sh }
 
+// timed reports whether request handlers need wall-clock timing: either
+// an observer wants the serve.request span or a slow log wants to judge
+// the request's latency.
+func (s *Server) timed() bool { return s.cfg.Observer != nil || s.cfg.SlowLog != nil }
+
 // observeRequest emits the serve.request span and folds counters.
 func (s *Server) observeRequest(op string, n int, dur time.Duration, err error) {
 	if s.met.requests != nil {
@@ -227,6 +240,16 @@ func (s *Server) observeRequest(op string, n int, dur time.Duration, err error) 
 	}
 	if s.cfg.Observer != nil {
 		obs.Emit(s.cfg.Observer, obs.Event{
+			Kind:  obs.SpanEnd,
+			Span:  obs.SpanServeRequest,
+			Key:   op,
+			Value: float64(n),
+			Dur:   dur,
+			Err:   obs.ErrLabel(err),
+		})
+	}
+	if s.cfg.SlowLog != nil {
+		s.cfg.SlowLog.Event(obs.Event{
 			Kind:  obs.SpanEnd,
 			Span:  obs.SpanServeRequest,
 			Key:   op,
@@ -259,6 +282,13 @@ func (s *Server) Handler() http.Handler {
 			var req PredictRequest
 			if err := json.Unmarshal(body, &req); err != nil {
 				return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			if req.Explain {
+				resp, err := s.predictExplain(req.Primary, req.Concurrent)
+				if err != nil {
+					return nil, 0, err
+				}
+				return resp, 1, nil
 			}
 			v, err := s.predictOne(req.Primary, req.Concurrent)
 			if err != nil {
@@ -329,7 +359,7 @@ func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, op string, f
 		defer s.httpA.release()
 	}
 	var start time.Time
-	if s.cfg.Observer != nil {
+	if s.timed() {
 		start = time.Now()
 	}
 	// Read one byte past the cap so an over-limit body is detected and
@@ -348,7 +378,7 @@ func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, op string, f
 		resp, n, err = fn(body)
 	}
 	var dur time.Duration
-	if s.cfg.Observer != nil {
+	if s.timed() {
 		dur = time.Since(start)
 	}
 	s.observeRequest(op, n, dur, err)
@@ -386,6 +416,48 @@ func (s *Server) predictOne(primary int, mix []int) (v float64, err error) {
 	defer s.giveBack(sh)
 	defer guardErr(&err)
 	return sh.Predict(primary, mix)
+}
+
+// predictExplain prices one prediction with its per-neighbor blame
+// breakdown. Explained predictions execute directly on a borrowed shard
+// — the coalescing batcher's pending protocol carries a bare float64,
+// and explain traffic is diagnostic, not throughput-bound, so it does
+// not justify widening that protocol. The prediction itself is
+// bit-identical to the non-explain path by construction
+// (core.PredictExplain replays PredictKnown's summation verbatim). The
+// breakdown slices are copied out of the shard's buffer before the
+// shard returns to the free list.
+func (s *Server) predictExplain(primary int, mix []int) (PredictResponse, error) {
+	if err := s.validateMix(mix); err != nil {
+		return PredictResponse{}, err
+	}
+	sh, err := s.borrow()
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	defer s.giveBack(sh)
+	eb, err := shardExplain(sh, primary, mix)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	s.cfg.Blame.Observe(primary, eb.Neighbors, eb.Seconds)
+	return PredictResponse{
+		Prediction: eb.Total,
+		Explain: &ExplainBreakdown{
+			Baseline:  eb.Baseline,
+			CQI:       eb.CQI,
+			Neighbors: append([]int(nil), eb.Neighbors...),
+			Seconds:   append([]float64(nil), eb.Seconds...),
+		},
+	}, nil
+}
+
+// shardExplain runs Shard.Explain under guardErr. The returned buffer
+// belongs to the shard: read it before the shard is given back or used
+// again.
+func shardExplain(sh *core.Shard, primary int, mix []int) (eb *core.ExplainBuffer, err error) {
+	defer guardErr(&err)
+	return sh.Explain(primary, mix)
 }
 
 // batchPredict validates and executes one predict_batch request on a
@@ -625,6 +697,11 @@ done:
 // length prefix was intact, so framing is still in sync).
 func (st *connState) handleFrame(op uint8, reqID uint32, payload []byte) {
 	s := st.srv
+	// The opcode byte's high bit is the explain flag (v1 defines it for
+	// OpPredict only); mask it off before dispatch so op names, metrics,
+	// and the opcode switch see the plain opcode.
+	explain := op&FlagExplain != 0
+	op &^= FlagExplain
 	if st.adm != nil && !st.adm.admit() {
 		s.overloaded(opName(op))
 		st.reply(reqID, ErrOverloaded)
@@ -634,17 +711,50 @@ func (st *connState) handleFrame(op uint8, reqID uint32, payload []byte) {
 		defer st.adm.release()
 	}
 	var start time.Time
-	if s.cfg.Observer != nil {
+	if s.timed() {
 		start = time.Now()
 	}
 	var n int
 	var err error
 	r := frameReader{b: payload}
+	if explain && op != OpPredict {
+		err = fmt.Errorf("%w: explain flag on opcode %d", ErrBadRequest, op)
+		s.observeRequest(opName(op), 0, 0, err)
+		st.reply(reqID, err)
+		return
+	}
 	switch op {
 	case OpPredict:
 		primary, mix := st.decodeMix(&r)
 		if !r.done() {
 			err = fmt.Errorf("%w: malformed predict payload", ErrBadRequest)
+			break
+		}
+		if explain {
+			// Explained predictions execute on the connection's burst
+			// shard (never the batcher — see Server.predictExplain). The
+			// shard's explain buffer stays valid while the shard is held,
+			// and it is held across this whole frame, so the reply frames
+			// straight out of the buffer with no copies.
+			var eb *core.ExplainBuffer
+			if err = s.validateMix(mix); err == nil {
+				eb, err = st.shardExplain(primary, mix)
+			}
+			if err == nil {
+				n = 1
+				s.cfg.Blame.Observe(primary, eb.Neighbors, eb.Seconds)
+				st.replyOK(reqID, func(b []byte) []byte {
+					b = appendF64(b, eb.Total)
+					b = appendF64(b, eb.Baseline)
+					b = appendF64(b, eb.CQI)
+					b = binary.LittleEndian.AppendUint16(b, uint16(len(eb.Neighbors)))
+					for i, nb := range eb.Neighbors {
+						b = binary.LittleEndian.AppendUint32(b, uint32(nb))
+						b = appendF64(b, eb.Seconds[i])
+					}
+					return b
+				})
+			}
 			break
 		}
 		var v float64
@@ -711,7 +821,7 @@ func (st *connState) handleFrame(op uint8, reqID uint32, payload []byte) {
 		err = fmt.Errorf("%w: opcode %d", ErrBadRequest, op)
 	}
 	var dur time.Duration
-	if s.cfg.Observer != nil {
+	if s.timed() {
 		dur = time.Since(start)
 	}
 	s.observeRequest(opName(op), n, dur, err)
@@ -771,6 +881,15 @@ func (st *connState) shardPredict(primary int, mix []int) (v float64, err error)
 	}
 	defer guardErr(&err)
 	return sh.Predict(primary, mix)
+}
+
+func (st *connState) shardExplain(primary int, mix []int) (eb *core.ExplainBuffer, err error) {
+	sh, err := st.ensureShard()
+	if err != nil {
+		return nil, err
+	}
+	defer guardErr(&err)
+	return sh.Explain(primary, mix)
 }
 
 func (st *connState) shardBatch(primary int) (res []float64, err error) {

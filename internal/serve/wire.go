@@ -156,15 +156,35 @@ func CodeFor(err error) Code {
 // are frozen; new fields may be added but never removed or renamed
 // within v1.
 
-// PredictRequest is the body of POST /v1/predict.
+// PredictRequest is the body of POST /v1/predict. Explain is optional
+// (added in-place within v1: absent means false, so old clients are
+// unaffected): when set, the response carries the per-neighbor blame
+// breakdown inline.
 type PredictRequest struct {
 	Primary    int   `json:"primary"`
 	Concurrent []int `json:"concurrent"`
+	Explain    bool  `json:"explain,omitempty"`
 }
 
-// PredictResponse is the success body of POST /v1/predict.
+// PredictResponse is the success body of POST /v1/predict. Explain is
+// present only when the request asked for it.
 type PredictResponse struct {
-	Prediction float64 `json:"prediction"`
+	Prediction float64           `json:"prediction"`
+	Explain    *ExplainBreakdown `json:"explain,omitempty"`
+}
+
+// ExplainBreakdown is the per-neighbor decomposition of a prediction's
+// interaction cost: Seconds[i] is the predicted time Neighbors[i] adds
+// to the primary's latency (exact per-term rescale of the CQI
+// intensity decomposition — see core.PredictExplain). Baseline is the
+// primary's predicted latency with zero contention; the prediction
+// itself travels in PredictResponse.Prediction and always equals what
+// a non-explain request would have answered, bit for bit.
+type ExplainBreakdown struct {
+	Baseline  float64   `json:"baseline"`
+	CQI       float64   `json:"cqi"`
+	Neighbors []int     `json:"neighbors"`
+	Seconds   []float64 `json:"seconds"`
 }
 
 // BatchRequest is the body of POST /v1/predict_batch: one primary
@@ -224,9 +244,16 @@ type ErrorEnvelope struct {
 //	OpBatch     u32 primary, u16 m, m × (u16 k, k × u32 concurrent)
 //	OpFeedback  u32 primary, u16 k, k × u32 concurrent, f64 observed
 //
+// The opcode byte's high bit is a flag field: OpPredict|FlagExplain
+// requests the per-neighbor blame breakdown (added in-place within v1 —
+// servers predating the flag reject it as an unknown opcode, exactly
+// like any other unsupported request, and clients that never set it see
+// byte-identical traffic). The flag is only defined for OpPredict.
+//
 // Response payloads (status CodeOK):
 //
 //	OpPredict   f64 prediction
+//	  +explain  f64 baseline, f64 cqi, u16 k, k × (u32 neighbor, f64 seconds)
 //	OpBatch     u16 m, m × f64 prediction
 //	OpFeedback  f64 predicted, f64 signed error
 //
@@ -242,6 +269,12 @@ const (
 	OpBatch
 	OpFeedback
 )
+
+// FlagExplain, ORed into a request's opcode byte, asks for the
+// per-neighbor blame breakdown in the response. v1 defines it for
+// OpPredict only; on any other opcode the server answers
+// CodeBadRequest.
+const FlagExplain uint8 = 0x80
 
 // Frame geometry limits. MaxFrame bounds a frame's payload so a
 // corrupt or hostile length prefix cannot make the server allocate

@@ -124,6 +124,7 @@ func (w *Workbench) Lifecycle(s *Sharded, cfg LifecycleConfig) (*Lifecycle, erro
 	}
 	lcfg := lifecycle.Config{
 		Quality:    w.quality,
+		Blame:      w.blame,
 		Collector:  collector,
 		Holdout:    holdout,
 		Observer:   observer,

@@ -107,6 +107,22 @@ func (p *Predictor) PredictBatch(buf *PredictBuffer, primary int, mixes [][]int)
 	return p.inner.PredictBatch(buf, primary, mixes)
 }
 
+// ExplainBuffer receives one Explain decomposition: the served
+// prediction, the zero-contention baseline, and each concurrent
+// template's additive share of the interaction (intensity and predicted
+// seconds). The zero value is ready; reusing one buffer keeps the
+// explain path allocation-free.
+type ExplainBuffer = core.ExplainBuffer
+
+// Explain is PredictKnown plus blame attribution: it writes the
+// per-neighbor decomposition of the interaction cost into buf. The
+// returned latency (and buf.Total) is bit-identical to PredictKnown for
+// the same arguments — the decomposition records the terms of the same
+// CQI summation in the same order rather than recomputing anything.
+func (p *Predictor) Explain(buf *ExplainBuffer, primary int, concurrent []int) (float64, error) {
+	return p.inner.PredictExplain(buf, primary, concurrent)
+}
+
 // Prime forces construction of the internal prediction index so the first
 // PredictKnown/PredictBatch call doesn't pay the one-time build cost.
 func (p *Predictor) Prime() { p.inner.Prime() }

@@ -2,6 +2,7 @@ package contender
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"time"
 
@@ -41,6 +42,8 @@ type serveConfig struct {
 	admission   serve.AdmissionConfig
 	drainEvery  time.Duration
 	observer    Observer
+	blame       *obs.Blame
+	slowLog     *obs.SlowLog
 	haveWindow  bool
 }
 
@@ -117,6 +120,24 @@ func WithServeObserver(o Observer) ServeOption {
 	return func(c *serveConfig) { c.observer = o }
 }
 
+// WithServeBlame installs a contention blame aggregator on the server:
+// every explained prediction it answers (the wire schema's opt-in
+// explain flag) folds its per-neighbor decomposition into b's pairwise
+// matrix. Workbench.Serve installs the workbench's own aggregator
+// (WithBlame) unless this option overrides it.
+func WithServeBlame(b *Blame) ServeOption {
+	return func(c *serveConfig) { c.blame = b }
+}
+
+// WithSlowLog logs every request slower than threshold to w, one line
+// per request (protocol op, payload size, latency, error label),
+// measured from admission to reply. A threshold ≤ 0 logs every
+// request. The logger serializes writes internally, so w needs no
+// extra locking.
+func WithSlowLog(w io.Writer, threshold time.Duration) ServeOption {
+	return func(c *serveConfig) { c.slowLog = obs.NewSlowLog(w, threshold) }
+}
+
 // Server exposes one Sharded serving set over the v1 wire schema.
 type Server struct {
 	inner   *serve.Server
@@ -134,6 +155,8 @@ func NewServer(s *Sharded, opts ...ServeOption) (*Server, error) {
 	inner, err := serve.New(s.inner, serve.Config{
 		Observer:    cfg.observer,
 		Metrics:     obs.FindMetrics(cfg.observer),
+		Blame:       cfg.blame,
+		SlowLog:     cfg.slowLog,
 		MaxBatch:    cfg.maxBatch,
 		BatchWindow: window,
 		MaxCoalesce: cfg.maxCoalesce,
@@ -168,17 +191,20 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(c
 // sharded serving set, stand a server over it, and bind the binary
 // protocol on addr (use ":0" for an ephemeral port; the bound address
 // is available from BinaryAddr). The workbench's observer instruments
-// the server unless WithServeObserver overrides it, and the returned
+// the server unless WithServeObserver overrides it, the workbench's
+// blame aggregator (WithBlame) receives every explained prediction
+// unless WithServeBlame overrides it, and the returned
 // server shuts down with a 5-second drain when ctx is cancelled. Mount
 // Handler() for the HTTP front — Workbench.Serve does not bind it to
 // keep the HTTP mux composition (metrics, quality, pprof) in the
 // caller's hands.
 func (w *Workbench) Serve(ctx context.Context, p *Predictor, addr string, opts ...ServeOption) (*BoundServer, error) {
-	if o := w.env.Opts.Observer; o != nil {
-		cfg := buildServeConfig(opts)
-		if cfg.observer == nil {
-			opts = append(opts, WithServeObserver(o))
-		}
+	cfg := buildServeConfig(opts)
+	if o := w.env.Opts.Observer; o != nil && cfg.observer == nil {
+		opts = append(opts, WithServeObserver(o))
+	}
+	if w.blame != nil && cfg.blame == nil {
+		opts = append(opts, WithServeBlame(w.blame))
 	}
 	sharded, err := NewSharded(p, opts...)
 	if err != nil {
